@@ -1,0 +1,66 @@
+//! Figure 8: how often the WritersBlock machinery actually fires.
+//!
+//! Top panel: write requests blocked in WritersBlock per thousand
+//! committed stores. Bottom panel: uncacheable tear-off data responses
+//! per thousand committed loads. Both per benchmark, for the SLM-, NHM-
+//! and HSW-class cores (bigger LQs hold more lockdowns, so rates grow
+//! with core aggressiveness — but stay well below 1 per kilo-op).
+
+use wb_bench::{eval_config, render_table, run_one};
+use wb_kernel::config::{CommitMode, CoreClass};
+use wb_workloads::{suite, Scale};
+
+fn main() {
+    let scale =
+        if std::env::args().any(|a| a == "--small") { Scale::Small } else { Scale::Test };
+
+    let mut blocked_rows = Vec::new();
+    let mut tearoff_rows = Vec::new();
+    let mut totals = [(0.0, 0usize); 3];
+
+    let jobs: Vec<(wb_isa::Workload, CoreClass)> = suite(16, scale)
+        .into_iter()
+        .flat_map(|w| CoreClass::ALL.into_iter().map(move |c| (w.clone(), c)))
+        .collect();
+    let results =
+        wb_bench::par_map(jobs, |(w, class)| run_one(&w, eval_config(class, CommitMode::OutOfOrderWb, false)));
+    for chunk in results.chunks(CoreClass::ALL.len()) {
+        let mut blocked = Vec::new();
+        let mut tearoff = Vec::new();
+        for (i, r) in chunk.iter().enumerate() {
+            let b = r.report.blocked_writes_per_kilostore();
+            let t = r.report.uncacheable_reads_per_kiloload();
+            blocked.push(format!("{b:.3}"));
+            tearoff.push(format!("{t:.3}"));
+            totals[i].0 += b;
+            totals[i].1 += 1;
+        }
+        blocked_rows.push((chunk[0].bench.clone(), blocked));
+        tearoff_rows.push((chunk[0].bench.clone(), tearoff));
+    }
+
+    let headers: Vec<&str> = CoreClass::ALL.iter().map(|c| c.label()).collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 8 (top): writes blocked in WritersBlock per kilo-store",
+            &headers,
+            &blocked_rows
+        )
+    );
+    println!(
+        "{}",
+        render_table(
+            "Figure 8 (bottom): uncacheable tear-off reads per kilo-load",
+            &headers,
+            &tearoff_rows
+        )
+    );
+    for (i, class) in CoreClass::ALL.into_iter().enumerate() {
+        println!(
+            "{} mean blocked writes/kstore: {:.3} (paper: well under 1, growing with LQ size)",
+            class.label(),
+            totals[i].0 / totals[i].1 as f64
+        );
+    }
+}

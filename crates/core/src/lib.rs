@@ -1,0 +1,60 @@
+//! # writersblock
+//!
+//! A full-system, cycle-level simulator reproducing **"Non-Speculative
+//! Load-Load Reordering in TSO"** (Ros, Carlson, Alipour, Kaxiras — ISCA
+//! 2017).
+//!
+//! The paper shows that speculatively reordered loads in TSO never need
+//! to be squashed when another core "sees" the reordering: the coherence
+//! protocol can *hide* it instead. A core whose reordered load receives
+//! an invalidation withholds the acknowledgement (a **lockdown**); the
+//! directory parks the offending write in a new transient state
+//! (**WritersBlock**) that blocks all writes but serves reads uncacheable
+//! tear-off copies of the pre-write data. When the reordering resolves
+//! (the older load performs), the deferred acknowledgement is released
+//! and the write proceeds. Reordered loads can therefore be *irrevocably
+//! bound* — e.g. committed out of order — without checkpoints.
+//!
+//! This crate wires the substrates into a 16-core tiled system:
+//!
+//! - out-of-order cores (`wb-cpu`) with in-order, Bell-Lipasti
+//!   out-of-order, and WritersBlock-relaxed commit;
+//! - private L1+L2 caches and LLC/directory banks speaking base MESI or
+//!   the WritersBlock protocol (`wb-protocol`);
+//! - a 4x4 mesh interconnect (`wb-mesh`);
+//! - TSO verification machinery (`wb-tso`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use writersblock::prelude::*;
+//!
+//! // Table 1's message-passing litmus on a WritersBlock system with
+//! // out-of-order commit: the forbidden outcome can never appear.
+//! let litmus = wb_tso::litmus::mp();
+//! let cfg = SystemConfig::new(CoreClass::Slm)
+//!     .with_cores(2)
+//!     .with_commit(CommitMode::OutOfOrderWb);
+//! let mut sys = System::new(cfg, &litmus.workload);
+//! let outcome = sys.run(200_000);
+//! assert_eq!(outcome, RunOutcome::Done);
+//! let observed: Vec<u64> =
+//!     litmus.observed.iter().map(|&(c, r)| sys.arch_reg(c, r)).collect();
+//! assert!(!litmus.is_forbidden(&observed));
+//! ```
+
+pub mod litmus_runner;
+pub mod report;
+pub mod system;
+
+pub use litmus_runner::{run_litmus, LitmusFailure, LitmusReport};
+pub use report::Report;
+pub use system::{RunOutcome, System};
+
+/// Commonly used items, re-exported for examples and benches.
+pub mod prelude {
+    pub use crate::{Report, RunOutcome, System};
+    pub use wb_isa::{AluOp, AmoOp, Cond, Inst, Program, ProgramBuilder, Reg, Workload};
+    pub use wb_kernel::config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+    pub use wb_mem::{Addr, LineAddr};
+}

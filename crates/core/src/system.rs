@@ -1,0 +1,268 @@
+//! The full system: cores + private caches + directory banks + mesh.
+
+use crate::report::Report;
+use wb_cpu::Core;
+use wb_isa::{Reg, Workload};
+use wb_kernel::config::SystemConfig;
+use wb_kernel::{Cycle, NodeId};
+use wb_mem::Addr;
+use wb_mesh::{Mesh, MeshMsg};
+use wb_protocol::messages::Dest;
+use wb_protocol::{Directory, PrivateCache, ProtoMsg};
+use wb_tso::{CheckError, ExecutionLog, TsoChecker};
+
+/// How a [`System::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every core halted and the memory system drained.
+    Done,
+    /// The cycle budget ran out first.
+    Budget,
+    /// No core retired an instruction for a long window while work was
+    /// still pending — a deadlock (this must never happen; Section 3.5).
+    Deadlock,
+}
+
+/// A full simulated multicore.
+pub struct System {
+    cfg: SystemConfig,
+    now: Cycle,
+    mesh: Mesh<(Dest, ProtoMsg)>,
+    cores: Vec<Core>,
+    caches: Vec<PrivateCache>,
+    dirs: Vec<Directory>,
+    init_mem: Vec<(Addr, u64)>,
+    workload_name: String,
+    /// When set, every delivered protocol message for this line is
+    /// printed to stderr (see [`System::trace_line`]).
+    trace_line: Option<wb_mem::LineAddr>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("workload", &self.workload_name)
+            .field("cycle", &self.now)
+            .field("cores", &self.cores.len())
+            .finish()
+    }
+}
+
+impl System {
+    /// Build a system for `workload`. Cores beyond the workload's
+    /// programs idle (empty programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SystemConfig::validate`]) or the workload needs more cores than
+    /// configured.
+    pub fn new(cfg: SystemConfig, workload: &Workload) -> Self {
+        cfg.validate();
+        assert!(
+            workload.cores() <= cfg.num_cores,
+            "workload '{}' needs {} cores, system has {}",
+            workload.name,
+            workload.cores(),
+            cfg.num_cores
+        );
+        let n = cfg.num_cores;
+        let cores = (0..n)
+            .map(|i| {
+                let prog = workload.programs.get(i).cloned().unwrap_or_default();
+                Core::with_event_log(NodeId(i as u16), cfg.core.clone(), cfg.protocol, prog, cfg.record_events)
+            })
+            .collect();
+        let caches =
+            (0..n).map(|i| PrivateCache::new(NodeId(i as u16), n, &cfg.memory, cfg.protocol)).collect();
+        let mut dirs: Vec<Directory> = (0..n).map(|i| Directory::new(NodeId(i as u16), &cfg)).collect();
+        for (addr, value) in &workload.init_mem {
+            dirs[addr.line().bank(n)].init_word(*addr, *value);
+        }
+        let net = &cfg.network;
+        let mesh = Mesh::new(net.mesh_width, net.mesh_height, n, net.hop_cycles, net.jitter, cfg.seed);
+        System {
+            now: 0,
+            mesh,
+            cores,
+            caches,
+            dirs,
+            init_mem: workload.init_mem.clone(),
+            workload_name: workload.name.clone(),
+            trace_line: None,
+            cfg,
+        }
+    }
+
+    /// Print every delivered protocol message touching `line` to stderr —
+    /// the protocol debugging tool behind the `protocol_trace` example.
+    pub fn trace_line(&mut self, line: Option<wb_mem::LineAddr>) {
+        self.trace_line = line;
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Advance the whole system one cycle.
+    pub fn tick(&mut self) {
+        let n = self.cores.len();
+        // 1. Deliver mesh arrivals to caches / directory banks.
+        for i in 0..n {
+            for m in self.mesh.drain_arrived(NodeId(i as u16)) {
+                let (dest, msg) = m.payload;
+                if self.trace_line == Some(msg.line()) {
+                    eprintln!("[{:>8}] {} -> {:?}: {:?}", self.now, m.src, dest, msg);
+                }
+                match dest {
+                    Dest::Cache(_) => self.caches[i].handle_msg(self.now, msg, &mut self.cores[i]),
+                    Dest::Dir(_) => self.dirs[i].receive(self.now, msg),
+                }
+            }
+        }
+        // 2. Directory banks and deferred cache work.
+        for i in 0..n {
+            self.dirs[i].tick(self.now);
+            let (cache, core) = (&mut self.caches[i], &mut self.cores[i]);
+            cache.tick(self.now, core);
+        }
+        // 3. Cores (pipeline).
+        for i in 0..n {
+            self.cores[i].tick(self.now, &mut self.caches[i]);
+        }
+        // 4. Inject outbound protocol messages.
+        let (data_flits, ctrl_flits) =
+            (self.cfg.network.data_flits, self.cfg.network.control_flits);
+        for i in 0..n {
+            let from = NodeId(i as u16);
+            let out: Vec<(Dest, ProtoMsg)> = self.caches[i]
+                .drain_outbox()
+                .into_iter()
+                .chain(self.dirs[i].drain_outbox())
+                .collect();
+            for (dest, msg) in out {
+                let flits = msg.flits(data_flits, ctrl_flits);
+                self.mesh.send(
+                    self.now,
+                    MeshMsg { src: from, dst: dest.node(), vnet: msg.vnet(), flits, payload: (dest, msg) },
+                );
+            }
+        }
+        // 5. The network.
+        self.mesh.tick(self.now);
+        self.now += 1;
+    }
+
+    /// Is everything finished and drained?
+    pub fn done(&self) -> bool {
+        self.cores.iter().all(|c| c.drained())
+            && self.caches.iter().all(|c| c.is_idle())
+            && self.dirs.iter().all(|d| d.is_idle())
+            && self.mesh.is_idle()
+    }
+
+    /// Run until [`System::done`], a deadlock, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
+        const DEADLOCK_WINDOW: u64 = 200_000;
+        let mut last_retired: u64 = self.total_retired();
+        let mut last_progress = self.now;
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self.done() {
+                return RunOutcome::Done;
+            }
+            self.tick();
+            let r = self.total_retired();
+            if r != last_retired {
+                last_retired = r;
+                last_progress = self.now;
+            } else if self.now - last_progress > DEADLOCK_WINDOW {
+                return RunOutcome::Deadlock;
+            }
+        }
+        if self.done() {
+            RunOutcome::Done
+        } else {
+            RunOutcome::Budget
+        }
+    }
+
+    /// Total instructions retired across all cores.
+    pub fn total_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.retired()).sum()
+    }
+
+    /// Architectural register value of a core (for litmus observation).
+    pub fn arch_reg(&self, core: usize, r: Reg) -> u64 {
+        self.cores[core].arch_reg(r)
+    }
+
+    /// The current architectural value of a memory word: the exclusive
+    /// private copy if one exists, else the LLC/memory copy at its home
+    /// bank.
+    pub fn memory_word(&self, addr: Addr) -> u64 {
+        for c in &self.caches {
+            if let Some(v) = c.exclusive_word(addr) {
+                return v;
+            }
+        }
+        self.dirs[addr.line().bank(self.dirs.len())].memory_value(addr)
+    }
+
+    /// Collect the merged memory-event log (consumes the cores' logs).
+    pub fn take_log(&mut self) -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        for (a, v) in &self.init_mem {
+            log.set_init(*a, *v);
+        }
+        for c in &mut self.cores {
+            log.merge(c.take_log());
+        }
+        log
+    }
+
+    /// Run the axiomatic TSO checker over the execution so far.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the first [`CheckError`] — any error means the simulated
+    /// machine violated TSO (or the workload reused store values).
+    pub fn check_tso(&mut self) -> Result<(), CheckError> {
+        let log = self.take_log();
+        TsoChecker::new(&log).check()
+    }
+
+    /// Debug: protocol state of `line` at every cache and its home bank.
+    pub fn debug_line(&self, line: wb_mem::LineAddr) -> String {
+        let mut out: Vec<String> = self.caches.iter().map(|c| c.debug_line(line)).collect();
+        out.push(self.dirs[line.bank(self.dirs.len())].debug_line(line));
+        out.join("\n")
+    }
+
+    /// Multi-line debug snapshot of every core (for stuck simulations).
+    pub fn debug_snapshot(&self) -> String {
+        self.cores.iter().map(|c| c.debug_snapshot()).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Aggregate statistics report.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(&self.workload_name, self.now);
+        for c in &self.cores {
+            r.stats.merge(c.stats());
+        }
+        for c in &self.caches {
+            r.stats.merge(c.stats());
+        }
+        for d in &self.dirs {
+            r.stats.merge(d.stats());
+        }
+        r.stats.merge(self.mesh.stats());
+        r
+    }
+}

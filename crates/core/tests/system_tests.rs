@@ -1,0 +1,341 @@
+//! End-to-end system tests: single-core correctness against the
+//! architectural interpreter, multi-core coherence, and litmus sanity.
+
+use writersblock::prelude::*;
+use writersblock::{run_litmus, RunOutcome, System};
+
+fn cfg(cores: usize, commit: CommitMode) -> SystemConfig {
+    SystemConfig::new(CoreClass::Slm).with_cores(cores).with_commit(commit)
+}
+
+/// Run a single-core program on the simulator AND the golden interpreter;
+/// final architectural registers must agree.
+fn check_against_interpreter(program: Program, commit: CommitMode) {
+    let workload = Workload::new("golden", vec![program.clone()]);
+    let mut sys = System::new(cfg(1, commit), &workload);
+    assert_eq!(sys.run(2_000_000), RunOutcome::Done, "simulator did not finish");
+
+    let mut arch = wb_isa::ArchState::new();
+    let mut mem = wb_mem::MainMemory::new();
+    arch.run(&program, &mut mem, 10_000_000).expect("interpreter did not halt");
+
+    for r in 1..32u8 {
+        assert_eq!(
+            sys.arch_reg(0, Reg(r)),
+            arch.reg(Reg(r)),
+            "r{r} mismatch under {commit:?}"
+        );
+    }
+    sys.check_tso().expect("single-core run must be TSO");
+}
+
+fn arith_program() -> Program {
+    let mut b = Program::builder();
+    b.imm(Reg(1), 7)
+        .imm(Reg(2), 9)
+        .alu(AluOp::Mul, Reg(3), Reg(1), Reg(2))
+        .alu(AluOp::Add, Reg(4), Reg(3), Reg(1))
+        .alui(AluOp::Xor, Reg(5), Reg(4), 0xff)
+        .alui(AluOp::Shl, Reg(6), Reg(5), 3)
+        .alu(AluOp::Sub, Reg(7), Reg(6), Reg(2))
+        .halt();
+    b.build()
+}
+
+fn memory_program() -> Program {
+    let mut b = Program::builder();
+    b.imm(Reg(1), 0x1000);
+    // Write a small array, then sum it back.
+    for i in 0..8i64 {
+        b.imm(Reg(2), (i as u64 + 1) * 11);
+        b.store(Reg(2), Reg(1), i * 8);
+    }
+    b.imm(Reg(3), 0); // sum
+    for i in 0..8i64 {
+        b.load(Reg(4), Reg(1), i * 8);
+        b.alu(AluOp::Add, Reg(3), Reg(3), Reg(4));
+    }
+    // Pointer chase: mem[0x2000] = 0x2008; mem[0x2008] = 1234.
+    b.imm(Reg(5), 0x2000).imm(Reg(6), 0x2008).imm(Reg(7), 1234);
+    b.store(Reg(6), Reg(5), 0);
+    b.store(Reg(7), Reg(6), 0);
+    b.load(Reg(8), Reg(5), 0); // r8 = 0x2008
+    b.load(Reg(9), Reg(8), 0); // r9 = 1234 (address depends on a load)
+    b.halt();
+    b.build()
+}
+
+fn loop_program() -> Program {
+    // r2 = sum of 1..=25 computed with a data-dependent backward branch.
+    let mut b = Program::builder();
+    b.imm(Reg(1), 0).imm(Reg(2), 0).imm(Reg(3), 25);
+    let top = b.here();
+    b.alui(AluOp::Add, Reg(1), Reg(1), 1);
+    b.alu(AluOp::Add, Reg(2), Reg(2), Reg(1));
+    b.branch(Cond::Lt, Reg(1), Reg(3), top);
+    b.halt();
+    b.build()
+}
+
+fn mispredict_program() -> Program {
+    // Branch directions depend on loaded (hard-to-predict) values.
+    let mut b = Program::builder();
+    b.imm(Reg(1), 0x3000);
+    for (i, v) in [3u64, 1, 4, 1, 5, 9, 2, 6].iter().enumerate() {
+        b.imm(Reg(2), *v);
+        b.store(Reg(2), Reg(1), (i * 8) as i64);
+    }
+    b.imm(Reg(3), 0).imm(Reg(4), 0); // r4 = count of odd values
+    let top = b.here();
+    b.alui(AluOp::Shl, Reg(5), Reg(3), 3);
+    b.alu(AluOp::Add, Reg(5), Reg(1), Reg(5));
+    b.load(Reg(6), Reg(5), 0);
+    b.alui(AluOp::And, Reg(7), Reg(6), 1);
+    let even = b.new_label();
+    b.branch(Cond::Eq, Reg(7), Reg(0), even);
+    b.alui(AluOp::Add, Reg(4), Reg(4), 1);
+    b.bind(even);
+    b.alui(AluOp::Add, Reg(3), Reg(3), 1);
+    b.imm(Reg(8), 8);
+    b.branch(Cond::Lt, Reg(3), Reg(8), top);
+    b.halt();
+    b.build()
+}
+
+fn amo_program() -> Program {
+    // Every written value is distinct (the TSO checker recovers rf by
+    // value matching).
+    let mut b = Program::builder();
+    b.imm(Reg(1), 0x4000).imm(Reg(2), 5).imm(Reg(7), 9);
+    b.amo_add(Reg(3), Reg(1), 0, Reg(2)); // r3 = 0, mem = 5
+    b.amo_swap(Reg(4), Reg(1), 0, Reg(7)); // r4 = 5, mem = 9
+    b.amo_cas(Reg(5), Reg(1), 0, Reg(7), Reg(1)); // cmp 9 == 9: mem = 0x4000
+    b.amo_cas(Reg(8), Reg(1), 0, Reg(7), Reg(2)); // cmp fails: r8 = 0x4000
+    b.load(Reg(6), Reg(1), 0);
+    b.halt();
+    b.build()
+}
+
+#[test]
+fn single_core_arith_matches_interpreter() {
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        check_against_interpreter(arith_program(), mode);
+    }
+}
+
+#[test]
+fn single_core_memory_matches_interpreter() {
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        check_against_interpreter(memory_program(), mode);
+    }
+}
+
+#[test]
+fn single_core_loop_matches_interpreter() {
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        check_against_interpreter(loop_program(), mode);
+    }
+}
+
+#[test]
+fn single_core_mispredicts_recover() {
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        check_against_interpreter(mispredict_program(), mode);
+    }
+}
+
+#[test]
+fn single_core_atomics_match_interpreter() {
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        check_against_interpreter(amo_program(), mode);
+    }
+}
+
+#[test]
+fn final_memory_state_is_resolvable() {
+    let workload = Workload::new("mem", vec![memory_program()]);
+    let mut sys = System::new(cfg(1, CommitMode::InOrder), &workload);
+    assert_eq!(sys.run(2_000_000), RunOutcome::Done);
+    assert_eq!(sys.memory_word(Addr::new(0x1000)), 11);
+    assert_eq!(sys.memory_word(Addr::new(0x1038)), 88);
+    assert_eq!(sys.memory_word(Addr::new(0x2008)), 1234);
+}
+
+#[test]
+fn two_core_message_passing_completes() {
+    // Producer writes a value then a flag; consumer spins on the flag.
+    let data = 0x1000u64;
+    let flag = 0x2040u64;
+    let mut producer = Program::builder();
+    producer.imm(Reg(1), data).imm(Reg(2), flag).imm(Reg(3), 777).imm(Reg(4), 1);
+    producer.store(Reg(3), Reg(1), 0).store(Reg(4), Reg(2), 0).halt();
+    let mut consumer = Program::builder();
+    consumer.imm(Reg(1), data).imm(Reg(2), flag);
+    let spin = consumer.here();
+    consumer.load(Reg(5), Reg(2), 0);
+    consumer.branch(Cond::Eq, Reg(5), Reg(0), spin);
+    consumer.load(Reg(6), Reg(1), 0);
+    consumer.halt();
+    let w = Workload::new("handshake", vec![producer.build(), consumer.build()]);
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        let mut sys = System::new(cfg(2, mode), &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "{mode:?}");
+        assert_eq!(sys.arch_reg(1, Reg(6)), 777, "consumer must see the data under {mode:?}");
+        sys.check_tso().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+    }
+}
+
+#[test]
+fn litmus_mp_never_forbidden_all_modes() {
+    let t = wb_tso::litmus::mp();
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        let report = run_litmus(&t, &cfg(2, mode), 0..30, 300_000)
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        assert_eq!(report.runs, 30);
+    }
+}
+
+#[test]
+fn litmus_outcomes_subset_of_oracle() {
+    // Every simulated outcome must be TSO-legal per the oracle.
+    for t in wb_tso::litmus::enumerable_suite() {
+        let legal = wb_tso::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle");
+        let cores = t.workload.cores();
+        for mode in [CommitMode::InOrder, CommitMode::OutOfOrderWb] {
+            let report = run_litmus(&t, &cfg(cores, mode), 0..20, 300_000)
+                .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", t.name));
+            for outcome in report.outcomes.keys() {
+                assert!(
+                    legal.contains(outcome),
+                    "{} {mode:?}: outcome {outcome:?} is not TSO-legal",
+                    t.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spinlock_mutual_exclusion() {
+    let t = wb_tso::litmus::spinlock(6);
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        let mut sys = System::new(cfg(2, mode), &t.workload);
+        assert_eq!(sys.run(4_000_000), RunOutcome::Done, "{mode:?}");
+        // Final counter value: both cores' increments survive.
+        assert_eq!(
+            sys.memory_word(wb_tso::litmus::X),
+            12,
+            "lost updates under {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn idle_cores_do_not_disturb() {
+    // A 4-core system running a 1-core program.
+    let w = Workload::new("solo", vec![arith_program()]);
+    let mut sys = System::new(cfg(4, CommitMode::OutOfOrderWb), &w);
+    assert_eq!(sys.run(1_000_000), RunOutcome::Done);
+    assert_eq!(sys.arch_reg(0, Reg(3)), 63);
+}
+
+#[test]
+fn non_collapsible_lq_is_correct() {
+    // Footnote 8: the FIFO-LQ variant must be just as correct — litmus
+    // outcomes legal and torture TSO-clean.
+    let t = wb_tso::litmus::mp_warm();
+    let mut cfg = cfg(2, CommitMode::OutOfOrderWb);
+    cfg.core.collapsible_lq = false;
+    let report = run_litmus(&t, &cfg, 0..30, 300_000).expect("litmus");
+    assert_eq!(report.runs, 30);
+    // And single-core correctness against the interpreter.
+    let workload = Workload::new("golden", vec![arith_program()]);
+    let mut sys = System::new(cfg.with_cores(1), &workload);
+    assert_eq!(sys.run(1_000_000), RunOutcome::Done);
+    assert_eq!(sys.arch_reg(0, Reg(3)), 63);
+}
+
+#[test]
+fn non_collapsible_lq_still_gains_less() {
+    // The FIFO LQ must still complete the suite (sanity at small scale);
+    // performance comparison lives in the ablation bench.
+    for w in wb_workloads::suite(4, wb_workloads::Scale::Test).into_iter().take(3) {
+        let mut c = cfg(4, CommitMode::OutOfOrderWb).without_event_log();
+        c.core.collapsible_lq = false;
+        let mut sys = System::new(c, &w);
+        assert_eq!(sys.run(50_000_000), RunOutcome::Done, "{}", w.name);
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    // Same configuration + seed => bit-identical outcome (cycle count,
+    // registers, stats). The whole evaluation methodology rests on this.
+    let w = wb_workloads::splash::ocean(4, wb_workloads::Scale::Test);
+    let mk = || {
+        let c = cfg(4, CommitMode::OutOfOrderWb).with_seed(1234).with_jitter(17).without_event_log();
+        let mut sys = System::new(c, &w);
+        assert_eq!(sys.run(50_000_000), RunOutcome::Done);
+        (sys.now(), sys.report().stats)
+    };
+    let (c1, s1) = mk();
+    let (c2, s2) = mk();
+    assert_eq!(c1, c2, "cycle counts differ between identical runs");
+    assert_eq!(s1, s2, "statistics differ between identical runs");
+}
+
+#[test]
+fn early_write_prefetch_is_correct() {
+    // The Section 3.1.2 aggressive prefetch must not change outcomes.
+    let t = wb_tso::litmus::mp_warm();
+    let mut c = cfg(2, CommitMode::OutOfOrderWb);
+    c.core.write_prefetch_at_resolve = true;
+    let report = run_litmus(&t, &c, 0..30, 300_000).expect("litmus");
+    assert_eq!(report.runs, 30);
+    // And the spinlock still counts correctly.
+    let t = wb_tso::litmus::spinlock(5);
+    let mut sys = System::new(c.with_cores(2), &t.workload);
+    assert_eq!(sys.run(4_000_000), RunOutcome::Done);
+    assert_eq!(sys.memory_word(wb_tso::litmus::X), 10);
+}
+
+#[test]
+fn ecl_single_core_matches_interpreter() {
+    // Early commit of loads must preserve architectural results.
+    for prog in [arith_program(), memory_program(), loop_program(), mispredict_program(), amo_program()] {
+        check_against_interpreter(prog, CommitMode::InOrderEcl);
+    }
+}
+
+#[test]
+fn ecl_litmus_and_locks() {
+    // ECL + WritersBlock: Table 1 outcomes stay legal and locks count.
+    for t in [wb_tso::litmus::mp(), wb_tso::litmus::mp_warm()] {
+        let report = run_litmus(&t, &cfg(2, CommitMode::InOrderEcl), 0..30, 300_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        assert_eq!(report.runs, 30);
+    }
+    let t = wb_tso::litmus::spinlock(5);
+    let mut sys = System::new(cfg(2, CommitMode::InOrderEcl), &t.workload);
+    assert_eq!(sys.run(4_000_000), RunOutcome::Done);
+    assert_eq!(sys.memory_word(wb_tso::litmus::X), 10);
+}
+
+#[test]
+fn ecl_actually_commits_early() {
+    // A pointer-chase workload should show early-committed loads.
+    let w = wb_workloads::splash::barnes(2, wb_workloads::Scale::Test);
+    let mut sys = System::new(cfg(2, CommitMode::InOrderEcl).without_event_log(), &w);
+    assert_eq!(sys.run(50_000_000), RunOutcome::Done);
+    let r = sys.report();
+    assert!(
+        r.stats.get("core_ecl_loads_committed") > 0,
+        "ECL never fired: {} cycles",
+        r.cycles
+    );
+    assert_eq!(
+        r.stats.get("core_ecl_loads_committed"),
+        r.stats.get("core_ecl_loads_delivered"),
+        "every early-committed load must eventually deliver its value"
+    );
+}

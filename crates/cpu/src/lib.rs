@@ -1,0 +1,23 @@
+//! The out-of-order core model.
+//!
+//! This crate is the core-side half of the paper's mechanism:
+//!
+//! - [`lsq`]: load queue (collapsible, with S bits and lockdowns), store
+//!   queue, post-commit store buffer and the LDT of Section 4.2;
+//! - [`predictor`]: a bimodal branch predictor;
+//! - [`core`]: the pipeline — dispatch/issue/execute/commit with the
+//!   three commit policies the paper evaluates (in-order, safe
+//!   out-of-order per Bell-Lipasti, and out-of-order with the consistency
+//!   condition relaxed through WritersBlock).
+//!
+//! The core executes `wb-isa` programs against a `wb-protocol` private
+//! cache and logs every committed memory instruction into a
+//! `wb-tso::ExecutionLog` so executions can be checked against TSO.
+
+pub mod core;
+pub mod lsq;
+pub mod predictor;
+
+pub use crate::core::Core;
+pub use lsq::Lsq;
+pub use predictor::Bimodal;

@@ -1,0 +1,370 @@
+//! A small assembler: parse the textual instruction syntax produced by
+//! the [`std::fmt::Display`] implementations back into a [`Program`].
+//!
+//! The format is exactly what [`Program`]'s listing prints, so
+//! `parse_program(&prog.to_string())` round-trips. Lines may carry an
+//! optional `N:` prefix (ignored — targets are the absolute indices in
+//! branch operands), blank lines, and `;`/`#` comments.
+//!
+//! # Example
+//!
+//! ```
+//! use wb_isa::asm::parse_program;
+//!
+//! let p = parse_program(
+//!     "imm r1, 0x40
+//!      ld r2, [r1+0]
+//!      b.ne r2, r0, @1
+//!      halt",
+//! ).unwrap();
+//! assert_eq!(p.len(), 4);
+//! ```
+
+use crate::inst::{AluOp, AmoOp, Cond, Inst, Reg};
+use crate::program::Program;
+
+/// A parse failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, ParseAsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let num = t.strip_prefix('r').ok_or_else(|| err(line, format!("expected register, got '{t}'")))?;
+    let n: u8 = num.parse().map_err(|_| err(line, format!("bad register '{t}'")))?;
+    if (n as usize) < Reg::COUNT {
+        Ok(Reg(n))
+    } else {
+        Err(err(line, format!("register {t} out of range")))
+    }
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, ParseAsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let r = if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        t.parse()
+    };
+    r.map_err(|_| err(line, format!("bad number '{t}'")))
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<u32, ParseAsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let n = t.strip_prefix('@').ok_or_else(|| err(line, format!("expected @target, got '{t}'")))?;
+    n.parse().map_err(|_| err(line, format!("bad target '{t}'")))
+}
+
+/// Parse `[rN+off]` / `[rN-off]`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i64), ParseAsmError> {
+    let t = tok.trim().trim_end_matches(',');
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [reg+off], got '{t}'")))?;
+    let split = inner
+        .char_indices()
+        .find(|(i, c)| *i > 0 && (*c == '+' || *c == '-'))
+        .map(|(i, _)| i)
+        .ok_or_else(|| err(line, format!("missing offset in '{t}'")))?;
+    let base = parse_reg(&inner[..split], line)?;
+    let off: i64 =
+        inner[split..].parse().map_err(|_| err(line, format!("bad offset in '{t}'")))?;
+    Ok((base, off))
+}
+
+fn parse_alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "mul" => AluOp::Mul,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+fn parse_inst(text: &str, line: usize) -> Result<Inst, ParseAsmError> {
+    let mut parts = text.split_whitespace();
+    let mnemonic = parts.next().ok_or_else(|| err(line, "empty instruction"))?;
+    let rest: Vec<&str> = parts.collect();
+    let need = |n: usize| -> Result<(), ParseAsmError> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("'{mnemonic}' expects {n} operands, got {}", rest.len())))
+        }
+    };
+    match mnemonic {
+        "nop" => {
+            need(0)?;
+            Ok(Inst::Nop)
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Inst::Halt)
+        }
+        "imm" => {
+            need(2)?;
+            Ok(Inst::Imm { rd: parse_reg(rest[0], line)?, value: parse_u64(rest[1], line)? })
+        }
+        "ld" => {
+            need(2)?;
+            let (base, offset) = parse_mem(rest[1], line)?;
+            Ok(Inst::Load { rd: parse_reg(rest[0], line)?, base, offset })
+        }
+        "st" => {
+            need(2)?;
+            let (base, offset) = parse_mem(rest[1], line)?;
+            Ok(Inst::Store { src: parse_reg(rest[0], line)?, base, offset })
+        }
+        "j" => {
+            need(1)?;
+            Ok(Inst::Jump { target: parse_target(rest[0], line)? })
+        }
+        m if m.starts_with("b.") => {
+            need(3)?;
+            let cond = match &m[2..] {
+                "eq" => Cond::Eq,
+                "ne" => Cond::Ne,
+                "lt" => Cond::Lt,
+                "ge" => Cond::Ge,
+                other => return Err(err(line, format!("unknown condition '{other}'"))),
+            };
+            Ok(Inst::Branch {
+                cond,
+                rs1: parse_reg(rest[0], line)?,
+                rs2: parse_reg(rest[1], line)?,
+                target: parse_target(rest[2], line)?,
+            })
+        }
+        m if m.starts_with("amo.") => {
+            need(3)?;
+            let rd = parse_reg(rest[0], line)?;
+            let (base, offset) = parse_mem(rest[1], line)?;
+            match &m[4..] {
+                "swap" | "add" => {
+                    let op = if &m[4..] == "swap" { AmoOp::Swap } else { AmoOp::Add };
+                    Ok(Inst::Amo { op, rd, base, offset, src: parse_reg(rest[2], line)?, cmp: Reg::ZERO })
+                }
+                "cas" => {
+                    let (cmp_s, src_s) = rest[2]
+                        .split_once("=>")
+                        .ok_or_else(|| err(line, "amo.cas expects 'cmp=>src'"))?;
+                    Ok(Inst::Amo {
+                        op: AmoOp::Cas,
+                        rd,
+                        base,
+                        offset,
+                        src: parse_reg(src_s, line)?,
+                        cmp: parse_reg(cmp_s, line)?,
+                    })
+                }
+                other => Err(err(line, format!("unknown atomic '{other}'"))),
+            }
+        }
+        m => {
+            // ALU forms: "add r1, r2, r3" or "addi r1, r2, 0x5".
+            if let Some(op_name) = m.strip_suffix('i') {
+                if let Some(op) = parse_alu_op(op_name) {
+                    need(3)?;
+                    return Ok(Inst::AluImm {
+                        op,
+                        rd: parse_reg(rest[0], line)?,
+                        rs1: parse_reg(rest[1], line)?,
+                        imm: parse_u64(rest[2], line)?,
+                    });
+                }
+            }
+            if let Some(op) = parse_alu_op(m) {
+                need(3)?;
+                return Ok(Inst::Alu {
+                    op,
+                    rd: parse_reg(rest[0], line)?,
+                    rs1: parse_reg(rest[1], line)?,
+                    rs2: parse_reg(rest[2], line)?,
+                });
+            }
+            Err(err(line, format!("unknown mnemonic '{m}'")))
+        }
+    }
+}
+
+/// Parse a program listing (the format [`Program`]'s `Display` prints).
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number; also rejects
+/// out-of-range branch targets (via [`Program::from_insts`]'s contract,
+/// reported as an error instead of a panic).
+pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
+    let mut insts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        // Strip comments and the optional "N:" prefix.
+        let mut s = raw;
+        if let Some(pos) = s.find([';', '#']) {
+            s = &s[..pos];
+        }
+        let s = s.trim();
+        if s.is_empty() {
+            continue;
+        }
+        let s = match s.split_once(':') {
+            Some((prefix, rest)) if prefix.trim().chars().all(|c| c.is_ascii_digit()) => rest.trim(),
+            _ => s,
+        };
+        if s.is_empty() {
+            continue;
+        }
+        insts.push(parse_inst(s, line_no)?);
+    }
+    let len = insts.len();
+    for (i, inst) in insts.iter().enumerate() {
+        let target = match inst {
+            Inst::Branch { target, .. } | Inst::Jump { target } => Some(*target),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t as usize >= len {
+                return Err(err(i + 1, format!("target @{t} beyond program length {len}")));
+            }
+        }
+    }
+    Ok(Program::from_insts(insts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_all_forms() {
+        let text = "
+            ; a comment
+            imm r1, 0x40        # another comment
+            ld r2, [r1+0]
+            st r2, [r1+8]
+            add r3, r1, r2
+            subi r4, r3, 5
+            amo.swap r5, [r1+0], r2
+            amo.add r5, [r1+0], r2
+            amo.cas r5, [r1+0], r2=>r3
+            b.lt r3, r4, @1
+            j @0
+            nop
+            halt
+        ";
+        let p = parse_program(text).expect("parses");
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn display_roundtrip_of_listing() {
+        let mut b = Program::builder();
+        b.imm(Reg(1), 0x1000).load(Reg(2), Reg(1), 8);
+        let spin = b.here();
+        b.load(Reg(3), Reg(1), 0);
+        b.branch(Cond::Eq, Reg(3), Reg(0), spin);
+        b.amo_cas(Reg(4), Reg(1), 16, Reg(2), Reg(3));
+        b.halt();
+        let p = b.build();
+        let reparsed = parse_program(&p.to_string()).expect("roundtrip");
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_program("imm r1, 1\nbogus r2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let e = parse_program("j @9").unwrap_err();
+        assert!(e.message.contains("beyond"));
+    }
+
+    #[test]
+    fn rejects_bad_registers() {
+        assert!(parse_program("imm r99, 1").is_err());
+        assert!(parse_program("imm x1, 1").is_err());
+    }
+
+    fn reg_strategy() -> impl Strategy<Value = Reg> {
+        (0u8..32).prop_map(Reg)
+    }
+
+    fn inst_strategy() -> impl Strategy<Value = Inst> {
+        let alu = prop_oneof![
+            Just(AluOp::Add),
+            Just(AluOp::Sub),
+            Just(AluOp::And),
+            Just(AluOp::Or),
+            Just(AluOp::Xor),
+            Just(AluOp::Mul),
+            Just(AluOp::Shl),
+            Just(AluOp::Shr)
+        ];
+        let cond = prop_oneof![Just(Cond::Eq), Just(Cond::Ne), Just(Cond::Lt), Just(Cond::Ge)];
+        prop_oneof![
+            (reg_strategy(), any::<u64>()).prop_map(|(rd, value)| Inst::Imm { rd, value }),
+            (alu.clone(), reg_strategy(), reg_strategy(), reg_strategy())
+                .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+            (alu, reg_strategy(), reg_strategy(), any::<u64>())
+                .prop_map(|(op, rd, rs1, imm)| Inst::AluImm { op, rd, rs1, imm }),
+            (reg_strategy(), reg_strategy(), -64i64..64)
+                .prop_map(|(rd, base, offset)| Inst::Load { rd, base, offset: offset * 8 }),
+            (reg_strategy(), reg_strategy(), -64i64..64)
+                .prop_map(|(src, base, offset)| Inst::Store { src, base, offset: offset * 8 }),
+            (reg_strategy(), reg_strategy(), reg_strategy(), 0i64..64).prop_map(
+                |(rd, base, src, off)| Inst::Amo { op: AmoOp::Swap, rd, base, offset: off * 8, src, cmp: Reg::ZERO }
+            ),
+            (reg_strategy(), reg_strategy(), reg_strategy(), reg_strategy()).prop_map(
+                |(rd, base, src, cmp)| Inst::Amo { op: AmoOp::Cas, rd, base, offset: 0, src, cmp }
+            ),
+            (cond, reg_strategy(), reg_strategy()).prop_map(|(cond, rs1, rs2)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: 0
+            }),
+            Just(Inst::Jump { target: 0 }),
+            Just(Inst::Nop),
+            Just(Inst::Halt),
+        ]
+    }
+
+    proptest! {
+        /// display -> parse round-trips every instruction form.
+        #[test]
+        fn display_parse_roundtrip(insts in proptest::collection::vec(inst_strategy(), 1..30)) {
+            let p = Program::from_insts(insts);
+            let text = p.to_string();
+            let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+            prop_assert_eq!(p, reparsed);
+        }
+    }
+}

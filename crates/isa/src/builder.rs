@@ -1,0 +1,248 @@
+//! A small assembler: emit instructions, create and bind labels, build a
+//! [`Program`] with all branch targets resolved.
+
+use crate::inst::{AluOp, AmoOp, Cond, Inst, Reg};
+use crate::program::Program;
+
+/// A forward- or backward-referenced code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Builder for [`Program`]s.
+///
+/// # Example
+///
+/// ```
+/// use wb_isa::{ProgramBuilder, Reg, Cond};
+///
+/// // spin: ld r1,[r2]; beq r1,r0,spin   (spin until non-zero)
+/// let mut b = ProgramBuilder::new();
+/// b.imm(Reg(2), 0x80);
+/// let spin = b.here();
+/// b.load(Reg(1), Reg(2), 0);
+/// b.branch(Cond::Eq, Reg(1), Reg(0), spin);
+/// b.halt();
+/// let p = b.build();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    /// label id -> bound pc
+    bound: Vec<Option<u32>>,
+    /// (inst index, label) pairs awaiting resolution
+    fixups: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Current instruction index (where the next emitted instruction goes).
+    pub fn pc(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Create an unbound label for forward references.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.pc());
+    }
+
+    /// Create a label already bound to the current position (for backward
+    /// branches).
+    pub fn here(&mut self) -> Label {
+        let l = self.new_label();
+        self.bind(l);
+        l
+    }
+
+    /// Emit a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// `rd = value`
+    pub fn imm(&mut self, rd: Reg, value: u64) -> &mut Self {
+        self.push(Inst::Imm { rd, value })
+    }
+
+    /// `rd = rs1 <op> rs2`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 <op> imm`
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: u64) -> &mut Self {
+        self.push(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: u64) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = mem[base + offset]`
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { rd, base, offset })
+    }
+
+    /// `mem[base + offset] = src`
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// Atomic swap: `rd = mem[base+offset]; mem[base+offset] = src`.
+    pub fn amo_swap(&mut self, rd: Reg, base: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Inst::Amo { op: AmoOp::Swap, rd, base, offset, src, cmp: Reg::ZERO })
+    }
+
+    /// Atomic fetch-add: `rd = mem[..]; mem[..] += src`.
+    pub fn amo_add(&mut self, rd: Reg, base: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Inst::Amo { op: AmoOp::Add, rd, base, offset, src, cmp: Reg::ZERO })
+    }
+
+    /// Atomic compare-and-swap: `rd = mem[..]; if rd == cmp { mem[..] = src }`.
+    pub fn amo_cas(&mut self, rd: Reg, base: Reg, offset: i64, cmp: Reg, src: Reg) -> &mut Self {
+        self.push(Inst::Amo { op: AmoOp::Cas, rd, base, offset, src, cmp })
+    }
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Branch { cond, rs1, rs2, target: u32::MAX })
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jump(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.insts.len(), label));
+        self.push(Inst::Jump { target: u32::MAX })
+    }
+
+    /// Emit a `Nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Emit `n` `Nop`s (useful to pad distance between interesting ops).
+    pub fn nops(&mut self, n: usize) -> &mut Self {
+        for _ in 0..n {
+            self.nop();
+        }
+        self
+    }
+
+    /// Emit a `Halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = self.bound[label.0].unwrap_or_else(|| panic!("label {label:?} never bound"));
+            match &mut self.insts[idx] {
+                Inst::Branch { target: t, .. } | Inst::Jump { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        Program::from_insts(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let top = b.here();
+        b.nop();
+        b.branch(Cond::Eq, Reg(0), Reg(0), top);
+        let p = b.build();
+        assert_eq!(p.fetch(1), Some(Inst::Branch { cond: Cond::Eq, rs1: Reg(0), rs2: Reg(0), target: 0 }));
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let mut b = ProgramBuilder::new();
+        let out = b.new_label();
+        b.branch(Cond::Ne, Reg(1), Reg(0), out);
+        b.nop();
+        b.bind(out);
+        b.halt();
+        let p = b.build();
+        match p.fetch(0) {
+            Some(Inst::Branch { target, .. }) => assert_eq!(target, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jump_resolves() {
+        let mut b = ProgramBuilder::new();
+        let end = b.new_label();
+        b.jump(end);
+        b.nop();
+        b.bind(end);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.fetch(0), Some(Inst::Jump { target: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.jump(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.here();
+        b.bind(l);
+    }
+
+    #[test]
+    fn emit_helpers() {
+        let mut b = ProgramBuilder::new();
+        b.imm(Reg(1), 5)
+            .addi(Reg(2), Reg(1), 3)
+            .add(Reg(3), Reg(1), Reg(2))
+            .load(Reg(4), Reg(3), 8)
+            .store(Reg(4), Reg(3), 16)
+            .amo_swap(Reg(5), Reg(3), 0, Reg(4))
+            .amo_add(Reg(5), Reg(3), 0, Reg(4))
+            .amo_cas(Reg(5), Reg(3), 0, Reg(1), Reg(4))
+            .nops(2)
+            .halt();
+        assert_eq!(b.build().len(), 11);
+    }
+}

@@ -1,0 +1,122 @@
+//! Programs: immutable instruction sequences.
+
+use crate::builder::ProgramBuilder;
+use crate::inst::Inst;
+
+/// An immutable program for one core.
+///
+/// Construct with [`Program::builder`] (label-resolving) or directly
+/// [`Program::from_insts`] when targets are already absolute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Start building a program with labels.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::new()
+    }
+
+    /// Wrap a raw instruction vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch or jump target is out of range.
+    pub fn from_insts(insts: Vec<Inst>) -> Self {
+        for (i, inst) in insts.iter().enumerate() {
+            let target = match inst {
+                Inst::Branch { target, .. } | Inst::Jump { target, .. } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(
+                    (t as usize) < insts.len(),
+                    "instruction {i} targets {t}, beyond program length {}",
+                    insts.len()
+                );
+            }
+        }
+        Program { insts }
+    }
+
+    /// The instruction at `pc`, or `None` past the end (treated as an
+    /// implicit halt by the fetch unit).
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> Option<Inst> {
+        self.insts.get(pc as usize).copied()
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Iterate over the instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Inst> {
+        self.insts.iter()
+    }
+}
+
+impl std::fmt::Display for Program {
+    /// A numbered listing (disassembly).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:>4}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<Inst>> for Program {
+    fn from(insts: Vec<Inst>) -> Self {
+        Program::from_insts(insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Cond, Reg};
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        assert_eq!(p.fetch(0), Some(Inst::Nop));
+        assert_eq!(p.fetch(1), Some(Inst::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets")]
+    fn rejects_out_of_range_target() {
+        let _ = Program::from_insts(vec![Inst::Branch {
+            cond: Cond::Eq,
+            rs1: Reg(0),
+            rs2: Reg(0),
+            target: 5,
+        }]);
+    }
+
+    #[test]
+    fn listing_contains_every_pc() {
+        let p = Program::from_insts(vec![Inst::Nop, Inst::Halt]);
+        let text = p.to_string();
+        assert!(text.contains("0: nop"));
+        assert!(text.contains("1: halt"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        assert_eq!(p.fetch(0), None);
+    }
+}

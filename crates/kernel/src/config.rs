@@ -1,0 +1,460 @@
+//! System configuration, mirroring Table 6 of the paper.
+//!
+//! The paper evaluates three core classes — Silvermont-like (SLM),
+//! Nehalem-like (NHM) and Haswell-like (HSW) — on a 16-core tiled multicore
+//! with private L1/L2, a shared banked L3 with an embedded directory, and a
+//! 4x4 2D-mesh interconnect.
+
+use serde::{Deserialize, Serialize};
+
+/// The three simulated core classes of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreClass {
+    /// Silvermont-class: IQ 16, ROB 32, LQ 10, SQ/SB 16.
+    Slm,
+    /// Nehalem-class: IQ 32, ROB 128, LQ 48, SQ/SB 36.
+    Nhm,
+    /// Haswell-class: IQ 60, ROB 192, LQ 72, SQ/SB 42.
+    Hsw,
+}
+
+impl CoreClass {
+    /// All classes, in the order the paper plots them.
+    pub const ALL: [CoreClass; 3] = [CoreClass::Slm, CoreClass::Nhm, CoreClass::Hsw];
+
+    /// Short label used in figure output ("SLM", "NHM", "HSW").
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreClass::Slm => "SLM",
+            CoreClass::Nhm => "NHM",
+            CoreClass::Hsw => "HSW",
+        }
+    }
+}
+
+impl std::fmt::Display for CoreClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How instructions leave the reorder buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommitMode {
+    /// Conventional in-order commit from the ROB head.
+    InOrder,
+    /// Safe out-of-order commit per Bell-Lipasti: all six conditions are
+    /// enforced, including consistency (condition 6), so a load reordered
+    /// with respect to an older non-performed load cannot commit.
+    OutOfOrder,
+    /// Out-of-order commit with the consistency condition relaxed for loads
+    /// via lockdowns + the WritersBlock protocol (the paper's proposal).
+    /// Requires [`ProtocolKind::WritersBlock`].
+    OutOfOrderWb,
+    /// In-order commit with *early commit of loads* (ECL): a load may
+    /// retire from the ROB head before its data returns, as in the DEC
+    /// Alpha 21164 (stall-on-use) and DeSC — the paper's other motivating
+    /// use cases (Section 1). Requires [`ProtocolKind::WritersBlock`]:
+    /// early-committed loads are irrevocably bound, so a reordering among
+    /// them must be hidden, not squashed.
+    InOrderEcl,
+}
+
+impl CommitMode {
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CommitMode::InOrder => "InOrder",
+            CommitMode::OutOfOrder => "OoO",
+            CommitMode::OutOfOrderWb => "OoO+WB",
+            CommitMode::InOrderEcl => "ECL+WB",
+        }
+    }
+}
+
+impl std::fmt::Display for CommitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which coherence protocol the directory and private caches speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Base MESI directory protocol (GEMS-style): invalidations that hit
+    /// M-speculative loads squash them.
+    BaseMesi,
+    /// MESI extended with the WritersBlock transient state: invalidations
+    /// that hit lockdowns are Nacked and the write is delayed (Section 3).
+    WritersBlock,
+}
+
+impl ProtocolKind {
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::BaseMesi => "MESI",
+            ProtocolKind::WritersBlock => "WritersBlock",
+        }
+    }
+}
+
+/// Out-of-order core parameters (Table 6, top block).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions dispatched and committed per cycle.
+    pub width: usize,
+    /// Instruction queue (scheduler) entries.
+    pub iq_entries: usize,
+    /// Reorder buffer entries. The ROB is collapsible when committing
+    /// out of order.
+    pub rob_entries: usize,
+    /// Load queue entries (collapsible under out-of-order commit).
+    pub lq_entries: usize,
+    /// Store queue entries (FIFO).
+    pub sq_entries: usize,
+    /// Post-commit store buffer entries (FIFO).
+    pub sb_entries: usize,
+    /// Lockdown table entries for loads committed out of order (32 in the
+    /// paper).
+    pub ldt_entries: usize,
+    /// How instructions leave the ROB.
+    pub commit_mode: CommitMode,
+    /// How far past the ROB head commit may search for committable
+    /// instructions. The paper uses a commit depth equal to the ROB size.
+    pub commit_depth: usize,
+    /// Entries in the bimodal branch predictor table.
+    pub predictor_entries: usize,
+    /// Extra cycles of front-end refill after a squash (mispredict or
+    /// memory-order violation) before fetch resumes.
+    pub squash_penalty: u64,
+    /// Request write permission as soon as a store *resolves its
+    /// address* (Section 3.1.2: "as early as the store resolves its
+    /// address"), instead of waiting for the store to commit into the
+    /// store buffer. Speculative prefetches may invalidate other caches
+    /// spuriously but never violate TSO.
+    pub write_prefetch_at_resolve: bool,
+    /// Collapsible load queue (the paper's choice, Section 4.2): loads
+    /// committed out of order leave the LQ immediately, exporting their
+    /// lockdowns to the LDT. With `false` the LQ is a FIFO: committed
+    /// loads occupy their entry (holding their own lockdown, footnote 10)
+    /// until they reach the head — the paper's footnote-8 alternative.
+    pub collapsible_lq: bool,
+}
+
+impl CoreConfig {
+    /// The configuration of Table 6 for a given class, with in-order commit.
+    pub fn for_class(class: CoreClass) -> Self {
+        let (iq, rob, lq, sq) = match class {
+            CoreClass::Slm => (16, 32, 10, 16),
+            CoreClass::Nhm => (32, 128, 48, 36),
+            CoreClass::Hsw => (60, 192, 72, 42),
+        };
+        CoreConfig {
+            width: 4,
+            iq_entries: iq,
+            rob_entries: rob,
+            lq_entries: lq,
+            sq_entries: sq,
+            sb_entries: sq,
+            ldt_entries: 32,
+            commit_mode: CommitMode::InOrder,
+            commit_depth: rob,
+            predictor_entries: 512,
+            squash_penalty: 5,
+            write_prefetch_at_resolve: false,
+            collapsible_lq: true,
+        }
+    }
+}
+
+/// Cache and memory hierarchy parameters (Table 6, middle block).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Cache line size in bytes (64 throughout).
+    pub line_bytes: usize,
+    /// Private L1 data cache: total bytes, associativity, hit latency.
+    pub l1_bytes: usize,
+    pub l1_ways: usize,
+    pub l1_hit_cycles: u64,
+    /// Private L2: total bytes, associativity, hit latency.
+    pub l2_bytes: usize,
+    pub l2_ways: usize,
+    pub l2_hit_cycles: u64,
+    /// Shared L3: bytes *per bank*, associativity, hit latency.
+    pub l3_bank_bytes: usize,
+    pub l3_ways: usize,
+    pub l3_hit_cycles: u64,
+    /// Main memory access latency in cycles.
+    pub mem_cycles: u64,
+    /// MSHRs at the private cache. One is reserved for SoS loads
+    /// (Section 3.5.2: resource partitioning).
+    pub mshrs: usize,
+    /// Entries in the directory eviction buffer that parks WritersBlock
+    /// entries under eviction (Section 3.5.1).
+    pub dir_evict_buffer: usize,
+    /// Evict shared lines silently (the paper's chosen baseline, Section
+    /// 3.8). When false, shared-line evictions notify the directory, and in
+    /// the base protocol squash M-speculative loads.
+    pub silent_shared_evictions: bool,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            line_bytes: 64,
+            l1_bytes: 32 * 1024,
+            l1_ways: 8,
+            l1_hit_cycles: 4,
+            l2_bytes: 128 * 1024,
+            l2_ways: 8,
+            l2_hit_cycles: 12,
+            l3_bank_bytes: 1024 * 1024,
+            l3_ways: 8,
+            l3_hit_cycles: 35,
+            mem_cycles: 160,
+            mshrs: 16,
+            dir_evict_buffer: 8,
+            silent_shared_evictions: true,
+        }
+    }
+}
+
+/// Interconnect parameters (Table 6, bottom block).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Mesh dimensions; 4x4 for 16 nodes.
+    pub mesh_width: usize,
+    pub mesh_height: usize,
+    /// Cycles for a flit to traverse one switch-to-switch hop.
+    pub hop_cycles: u64,
+    /// Flits in a data-carrying message.
+    pub data_flits: u32,
+    /// Flits in a control message.
+    pub control_flits: u32,
+    /// Extra, random, per-message delay in [0, jitter] cycles used by the
+    /// litmus harness to widen the explored interleaving space. Zero for
+    /// performance runs.
+    pub jitter: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            mesh_width: 4,
+            mesh_height: 4,
+            hop_cycles: 6,
+            data_flits: 5,
+            control_flits: 1,
+            jitter: 0,
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    pub num_cores: usize,
+    pub core: CoreConfig,
+    pub memory: MemoryConfig,
+    pub network: NetworkConfig,
+    pub protocol: ProtocolKind,
+    /// RNG seed for the run (drives jitter and any randomized workload).
+    pub seed: u64,
+    /// Ablation: serve cacheable copies from a WritersBlock directory entry
+    /// and re-invalidate (the livelock-prone "Option 1" of Section 3.4).
+    /// Only for the livelock demonstration; keep `false` otherwise.
+    pub wb_cacheable_reads: bool,
+    /// Record every committed memory instruction for the TSO checker.
+    /// Litmus/torture runs need this; long benchmark runs turn it off
+    /// (the log grows with every committed load).
+    pub record_events: bool,
+}
+
+impl SystemConfig {
+    /// A 16-core system of the given class with the base MESI protocol and
+    /// in-order commit — the paper's baseline.
+    pub fn new(class: CoreClass) -> Self {
+        SystemConfig {
+            num_cores: 16,
+            core: CoreConfig::for_class(class),
+            memory: MemoryConfig::default(),
+            network: NetworkConfig::default(),
+            protocol: ProtocolKind::BaseMesi,
+            seed: 0x5eed_cafe,
+            wb_cacheable_reads: false,
+            record_events: true,
+        }
+    }
+
+    /// Builder-style: disable memory-event recording (benchmark runs).
+    pub fn without_event_log(mut self) -> Self {
+        self.record_events = false;
+        self
+    }
+
+    /// Builder-style: set the number of cores (mesh is resized to the
+    /// smallest rectangle that fits).
+    pub fn with_cores(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one core");
+        self.num_cores = n;
+        let mut w = 1;
+        while w * w < n {
+            w += 1;
+        }
+        self.network.mesh_width = w;
+        self.network.mesh_height = n.div_ceil(w);
+        self
+    }
+
+    /// Builder-style: set the commit mode (and switch the protocol to
+    /// WritersBlock when the relaxed mode requires it).
+    pub fn with_commit(mut self, mode: CommitMode) -> Self {
+        self.core.commit_mode = mode;
+        if matches!(mode, CommitMode::OutOfOrderWb | CommitMode::InOrderEcl) {
+            self.protocol = ProtocolKind::WritersBlock;
+        }
+        self
+    }
+
+    /// Builder-style: set the coherence protocol.
+    pub fn with_protocol(mut self, p: ProtocolKind) -> Self {
+        self.protocol = p;
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: random message jitter for litmus exploration.
+    pub fn with_jitter(mut self, jitter: u64) -> Self {
+        self.network.jitter = jitter;
+        self
+    }
+
+    /// Panics if the configuration is internally inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// - commit mode `OutOfOrderWb` combined with the base MESI protocol
+    ///   (irrevocably bound reordered loads would be unsound);
+    /// - a mesh too small for the node count;
+    /// - fewer than two MSHRs (one must stay reserved for SoS loads).
+    pub fn validate(&self) {
+        if matches!(self.core.commit_mode, CommitMode::OutOfOrderWb | CommitMode::InOrderEcl) {
+            assert_eq!(
+                self.protocol,
+                ProtocolKind::WritersBlock,
+                "relaxed consistency commit requires the WritersBlock protocol"
+            );
+        }
+        assert!(
+            self.network.mesh_width * self.network.mesh_height >= self.num_cores,
+            "mesh {}x{} cannot host {} nodes",
+            self.network.mesh_width,
+            self.network.mesh_height,
+            self.num_cores
+        );
+        assert!(self.memory.mshrs >= 2, "need at least 2 MSHRs (1 reserved for SoS loads)");
+        assert!(self.core.width >= 1);
+        assert!(self.memory.line_bytes.is_power_of_two());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_slm_values() {
+        let c = CoreConfig::for_class(CoreClass::Slm);
+        assert_eq!((c.iq_entries, c.rob_entries, c.lq_entries, c.sq_entries), (16, 32, 10, 16));
+        assert_eq!(c.width, 4);
+        assert_eq!(c.ldt_entries, 32);
+    }
+
+    #[test]
+    fn table6_nhm_values() {
+        let c = CoreConfig::for_class(CoreClass::Nhm);
+        assert_eq!((c.iq_entries, c.rob_entries, c.lq_entries, c.sq_entries), (32, 128, 48, 36));
+    }
+
+    #[test]
+    fn table6_hsw_values() {
+        let c = CoreConfig::for_class(CoreClass::Hsw);
+        assert_eq!((c.iq_entries, c.rob_entries, c.lq_entries, c.sq_entries), (60, 192, 72, 42));
+    }
+
+    #[test]
+    fn table6_memory_values() {
+        let m = MemoryConfig::default();
+        assert_eq!(m.l1_bytes, 32 * 1024);
+        assert_eq!(m.l1_hit_cycles, 4);
+        assert_eq!(m.l2_hit_cycles, 12);
+        assert_eq!(m.l3_hit_cycles, 35);
+        assert_eq!(m.mem_cycles, 160);
+    }
+
+    #[test]
+    fn table6_network_values() {
+        let n = NetworkConfig::default();
+        assert_eq!((n.mesh_width, n.mesh_height), (4, 4));
+        assert_eq!(n.hop_cycles, 6);
+        assert_eq!((n.data_flits, n.control_flits), (5, 1));
+    }
+
+    #[test]
+    fn with_commit_switches_protocol() {
+        let cfg = SystemConfig::new(CoreClass::Slm).with_commit(CommitMode::OutOfOrderWb);
+        assert_eq!(cfg.protocol, ProtocolKind::WritersBlock);
+        cfg.validate();
+        let cfg = SystemConfig::new(CoreClass::Slm).with_commit(CommitMode::InOrderEcl);
+        assert_eq!(cfg.protocol, ProtocolKind::WritersBlock);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "WritersBlock")]
+    fn validate_rejects_ecl_on_base_mesi() {
+        let mut cfg = SystemConfig::new(CoreClass::Slm).with_commit(CommitMode::InOrderEcl);
+        cfg.protocol = ProtocolKind::BaseMesi;
+        cfg.validate();
+    }
+
+    #[test]
+    fn new_knobs_default_off() {
+        let c = CoreConfig::for_class(CoreClass::Slm);
+        assert!(c.collapsible_lq, "the paper's choice is the default");
+        assert!(!c.write_prefetch_at_resolve);
+        assert_eq!(CommitMode::InOrderEcl.label(), "ECL+WB");
+    }
+
+    #[test]
+    #[should_panic(expected = "WritersBlock")]
+    fn validate_rejects_unsound_combo() {
+        let mut cfg = SystemConfig::new(CoreClass::Slm).with_commit(CommitMode::OutOfOrderWb);
+        cfg.protocol = ProtocolKind::BaseMesi;
+        cfg.validate();
+    }
+
+    #[test]
+    fn with_cores_resizes_mesh() {
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(4);
+        assert!(cfg.network.mesh_width * cfg.network.mesh_height >= 4);
+        cfg.validate();
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(3);
+        cfg.validate();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CoreClass::Slm.label(), "SLM");
+        assert_eq!(CommitMode::OutOfOrderWb.label(), "OoO+WB");
+        assert_eq!(ProtocolKind::WritersBlock.label(), "WritersBlock");
+        assert_eq!(format!("{}", CoreClass::Hsw), "HSW");
+        assert_eq!(format!("{}", CommitMode::InOrder), "InOrder");
+    }
+}

@@ -1,0 +1,77 @@
+//! Simulation kernel for the WritersBlock simulator.
+//!
+//! This crate holds the pieces every other crate builds on:
+//!
+//! - [`Cycle`] and related time-keeping newtypes,
+//! - [`SimRng`], a deterministic seeded random-number generator,
+//! - [`Stats`], a string-keyed statistics registry used for every counter a
+//!   figure or table in the paper reports,
+//! - [`config`], the machine configurations of Table 6 of the paper
+//!   (SLM-class, NHM-class and HSW-class cores) plus protocol knobs.
+//!
+//! # Example
+//!
+//! ```
+//! use wb_kernel::config::{CoreClass, SystemConfig};
+//!
+//! let cfg = SystemConfig::new(CoreClass::Slm);
+//! assert_eq!(cfg.core.rob_entries, 32);
+//! assert_eq!(cfg.num_cores, 16);
+//! ```
+
+pub mod config;
+pub mod rng;
+pub mod stats;
+
+pub use config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+pub use rng::SimRng;
+pub use stats::Stats;
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// The whole system (cores, caches, directory, mesh) shares one clock
+/// domain, as in the paper's GEMS-based setup.
+pub type Cycle = u64;
+
+/// Identifier of a node (tile) in the system: one core + private cache +
+/// LLC/directory bank per tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// Index usable for `Vec` addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::from(7usize);
+        assert_eq!(n.index(), 7);
+        assert_eq!(n.to_string(), "n7");
+    }
+
+    #[test]
+    fn node_id_ordering() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::default(), NodeId(0));
+    }
+}

@@ -1,0 +1,188 @@
+//! A string-keyed statistics registry.
+//!
+//! Every counter the paper's figures need (blocked writes, uncacheable
+//! reads, stall cycles by reason, flits by class, squashes, ...) is
+//! accumulated in a [`Stats`] owned by each component and merged into a
+//! run-level report at the end of simulation.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Accumulating counters, keyed by a static name.
+///
+/// # Example
+///
+/// ```
+/// use wb_kernel::Stats;
+/// let mut s = Stats::new();
+/// s.add("loads", 3);
+/// s.inc("loads");
+/// assert_eq!(s.get("loads"), 4);
+/// assert_eq!(s.get("absent"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Stats {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Add `n` to counter `key`, creating it at zero if absent.
+    #[inline]
+    pub fn add(&mut self, key: &'static str, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment counter `key` by one.
+    #[inline]
+    pub fn inc(&mut self, key: &'static str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key` (0 if never touched).
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Overwrite `key` with an absolute value (for gauges like "cycles").
+    pub fn set(&mut self, key: &'static str, v: u64) {
+        self.counters.insert(key, v);
+    }
+
+    /// Merge another registry into this one (summing matching keys).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Ratio of two counters, `None` when the denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den);
+        if d == 0 {
+            None
+        } else {
+            Some(self.get(num) as f64 / d as f64)
+        }
+    }
+
+    /// `num / den * 1000` — the "per kilo-X" rates the paper plots in
+    /// Figure 8; `None` when the denominator is zero.
+    pub fn per_kilo(&self, num: &str, den: &str) -> Option<f64> {
+        self.ratio(num, den).map(|r| r * 1000.0)
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True when no counter has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(&'static str, u64)> for Stats {
+    fn extend<T: IntoIterator<Item = (&'static str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for Stats {
+    fn from_iter<T: IntoIterator<Item = (&'static str, u64)>>(iter: T) -> Self {
+        let mut s = Stats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_inc() {
+        let mut s = Stats::new();
+        assert_eq!(s.get("x"), 0);
+        s.add("x", 5);
+        s.inc("x");
+        assert_eq!(s.get("x"), 6);
+    }
+
+    #[test]
+    fn add_zero_materializes_key() {
+        let mut s = Stats::new();
+        s.add("y", 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("y"), 0);
+        assert!(s.is_empty() == false);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut s = Stats::new();
+        s.add("c", 10);
+        s.set("c", 3);
+        assert_eq!(s.get("c"), 3);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Stats::new();
+        a.add("k", 1);
+        a.add("only_a", 2);
+        let mut b = Stats::new();
+        b.add("k", 10);
+        b.add("only_b", 20);
+        a.merge(&b);
+        assert_eq!(a.get("k"), 11);
+        assert_eq!(a.get("only_a"), 2);
+        assert_eq!(a.get("only_b"), 20);
+    }
+
+    #[test]
+    fn ratios() {
+        let mut s = Stats::new();
+        s.add("n", 3);
+        s.add("d", 6);
+        assert_eq!(s.ratio("n", "d"), Some(0.5));
+        assert_eq!(s.per_kilo("n", "d"), Some(500.0));
+        assert_eq!(s.ratio("n", "zero"), None);
+    }
+
+    #[test]
+    fn collect_and_display() {
+        let s: Stats = [("a", 1u64), ("b", 2)].into_iter().collect();
+        let text = s.to_string();
+        assert!(text.contains('a') && text.contains('2'));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn iter_ordered() {
+        let s: Stats = [("b", 2u64), ("a", 1)].into_iter().collect();
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b"]);
+    }
+}

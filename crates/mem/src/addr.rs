@@ -1,0 +1,139 @@
+//! Word and line addresses.
+
+/// Bytes per word: all loads/stores are 8-byte aligned accesses.
+pub const WORD_BYTES: u64 = 8;
+/// Words per 64-byte cache line.
+pub const WORDS_PER_LINE: usize = 8;
+const LINE_BYTES: u64 = WORD_BYTES * WORDS_PER_LINE as u64;
+
+/// A byte address of a word-aligned memory location.
+///
+/// # Example
+///
+/// ```
+/// use wb_mem::Addr;
+/// let a = Addr::new(0x1008);
+/// assert_eq!(a.line().base().0, 0x1000);
+/// assert_eq!(a.word_index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Create a word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is not 8-byte aligned.
+    pub fn new(byte: u64) -> Self {
+        assert!(byte.is_multiple_of(WORD_BYTES), "address {byte:#x} is not word aligned");
+        Addr(byte)
+    }
+
+    /// The cache line containing this word.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Index of this word within its cache line (0..8).
+    #[inline]
+    pub fn word_index(self) -> usize {
+        ((self.0 / WORD_BYTES) % WORDS_PER_LINE as u64) as usize
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line number (byte address divided by the 64-byte line size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The byte address of the first word in the line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+
+    /// The word address of word `i` in this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn word(self, i: usize) -> Addr {
+        assert!(i < WORDS_PER_LINE);
+        Addr(self.0 * LINE_BYTES + i as u64 * WORD_BYTES)
+    }
+
+    /// Which LLC/directory bank this line maps to, for `banks` banks
+    /// (line-interleaved, as in the paper's tiled system).
+    #[inline]
+    pub fn bank(self, banks: usize) -> usize {
+        (self.0 % banks as u64) as usize
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn line_and_word_index() {
+        let a = Addr::new(64 * 3 + 8 * 5);
+        assert_eq!(a.line(), LineAddr(3));
+        assert_eq!(a.word_index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_rejected() {
+        let _ = Addr::new(7);
+    }
+
+    #[test]
+    fn line_base_and_word() {
+        let l = LineAddr(2);
+        assert_eq!(l.base(), Addr(128));
+        assert_eq!(l.word(7), Addr(128 + 56));
+    }
+
+    #[test]
+    #[should_panic]
+    fn word_out_of_range() {
+        let _ = LineAddr(0).word(8);
+    }
+
+    #[test]
+    fn banking_is_modular() {
+        assert_eq!(LineAddr(17).bank(16), 1);
+        assert_eq!(LineAddr(16).bank(16), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn word_roundtrip(line in 0u64..1_000_000, idx in 0usize..8) {
+            let l = LineAddr(line);
+            let a = l.word(idx);
+            prop_assert_eq!(a.line(), l);
+            prop_assert_eq!(a.word_index(), idx);
+        }
+
+        #[test]
+        fn same_line_same_bank(line in 0u64..100_000, i in 0usize..8, j in 0usize..8) {
+            let l = LineAddr(line);
+            prop_assert_eq!(l.word(i).line().bank(16), l.word(j).line().bank(16));
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Addresses, cache-line data and backing memory.
+//!
+//! All memory operations in the simulator are 8-byte, word-aligned accesses;
+//! a cache line is 64 bytes = 8 words. This matches the granularity
+//! distinction the paper makes in Section 3.1: *loads and stores* operate on
+//! words while coherence *reads and writes* operate on cache lines.
+
+pub mod addr;
+pub mod line;
+pub mod memory;
+
+pub use addr::{Addr, LineAddr, WORDS_PER_LINE, WORD_BYTES};
+pub use line::LineData;
+pub use memory::MainMemory;

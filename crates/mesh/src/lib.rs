@@ -1,0 +1,402 @@
+//! A 2D-mesh on-chip network.
+//!
+//! This models the GARNET-configured interconnect of the paper's Table 6:
+//! a 4x4 mesh with deterministic X-Y routing, 6-cycle switch-to-switch
+//! hops, 1-flit control and 5-flit data messages, and three virtual
+//! networks (request / forward / response) so responses can never be
+//! blocked behind requests — the standard protocol-deadlock-avoidance
+//! arrangement for MESI directory protocols.
+//!
+//! Two properties of the paper's setting are preserved:
+//!
+//! - **unordered network**: messages on different source/destination pairs
+//!   (or different virtual networks) may be arbitrarily reordered —
+//!   contention and optional random jitter both cause this;
+//! - **point-to-point FIFO** within one (source, destination, virtual
+//!   network) flow, as deterministic routing provides.
+//!
+//! The router model is intentionally lean: per-hop latency plus per-link,
+//! per-virtual-network serialization of flits (one flit per cycle per
+//! link), which yields congestion effects and exact flit counts for the
+//! traffic numbers of Figure 9 without a full five-stage router pipeline.
+
+use std::collections::{HashMap, VecDeque};
+use wb_kernel::{Cycle, NodeId, SimRng, Stats};
+
+/// The three virtual networks.
+///
+/// Keeping the classes on disjoint virtual networks removes
+/// message-dependent deadlock between protocol classes: a response can
+/// always sink even when requests are congested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VNet {
+    /// Requests from private caches to the directory (GetS/GetX/Upgrade/Put).
+    Request,
+    /// Directory-generated traffic towards caches (Inv, Fwd).
+    Forward,
+    /// Responses (Data, Ack, Nack, Unblock, redirected Acks, hints).
+    Response,
+}
+
+impl VNet {
+    /// All virtual networks.
+    pub const ALL: [VNet; 3] = [VNet::Request, VNet::Forward, VNet::Response];
+
+    fn index(self) -> usize {
+        match self {
+            VNet::Request => 0,
+            VNet::Forward => 1,
+            VNet::Response => 2,
+        }
+    }
+}
+
+/// A message in flight, generic over the protocol payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshMsg<T> {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub vnet: VNet,
+    /// Message size in flits (1 control, 5 data in the paper).
+    pub flits: u32,
+    pub payload: T,
+}
+
+#[derive(Debug)]
+struct Flight<T> {
+    msg: MeshMsg<T>,
+    /// Remaining hops (count of links still to traverse).
+    hops_left: u32,
+    /// The flight may take its next action at this cycle.
+    ready_at: Cycle,
+    /// Per-flow sequence for point-to-point FIFO delivery.
+    flow_seq: u64,
+}
+
+type FlowKey = (NodeId, NodeId, usize);
+
+/// The mesh network.
+///
+/// Use [`Mesh::send`] to inject, [`Mesh::tick`] once per cycle, and
+/// [`Mesh::drain_arrived`] to collect deliveries at each node.
+#[derive(Debug)]
+pub struct Mesh<T> {
+    width: usize,
+    height: usize,
+    hop_cycles: u64,
+    jitter: u64,
+    rng: SimRng,
+    in_flight: Vec<Flight<T>>,
+    /// (node, vnet) -> cycle until which the node's injection link is busy.
+    /// This provides coarse per-link serialization: a node can push one
+    /// flit per cycle per virtual network.
+    link_busy: HashMap<(NodeId, usize), Cycle>,
+    /// Arrived messages held for in-order per-flow release.
+    arrived: Vec<VecDeque<Flight<T>>>,
+    next_flow_seq: HashMap<FlowKey, u64>,
+    next_deliver_seq: HashMap<FlowKey, u64>,
+    stats: Stats,
+}
+
+impl<T> Mesh<T> {
+    /// Create a mesh of `width` x `height` routers serving `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh cannot host the node count.
+    pub fn new(width: usize, height: usize, nodes: usize, hop_cycles: u64, jitter: u64, seed: u64) -> Self {
+        assert!(width * height >= nodes, "mesh {width}x{height} too small for {nodes} nodes");
+        Mesh {
+            width,
+            height,
+            hop_cycles,
+            jitter,
+            rng: SimRng::new(seed ^ 0x4e74_776b),
+            in_flight: Vec::new(),
+            link_busy: HashMap::new(),
+            arrived: (0..nodes).map(|_| VecDeque::new()).collect(),
+            next_flow_seq: HashMap::new(),
+            next_deliver_seq: HashMap::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    fn coords(&self, n: NodeId) -> (usize, usize) {
+        (n.index() % self.width, n.index() / self.width)
+    }
+
+    /// Mesh dimensions `(width, height)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of X-Y hops between two nodes (Manhattan distance).
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u32 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
+    }
+
+    /// Inject a message at cycle `now`. Delivery happens after routing
+    /// latency; local (src == dst) messages still take one cycle.
+    pub fn send(&mut self, now: Cycle, msg: MeshMsg<T>) {
+        let key: FlowKey = (msg.src, msg.dst, msg.vnet.index());
+        let seq_ref = self.next_flow_seq.entry(key).or_insert(0);
+        let flow_seq = *seq_ref;
+        *seq_ref += 1;
+
+        self.stats.inc("mesh_msgs");
+        self.stats.add("mesh_flits", msg.flits as u64);
+        self.stats.add(
+            match msg.vnet {
+                VNet::Request => "mesh_flits_request",
+                VNet::Forward => "mesh_flits_forward",
+                VNet::Response => "mesh_flits_response",
+            },
+            msg.flits as u64,
+        );
+
+        // Injection-link serialization: one flit/cycle per (node, vnet).
+        let busy = self.link_busy.entry((msg.src, msg.vnet.index())).or_insert(0);
+        let start = now.max(*busy);
+        *busy = start + msg.flits as u64;
+
+        let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
+        let hops = self.hops(msg.src, msg.dst);
+        let ready_at = start + 1 + jitter; // one cycle of local latency
+        self.in_flight.push(Flight { msg, hops_left: hops, ready_at, flow_seq });
+    }
+
+    /// Advance the network by one cycle: move flights along their route and
+    /// park completed ones in the destination's arrival buffer.
+    pub fn tick(&mut self, now: Cycle) {
+        let hop_cycles = self.hop_cycles;
+        let mut done: Vec<usize> = Vec::new();
+        for (i, f) in self.in_flight.iter_mut().enumerate() {
+            if f.ready_at > now {
+                continue;
+            }
+            if f.hops_left == 0 {
+                done.push(i);
+            } else {
+                // Traverse one switch-to-switch link: head latency plus
+                // tail serialization.
+                f.hops_left -= 1;
+                f.ready_at = now + hop_cycles + (f.msg.flits as u64 - 1);
+            }
+        }
+        // Remove in reverse index order so indices stay valid.
+        for &i in done.iter().rev() {
+            let f = self.in_flight.swap_remove(i);
+            self.arrived[f.msg.dst.index()].push_back(f);
+        }
+    }
+
+    /// Collect every message deliverable at `node` this cycle, respecting
+    /// per-flow FIFO order.
+    pub fn drain_arrived(&mut self, node: NodeId) -> Vec<MeshMsg<T>> {
+        let buf = &mut self.arrived[node.index()];
+        if buf.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Repeatedly release the next-in-flow messages until a pass makes
+        // no progress (handles out-of-order arrivals within a flow).
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < buf.len() {
+                let key: FlowKey = (buf[i].msg.src, buf[i].msg.dst, buf[i].msg.vnet.index());
+                let expected = self.next_deliver_seq.entry(key).or_insert(0);
+                if buf[i].flow_seq == *expected {
+                    *expected += 1;
+                    let f = buf.remove(i).expect("index in range");
+                    out.push(f.msg);
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Messages currently traversing the network (excludes arrived-but-
+    /// undrained ones).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// True when nothing is in flight and nothing awaits draining.
+    pub fn is_idle(&self) -> bool {
+        self.in_flight.is_empty() && self.arrived.iter().all(|q| q.is_empty())
+    }
+
+    /// Traffic statistics (flit and message counts).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(jitter: u64) -> Mesh<u32> {
+        Mesh::new(4, 4, 16, 6, jitter, 1)
+    }
+
+    fn run_until_delivered(mesh: &mut Mesh<u32>, dst: NodeId, mut now: Cycle, limit: u64) -> (Vec<MeshMsg<u32>>, Cycle) {
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            mesh.tick(now);
+            out.extend(mesh.drain_arrived(dst));
+            if !out.is_empty() {
+                return (out, now);
+            }
+            now += 1;
+        }
+        (out, now)
+    }
+
+    #[test]
+    fn hops_manhattan() {
+        let m = mk(0);
+        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
+        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
+        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
+        assert_eq!(m.hops(NodeId(5), NodeId(6)), 1);
+    }
+
+    #[test]
+    fn delivers_with_expected_latency() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 7 });
+        // 1 cycle local + 1 hop of 6 cycles = ready at cycle 7.
+        let (msgs, when) = run_until_delivered(&mut m, NodeId(1), 0, 100);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, 7);
+        assert_eq!(when, 7);
+    }
+
+    #[test]
+    fn local_message_one_cycle() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(2), dst: NodeId(2), vnet: VNet::Response, flits: 1, payload: 1 });
+        let (msgs, when) = run_until_delivered(&mut m, NodeId(2), 0, 10);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(when, 1);
+    }
+
+    #[test]
+    fn data_messages_slower_than_control() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 5, payload: 1 });
+        let (_, t_data) = run_until_delivered(&mut m, NodeId(15), 0, 1000);
+        let mut m2 = mk(0);
+        m2.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 1, payload: 1 });
+        let (_, t_ctrl) = run_until_delivered(&mut m2, NodeId(15), 0, 1000);
+        assert!(t_data > t_ctrl, "data {t_data} should be slower than control {t_ctrl}");
+    }
+
+    #[test]
+    fn per_flow_fifo_preserved() {
+        let mut m = mk(0);
+        for i in 0..10u32 {
+            m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(5), vnet: VNet::Request, flits: 1, payload: i });
+        }
+        let mut got = Vec::new();
+        for now in 0..200 {
+            m.tick(now);
+            got.extend(m.drain_arrived(NodeId(5)).into_iter().map(|mm| mm.payload));
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_flow_fifo_preserved_under_jitter() {
+        for seed in 0..20u64 {
+            let mut m = Mesh::new(4, 4, 16, 6, 25, seed);
+            for i in 0..10u32 {
+                m.send(0, MeshMsg { src: NodeId(3), dst: NodeId(9), vnet: VNet::Forward, flits: 1, payload: i });
+            }
+            let mut got = Vec::new();
+            for now in 0..500 {
+                m.tick(now);
+                got.extend(m.drain_arrived(NodeId(9)).into_iter().map(|mm| mm.payload));
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_flows_can_reorder() {
+        // A long route with a big message vs. a short route with a small
+        // one injected later: the later one arrives first.
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 5, payload: 100 });
+        m.send(1, MeshMsg { src: NodeId(14), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 200 });
+        let mut order = Vec::new();
+        for now in 0..500 {
+            m.tick(now);
+            order.extend(m.drain_arrived(NodeId(15)).into_iter().map(|mm| mm.payload));
+        }
+        assert_eq!(order, vec![200, 100]);
+    }
+
+    #[test]
+    fn flit_stats_accumulate() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 5, payload: 0 });
+        assert_eq!(m.stats().get("mesh_flits"), 6);
+        assert_eq!(m.stats().get("mesh_msgs"), 2);
+        assert_eq!(m.stats().get("mesh_flits_response"), 5);
+    }
+
+    #[test]
+    fn idle_detection() {
+        let mut m = mk(0);
+        assert!(m.is_idle());
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
+        assert!(!m.is_idle());
+        for now in 0..100 {
+            m.tick(now);
+            m.drain_arrived(NodeId(1));
+        }
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_small_mesh_panics() {
+        let _ = Mesh::<u32>::new(2, 2, 16, 6, 0, 0);
+    }
+
+    #[test]
+    fn injection_serialization_delays_second_message() {
+        let mut m = mk(0);
+        // Two 5-flit messages back to back on the same vnet from node 0.
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 5, payload: 1 });
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(2), vnet: VNet::Response, flits: 5, payload: 2 });
+        let mut t1 = None;
+        let mut t2 = None;
+        for now in 0..200 {
+            m.tick(now);
+            if !m.drain_arrived(NodeId(1)).is_empty() {
+                t1.get_or_insert(now);
+            }
+            if !m.drain_arrived(NodeId(2)).is_empty() {
+                t2.get_or_insert(now);
+            }
+        }
+        let (t1, t2) = (t1.unwrap(), t2.unwrap());
+        // Node 2 is 2 hops from node 0, node 1 is 1 hop; even accounting
+        // for the extra hop, the second message is further delayed by
+        // serialization of the first's 5 flits.
+        assert!(t2 >= t1 + 5, "t1={t1} t2={t2}");
+    }
+}

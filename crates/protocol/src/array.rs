@@ -1,0 +1,234 @@
+//! Generic set-associative cache array with LRU replacement.
+//!
+//! Used for the L1 presence array, the private L2 coherence array and the
+//! LLC/directory banks. Payload type is generic; replacement victims can
+//! be filtered by the caller (e.g. lines pinned by pending loads or
+//! transient coherence states are not evictable).
+
+use wb_mem::LineAddr;
+
+#[derive(Debug, Clone)]
+struct Way<T> {
+    line: LineAddr,
+    last_used: u64,
+    payload: T,
+}
+
+/// Result of an [`SetAssocArray::insert`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Insert<T> {
+    /// Inserted into a free way.
+    Done,
+    /// Inserted after evicting the returned victim.
+    Evicted(LineAddr, T),
+    /// The set is full and no way was evictable; nothing was inserted.
+    NoVictim,
+}
+
+/// A set-associative array with per-set LRU.
+///
+/// # Example
+///
+/// ```
+/// use wb_protocol::array::{Insert, SetAssocArray};
+/// use wb_mem::LineAddr;
+///
+/// let mut a: SetAssocArray<u32> = SetAssocArray::new(2, 1); // 2 sets, direct-mapped
+/// assert!(matches!(a.insert(LineAddr(0), 10, 0, |_, _| true), Insert::Done));
+/// assert!(matches!(a.insert(LineAddr(2), 20, 1, |_, _| true), Insert::Evicted(..)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocArray<T> {
+    sets: Vec<Vec<Way<T>>>,
+    ways: usize,
+}
+
+impl<T> SetAssocArray<T> {
+    /// Create an array with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "degenerate cache geometry");
+        SetAssocArray { sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(), ways }
+    }
+
+    /// Geometry helper: sets needed for `capacity_bytes` at `ways`
+    /// associativity and `line_bytes` lines.
+    pub fn geometry(capacity_bytes: usize, ways: usize, line_bytes: usize) -> usize {
+        let lines = capacity_bytes / line_bytes;
+        (lines / ways).max(1)
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Does the array currently hold `line`?
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let s = self.set_of(line);
+        self.sets[s].iter().any(|w| w.line == line)
+    }
+
+    /// Borrow the payload for `line`.
+    pub fn get(&self, line: LineAddr) -> Option<&T> {
+        let s = self.set_of(line);
+        self.sets[s].iter().find(|w| w.line == line).map(|w| &w.payload)
+    }
+
+    /// Mutably borrow the payload for `line`.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let s = self.set_of(line);
+        self.sets[s].iter_mut().find(|w| w.line == line).map(|w| &mut w.payload)
+    }
+
+    /// Mark `line` as most-recently used at time `now`.
+    pub fn touch(&mut self, line: LineAddr, now: u64) {
+        let s = self.set_of(line);
+        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
+            w.last_used = now;
+        }
+    }
+
+    /// Insert `line`. If the set is full, the least-recently-used way for
+    /// which `evictable` returns true is evicted and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `line` is already present — callers must use
+    /// [`SetAssocArray::get_mut`] to update an existing entry.
+    pub fn insert(
+        &mut self,
+        line: LineAddr,
+        payload: T,
+        now: u64,
+        evictable: impl Fn(LineAddr, &T) -> bool,
+    ) -> Insert<T> {
+        let ways = self.ways;
+        let s = self.set_of(line);
+        debug_assert!(
+            !self.sets[s].iter().any(|w| w.line == line),
+            "inserting duplicate line {line}"
+        );
+        if self.sets[s].len() < ways {
+            self.sets[s].push(Way { line, last_used: now, payload });
+            return Insert::Done;
+        }
+        // Pick the LRU evictable way.
+        let victim = self.sets[s]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| evictable(w.line, &w.payload))
+            .min_by_key(|(_, w)| w.last_used)
+            .map(|(i, _)| i);
+        match victim {
+            Some(i) => {
+                let old = std::mem::replace(&mut self.sets[s][i], Way { line, last_used: now, payload });
+                Insert::Evicted(old.line, old.payload)
+            }
+            None => Insert::NoVictim,
+        }
+    }
+
+    /// Remove `line`, returning its payload.
+    pub fn remove(&mut self, line: LineAddr) -> Option<T> {
+        let s = self.set_of(line);
+        let i = self.sets[s].iter().position(|w| w.line == line)?;
+        Some(self.sets[s].swap_remove(i).payload)
+    }
+
+    /// Iterate over `(line, payload)` for every resident entry.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
+        self.sets.iter().flat_map(|s| s.iter().map(|w| (w.line, &w.payload)))
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_math() {
+        // 32 KiB, 8-way, 64 B lines -> 64 sets.
+        assert_eq!(SetAssocArray::<()>::geometry(32 * 1024, 8, 64), 64);
+        assert_eq!(SetAssocArray::<()>::geometry(64, 8, 64), 1);
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(4, 2);
+        assert!(matches!(a.insert(LineAddr(1), 11, 0, |_, _| true), Insert::Done));
+        assert_eq!(a.get(LineAddr(1)), Some(&11));
+        *a.get_mut(LineAddr(1)).unwrap() = 12;
+        assert_eq!(a.remove(LineAddr(1)), Some(12));
+        assert!(!a.contains(LineAddr(1)));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(1, 2);
+        a.insert(LineAddr(0), 0, 0, |_, _| true);
+        a.insert(LineAddr(1), 1, 1, |_, _| true);
+        a.touch(LineAddr(0), 2); // 1 is now LRU
+        match a.insert(LineAddr(2), 2, 3, |_, _| true) {
+            Insert::Evicted(l, v) => {
+                assert_eq!(l, LineAddr(1));
+                assert_eq!(v, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinned_ways_not_evicted() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(1, 2);
+        a.insert(LineAddr(0), 0, 0, |_, _| true);
+        a.insert(LineAddr(1), 1, 1, |_, _| true);
+        // Only line 1 is evictable.
+        match a.insert(LineAddr(2), 2, 2, |l, _| l == LineAddr(1)) {
+            Insert::Evicted(l, _) => assert_eq!(l, LineAddr(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Now nothing is evictable.
+        assert!(matches!(a.insert(LineAddr(3), 3, 3, |_, _| false), Insert::NoVictim));
+        assert!(!a.contains(LineAddr(3)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(2, 1);
+        a.insert(LineAddr(0), 0, 0, |_, _| true); // set 0
+        a.insert(LineAddr(1), 1, 0, |_, _| true); // set 1
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(LineAddr(0)) && a.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn iter_sees_everything() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(4, 4);
+        for i in 0..10u64 {
+            a.insert(LineAddr(i), i as u32, i, |_, _| true);
+        }
+        let mut lines: Vec<u64> = a.iter().map(|(l, _)| l.0).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_geometry_panics() {
+        let _: SetAssocArray<()> = SetAssocArray::new(0, 1);
+    }
+}

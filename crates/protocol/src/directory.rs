@@ -1,0 +1,1000 @@
+//! An LLC/directory bank.
+//!
+//! Each of the 16 tiles hosts one bank of the shared L3 plus the directory
+//! slice for the lines that map to it. The protocol is a GEMS-style MESI
+//! directory protocol: 3-hop read transactions with Unblock, transient
+//! "busy" states that defer conflicting requests, and recall-based
+//! directory evictions.
+//!
+//! The WritersBlock extension (Sections 3.3-3.5 of the paper) adds:
+//!
+//! - a `Nack` reply to an invalidation puts the in-flight write
+//!   transaction into the **WritersBlock** condition: the write stays
+//!   pending, *all* other writes for the line are queued (and hinted),
+//!   while reads are served **uncacheable tear-off copies** of the
+//!   pre-write data, never registering new sharers — Option 2 of Section
+//!   3.4, the livelock-free choice;
+//! - when the Nacking core's lockdown lifts, its deferred acknowledgement
+//!   (`LockdownAck`) is redirected to the writer via the directory
+//!   (`RedirAck`), because lockdowns do not retain the writer's identity;
+//! - directory evictions whose invalidations hit lockdowns park the entry
+//!   in an **eviction buffer** instead of blocking the allocating request
+//!   (Section 3.5.1); when the buffer is full, reads fall back to
+//!   uncacheable memory reads so SoS loads can never be blocked.
+//!
+//! The livelock-prone "Option 1" (serve cacheable copies from a
+//! WritersBlock entry and re-invalidate) is implemented behind the
+//! `wb_cacheable_reads` ablation flag so the spin-loop livelock the paper
+//! predicts can be demonstrated.
+
+use crate::array::{Insert, SetAssocArray};
+use crate::messages::{Dest, ProtoMsg, ReadKind};
+use std::collections::VecDeque;
+use wb_kernel::config::{MemoryConfig, SystemConfig};
+use wb_kernel::{Cycle, NodeId, Stats};
+use wb_mem::{LineAddr, LineData, MainMemory};
+
+fn bit(n: NodeId) -> u64 {
+    1u64 << n.index()
+}
+
+/// Directory-entry coherence state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum DirState {
+    /// No private copies; LLC data valid.
+    Uncached,
+    /// `sharers` hold S copies; LLC data valid.
+    Shared,
+    /// `owner` holds the line in E or M; LLC data possibly stale.
+    Owned,
+    /// A read transaction is in flight.
+    BusyRead { requester: NodeId, waiting_datawb: bool, waiting_unblock: bool, grant_exclusive: bool },
+    /// A write transaction is in flight. `wb` marks the WritersBlock
+    /// condition (at least one invalidation was Nacked by a lockdown).
+    BusyWrite {
+        writer: NodeId,
+        wb: bool,
+        /// Option-1 ablation bookkeeping: cacheable readers admitted
+        /// during WritersBlock that must be re-invalidated.
+        extra_sharers: u64,
+        /// Outstanding acknowledgements from such re-invalidations.
+        extra_acks: u32,
+        /// LockdownAcks held back while re-invalidation rounds are running.
+        deferred_redirs: u32,
+    },
+    /// Waiting for main memory.
+    Fetching,
+}
+
+#[derive(Debug, Clone)]
+struct DirEntry {
+    state: DirState,
+    sharers: u64,
+    owner: Option<NodeId>,
+    data: LineData,
+    queued: VecDeque<ProtoMsg>,
+}
+
+impl DirEntry {
+    fn stable(&self) -> bool {
+        matches!(self.state, DirState::Uncached | DirState::Shared | DirState::Owned)
+    }
+}
+
+/// A directory entry parked mid-eviction (Section 3.5.1). While parked it
+/// still answers reads with tear-off copies and queues writes.
+#[derive(Debug, Clone)]
+struct Evicting {
+    line: LineAddr,
+    data: LineData,
+    /// Responses still outstanding (InvAck / DataWb / LockdownAck, one per
+    /// invalidated copy).
+    pending: u32,
+    /// True once a Nack arrived: this parked entry is in WritersBlock.
+    wb: bool,
+    queued: VecDeque<ProtoMsg>,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Process(ProtoMsg),
+    MemReady { line: LineAddr },
+    UncachedMemRead { line: LineAddr, requester: NodeId },
+}
+
+/// One LLC + directory bank.
+pub struct Directory {
+    node: NodeId,
+    l3: SetAssocArray<DirEntry>,
+    evict_buf: Vec<Evicting>,
+    evict_cap: usize,
+    memory: MainMemory,
+    events: VecDeque<(Cycle, Event)>,
+    outbox: Vec<(Dest, ProtoMsg)>,
+    l3_latency: u64,
+    mem_latency: u64,
+    retry_delay: u64,
+    option1_cacheable_reads: bool,
+    /// Option-1 ablation: cacheable copies handed out from a WritersBlock
+    /// entry make the reader send a 3-hop Unblock the write transaction
+    /// does not expect; this counts how many to absorb per line.
+    stray_unblocks: std::collections::HashMap<LineAddr, u32>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for Directory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Directory")
+            .field("node", &self.node)
+            .field("entries", &self.l3.len())
+            .field("parked", &self.evict_buf.len())
+            .finish()
+    }
+}
+
+impl Directory {
+    /// Build the bank hosted at `node` from the system configuration.
+    pub fn new(node: NodeId, cfg: &SystemConfig) -> Self {
+        Directory::with_memory_config(node, &cfg.memory, cfg.wb_cacheable_reads)
+    }
+
+    /// Build from a memory configuration directly (tests).
+    pub fn with_memory_config(node: NodeId, mem: &MemoryConfig, option1: bool) -> Self {
+        let sets = SetAssocArray::<DirEntry>::geometry(mem.l3_bank_bytes, mem.l3_ways, mem.line_bytes);
+        Directory {
+            node,
+            l3: SetAssocArray::new(sets, mem.l3_ways),
+            evict_buf: Vec::new(),
+            evict_cap: mem.dir_evict_buffer,
+            memory: MainMemory::new(),
+            events: VecDeque::new(),
+            outbox: Vec::new(),
+            l3_latency: mem.l3_hit_cycles,
+            mem_latency: mem.mem_cycles,
+            retry_delay: 25,
+            option1_cacheable_reads: option1,
+            stray_unblocks: std::collections::HashMap::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The node hosting this bank.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Pre-load a word into this bank's backing memory (simulation setup).
+    pub fn init_word(&mut self, addr: wb_mem::Addr, value: u64) {
+        self.memory.write_word(addr, value);
+    }
+
+    /// The current architectural value of `addr` *as far as this bank
+    /// knows*: LLC copy if fresh, else backing memory. Lines owned by a
+    /// private cache must be resolved there instead (see `owner_of`).
+    pub fn memory_value(&self, addr: wb_mem::Addr) -> u64 {
+        let line = addr.line();
+        if let Some(e) = self.l3.get(line) {
+            if !matches!(e.state, DirState::Owned) {
+                return e.data.word(addr.word_index());
+            }
+        }
+        if let Some(p) = self.evict_buf.iter().find(|p| p.line == line) {
+            return p.data.word(addr.word_index());
+        }
+        self.memory.read_word(addr)
+    }
+
+    /// Who owns `line` exclusively right now, if anyone.
+    pub fn owner_of(&self, line: LineAddr) -> Option<NodeId> {
+        match self.l3.get(line) {
+            Some(e) if matches!(e.state, DirState::Owned) => e.owner,
+            _ => None,
+        }
+    }
+
+    /// Debug: describe the directory entry for `line`.
+    pub fn debug_line(&self, line: LineAddr) -> String {
+        let entry = self.l3.get(line).map(|e| {
+            format!("state={:?} sharers={:#x} owner={:?} queued={}", e.state, e.sharers, e.owner, e.queued.len())
+        });
+        let parked = self.evict_buf.iter().find(|p| p.line == line).map(|p| format!("parked pending={} wb={}", p.pending, p.wb));
+        let evs: Vec<String> = self.events.iter().map(|(due, e)| format!("@{due}:{e:?}")).collect();
+        format!("dir{} line {line}: {entry:?} {parked:?} events=[{}]", self.node.index(), evs.join("; "))
+    }
+
+    /// Accept a message from the network. Processing happens after the
+    /// bank's access latency.
+    pub fn receive(&mut self, now: Cycle, msg: ProtoMsg) {
+        self.events.push_back((now + self.l3_latency, Event::Process(msg)));
+    }
+
+    /// Drain messages to inject into the mesh.
+    pub fn drain_outbox(&mut self) -> Vec<(Dest, ProtoMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Counter access for reports.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// True when no event, transient entry or parked eviction is pending.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+            && self.evict_buf.is_empty()
+            && self.l3.iter().all(|(_, e)| e.stable() && e.queued.is_empty())
+    }
+
+    /// Advance one cycle: handle every event that has become due.
+    pub fn tick(&mut self, now: Cycle) {
+        // Events are *not* guaranteed to be in due-time order (memory
+        // fetches land far in the future), so scan the whole queue.
+        let mut remaining = VecDeque::with_capacity(self.events.len());
+        while let Some((due, ev)) = self.events.pop_front() {
+            if due <= now {
+                self.handle(now, ev);
+            } else {
+                remaining.push_back((due, ev));
+            }
+        }
+        self.events = remaining;
+    }
+
+    fn send(&mut self, dst: NodeId, msg: ProtoMsg) {
+        // Every directory-originated message targets a private cache.
+        self.outbox.push((Dest::Cache(dst), msg));
+    }
+
+    fn requeue(&mut self, now: Cycle, msg: ProtoMsg, delay: u64) {
+        self.events.push_back((now + delay, Event::Process(msg)));
+    }
+
+    fn handle(&mut self, now: Cycle, ev: Event) {
+        match ev {
+            Event::Process(msg) => self.process(now, msg),
+            Event::MemReady { line } => self.on_mem_ready(now, line),
+            Event::UncachedMemRead { line, requester } => {
+                let data = self.memory.read_line(line);
+                self.stats.inc("dir_tearoff_replies");
+                self.send(
+                    requester,
+                    ProtoMsg::Data {
+                        line,
+                        data,
+                        acks_expected: 0,
+                        exclusive: false,
+                        cacheable: false,
+                        for_write: false,
+                    },
+                );
+            }
+        }
+    }
+
+    fn process(&mut self, now: Cycle, msg: ProtoMsg) {
+        match msg {
+            ProtoMsg::GetS { line, requester, kind } => self.on_gets(now, line, requester, kind),
+            ProtoMsg::GetX { line, requester } => self.on_getx(now, line, requester),
+            ProtoMsg::PutM { line, requester, data } => self.on_putm(now, line, requester, data),
+            ProtoMsg::PutS { line, requester } => self.on_puts(line, requester),
+            ProtoMsg::Nack { line, from, data } => self.on_nack(now, line, from, data),
+            ProtoMsg::LockdownAck { line, from } => self.on_lockdown_ack(now, line, from),
+            ProtoMsg::InvAck { line, from } => self.on_inv_ack(now, line, from),
+            ProtoMsg::DataWb { line, from, data } => self.on_datawb(now, line, from, data),
+            ProtoMsg::Unblock { line, from } => self.on_unblock(now, line, from),
+            other => panic!("directory {:?} received unexpected {other:?}", self.node),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    fn tear_off_reply(&mut self, line: LineAddr, requester: NodeId, data: LineData) {
+        self.stats.inc("dir_tearoff_replies");
+        self.send(
+            requester,
+            ProtoMsg::Data {
+                line,
+                data,
+                acks_expected: 0,
+                exclusive: false,
+                cacheable: false,
+                for_write: false,
+            },
+        );
+    }
+
+    fn on_gets(&mut self, now: Cycle, line: LineAddr, requester: NodeId, kind: ReadKind) {
+        self.stats.inc("dir_gets");
+        // Parked (mid-eviction) entries serve reads without a directory
+        // entry: the read "performs without needing a directory entry"
+        // (Section 3.5.1).
+        if let Some(p) = self.evict_buf.iter().find(|p| p.line == line) {
+            let data = p.data;
+            self.tear_off_reply(line, requester, data);
+            return;
+        }
+        let Some(entry) = self.l3.get_mut(line) else {
+            self.fetch_or_fallback(now, ProtoMsg::GetS { line, requester, kind });
+            return;
+        };
+        match entry.state.clone() {
+            DirState::Uncached => match kind {
+                ReadKind::TearOff => {
+                    let data = entry.data;
+                    self.tear_off_reply(line, requester, data);
+                }
+                ReadKind::Cacheable => {
+                    // Exclusive grant: no other copies exist.
+                    let data = entry.data;
+                    entry.state = DirState::BusyRead {
+                        requester,
+                        waiting_datawb: false,
+                        waiting_unblock: true,
+                        grant_exclusive: true,
+                    };
+                    self.l3.touch(line, now);
+                    self.send(
+                        requester,
+                        ProtoMsg::Data {
+                            line,
+                            data,
+                            acks_expected: 0,
+                            exclusive: true,
+                            cacheable: true,
+                            for_write: false,
+                        },
+                    );
+                }
+            },
+            DirState::Shared => match kind {
+                ReadKind::TearOff => {
+                    let data = entry.data;
+                    self.tear_off_reply(line, requester, data);
+                }
+                ReadKind::Cacheable => {
+                    let data = entry.data;
+                    entry.state = DirState::BusyRead {
+                        requester,
+                        waiting_datawb: false,
+                        waiting_unblock: true,
+                        grant_exclusive: false,
+                    };
+                    self.l3.touch(line, now);
+                    self.send(
+                        requester,
+                        ProtoMsg::Data {
+                            line,
+                            data,
+                            acks_expected: 0,
+                            exclusive: false,
+                            cacheable: true,
+                            for_write: false,
+                        },
+                    );
+                }
+            },
+            DirState::Owned => {
+                let owner = entry.owner.expect("Owned entry has an owner");
+                match kind {
+                    ReadKind::TearOff => {
+                        // Fresh data lives at the owner; it serves the
+                        // tear-off directly and keeps its state.
+                        self.stats.inc("dir_tearoff_replies");
+                        self.send(owner, ProtoMsg::FwdGetS { line, requester, kind });
+                    }
+                    ReadKind::Cacheable => {
+                        // 3-hop read: owner sends data to the requester and
+                        // a copy back here; both become sharers.
+                        entry.sharers = bit(owner);
+                        entry.owner = None;
+                        entry.state = DirState::BusyRead {
+                            requester,
+                            waiting_datawb: true,
+                            waiting_unblock: true,
+                            grant_exclusive: false,
+                        };
+                        self.l3.touch(line, now);
+                        self.send(owner, ProtoMsg::FwdGetS { line, requester, kind });
+                    }
+                }
+            }
+            DirState::BusyWrite { wb: true, writer, mut extra_sharers, .. } => {
+                if self.option1_cacheable_reads && kind == ReadKind::Cacheable {
+                    // Option 1 ablation (Section 3.4): admit a cacheable
+                    // copy that will have to be re-invalidated before the
+                    // blocked write may proceed. Livelock-prone by design.
+                    let data = entry.data;
+                    extra_sharers |= bit(requester);
+                    if let DirState::BusyWrite { extra_sharers: es, .. } = &mut entry.state {
+                        *es = extra_sharers;
+                    }
+                    entry.sharers |= bit(requester);
+                    *self.stray_unblocks.entry(line).or_insert(0) += 1;
+                    self.stats.inc("dir_option1_cacheable_reads");
+                    self.send(
+                        requester,
+                        ProtoMsg::Data {
+                            line,
+                            data,
+                            acks_expected: 0,
+                            exclusive: false,
+                            cacheable: true,
+                            for_write: false,
+                        },
+                    );
+                    let _ = writer;
+                } else {
+                    // Option 2 (the paper's choice): an uncacheable
+                    // tear-off copy of the latest pre-write data.
+                    let data = entry.data;
+                    self.tear_off_reply(line, requester, data);
+                }
+            }
+            DirState::BusyRead { .. } | DirState::BusyWrite { .. } | DirState::Fetching => {
+                let entry = self.l3.get_mut(line).expect("entry still present");
+                entry.queued.push_back(ProtoMsg::GetS { line, requester, kind });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    fn on_getx(&mut self, now: Cycle, line: LineAddr, requester: NodeId) {
+        self.stats.inc("dir_getx");
+        if let Some(p) = self.evict_buf.iter_mut().find(|p| p.line == line) {
+            // Writes queue behind a parked (WritersBlock) eviction.
+            let hinted = p.wb;
+            p.queued.push_back(ProtoMsg::GetX { line, requester });
+            if hinted {
+                self.send(requester, ProtoMsg::WbHint { line });
+            }
+            return;
+        }
+        let Some(entry) = self.l3.get_mut(line) else {
+            self.fetch_or_fallback(now, ProtoMsg::GetX { line, requester });
+            return;
+        };
+        match entry.state.clone() {
+            DirState::Uncached => {
+                let data = entry.data;
+                entry.state = DirState::BusyWrite {
+                    writer: requester,
+                    wb: false,
+                    extra_sharers: 0,
+                    extra_acks: 0,
+                    deferred_redirs: 0,
+                };
+                self.l3.touch(line, now);
+                self.send(
+                    requester,
+                    ProtoMsg::Data {
+                        line,
+                        data,
+                        acks_expected: 0,
+                        exclusive: false,
+                        cacheable: true,
+                        for_write: true,
+                    },
+                );
+            }
+            DirState::Shared => {
+                let invs = entry.sharers & !bit(requester);
+                let n = invs.count_ones();
+                let data = entry.data;
+                entry.state = DirState::BusyWrite {
+                    writer: requester,
+                    wb: false,
+                    extra_sharers: 0,
+                    extra_acks: 0,
+                    deferred_redirs: 0,
+                };
+                self.l3.touch(line, now);
+                self.send(
+                    requester,
+                    ProtoMsg::Data {
+                        line,
+                        data,
+                        acks_expected: n,
+                        exclusive: false,
+                        cacheable: true,
+                        for_write: true,
+                    },
+                );
+                for i in 0..64u32 {
+                    if invs & (1 << i) != 0 {
+                        self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: Some(requester) });
+                        self.stats.inc("dir_invs_sent");
+                    }
+                }
+            }
+            DirState::Owned => {
+                let owner = entry.owner.expect("Owned entry has an owner");
+                let data = entry.data;
+                entry.state = DirState::BusyWrite {
+                    writer: requester,
+                    wb: false,
+                    extra_sharers: 0,
+                    extra_acks: 0,
+                    deferred_redirs: 0,
+                };
+                self.l3.touch(line, now);
+                if owner == requester {
+                    // The owner's stale prefetch request: it already holds
+                    // the line exclusively; the data payload is ignored by
+                    // the cache.
+                    self.send(
+                        requester,
+                        ProtoMsg::Data {
+                            line,
+                            data,
+                            acks_expected: 0,
+                            exclusive: false,
+                            cacheable: true,
+                            for_write: true,
+                        },
+                    );
+                } else {
+                    self.send(owner, ProtoMsg::FwdGetX { line, requester });
+                }
+            }
+            DirState::BusyWrite { wb, .. } => {
+                if wb {
+                    // "Any write that encounters a WritersBlock" gets the
+                    // hint (Section 3.5.2) and waits its turn.
+                    self.send(requester, ProtoMsg::WbHint { line });
+                }
+                let entry = self.l3.get_mut(line).expect("entry still present");
+                entry.queued.push_back(ProtoMsg::GetX { line, requester });
+            }
+            DirState::BusyRead { .. } | DirState::Fetching => {
+                let entry = self.l3.get_mut(line).expect("entry still present");
+                entry.queued.push_back(ProtoMsg::GetX { line, requester });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writebacks and sharer removals
+    // ------------------------------------------------------------------
+
+    fn on_putm(&mut self, now: Cycle, line: LineAddr, requester: NodeId, data: LineData) {
+        if let Some(i) = self.evict_buf.iter().position(|p| p.line == line && p.pending > 0) {
+            // The recalled owner's PutM crossed our Recall: it carries the
+            // data we were waiting for.
+            self.evict_buf[i].data = data;
+            self.evict_buf[i].pending = 0;
+            self.send(requester, ProtoMsg::PutAck { line });
+            self.complete_eviction(now, i);
+            return;
+        }
+        // A PutM crossing an in-flight forward: the PutAck must not reach
+        // the evicting owner before the forward does (they travel on
+        // different virtual networks), or the owner drops the data the
+        // forward needs. Defer until the transaction completes.
+        if let Some(entry) = self.l3.get_mut(line) {
+            if !entry.stable() {
+                entry.queued.push_back(ProtoMsg::PutM { line, requester, data });
+                return;
+            }
+        }
+        let is_owner = self
+            .l3
+            .get(line)
+            .is_some_and(|e| matches!(e.state, DirState::Owned) && e.owner == Some(requester));
+        if is_owner {
+            let entry = self.l3.get_mut(line).expect("just checked");
+            entry.data = data;
+            entry.owner = None;
+            entry.state = DirState::Uncached;
+            self.stats.inc("dir_putm");
+        } else {
+            // Stale PutM (a forward consumed the line first). Ack so the
+            // evictor can free its buffer.
+            self.stats.inc("dir_putm_stale");
+        }
+        self.send(requester, ProtoMsg::PutAck { line });
+    }
+
+    fn on_puts(&mut self, line: LineAddr, requester: NodeId) {
+        if let Some(entry) = self.l3.get_mut(line) {
+            if matches!(entry.state, DirState::Shared) {
+                entry.sharers &= !bit(requester);
+                if entry.sharers == 0 {
+                    entry.state = DirState::Uncached;
+                }
+            }
+        }
+        // In any other state the in-flight transaction's invalidations
+        // handle this cache; no acknowledgement is needed for PutS.
+    }
+
+    // ------------------------------------------------------------------
+    // WritersBlock machinery
+    // ------------------------------------------------------------------
+
+    fn on_nack(&mut self, now: Cycle, line: LineAddr, _from: NodeId, data: Option<LineData>) {
+        if let Some(p) = self.evict_buf.iter_mut().find(|p| p.line == line) {
+            if !p.wb {
+                p.wb = true;
+                self.stats.inc("dir_evictions_blocked");
+            }
+            if let Some(d) = data {
+                p.data = d;
+            }
+            return;
+        }
+        let Some(entry) = self.l3.get_mut(line) else {
+            panic!("Nack for unknown line {line}");
+        };
+        if let Some(d) = data {
+            entry.data = d;
+        }
+        let newly_blocked = match &mut entry.state {
+            DirState::BusyWrite { writer, wb, .. } => {
+                let writer = *writer;
+                if !*wb {
+                    *wb = true;
+                    Some(writer)
+                } else {
+                    None
+                }
+            }
+            other => panic!("Nack for line {line} in state {other:?}"),
+        };
+        // Entering WritersBlock: reads must never wait behind the blocked
+        // write (Section 3.4). A read queued while the entry was merely
+        // busy would now wait on the lockdowns — and if it serves an SoS
+        // load, deadlock. Serve queued reads with tear-off copies and
+        // hint queued writers.
+        let mut tear_offs: Vec<NodeId> = Vec::new();
+        let mut hints: Vec<NodeId> = Vec::new();
+        let wbdata = entry.data;
+        if newly_blocked.is_some() {
+            entry.queued.retain(|m| match *m {
+                ProtoMsg::GetS { requester, .. } => {
+                    tear_offs.push(requester);
+                    false
+                }
+                ProtoMsg::GetX { requester, .. } => {
+                    hints.push(requester);
+                    true
+                }
+                _ => true,
+            });
+        }
+        self.l3.touch(line, now);
+        for r in tear_offs {
+            self.tear_off_reply(line, r, wbdata);
+        }
+        for r in hints {
+            self.send(r, ProtoMsg::WbHint { line });
+        }
+        if let Some(writer) = newly_blocked {
+            self.stats.inc("dir_writes_blocked");
+            self.send(writer, ProtoMsg::WbHint { line });
+        }
+    }
+
+    fn on_lockdown_ack(&mut self, now: Cycle, line: LineAddr, _from: NodeId) {
+        if let Some(i) = self.evict_buf.iter().position(|p| p.line == line) {
+            self.evict_buf[i].pending = self.evict_buf[i].pending.saturating_sub(1);
+            if self.evict_buf[i].pending == 0 {
+                self.complete_eviction(now, i);
+            }
+            return;
+        }
+        let option1 = self.option1_cacheable_reads;
+        let Some(entry) = self.l3.get_mut(line) else {
+            panic!("LockdownAck for unknown line {line}");
+        };
+        enum Act {
+            Redir(NodeId),
+            Reinvalidate(u64),
+        }
+        let sharers_mask = entry.sharers;
+        let act = match &mut entry.state {
+            DirState::BusyWrite { writer, extra_sharers, extra_acks, deferred_redirs, .. } => {
+                if option1 && (*extra_sharers != 0 || *extra_acks > 0) {
+                    // Option 1: new sharers were admitted; they must be
+                    // re-invalidated before the write may see its acks.
+                    *deferred_redirs += 1;
+                    let sharers = std::mem::take(extra_sharers);
+                    *extra_acks += sharers.count_ones();
+                    Act::Reinvalidate(sharers)
+                } else {
+                    Act::Redir(*writer)
+                }
+            }
+            other => panic!("LockdownAck for line {line} in state {other:?}"),
+        };
+        if let Act::Reinvalidate(sharers) = &act {
+            entry.sharers = sharers_mask & !sharers;
+        }
+        match act {
+            Act::Redir(writer) => {
+                self.stats.inc("dir_redir_acks");
+                self.send(writer, ProtoMsg::RedirAck { line });
+            }
+            Act::Reinvalidate(sharers) => {
+                for i in 0..64u32 {
+                    if sharers & (1 << i) != 0 {
+                        self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
+                        self.stats.inc("dir_option1_reinvalidations");
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_inv_ack(&mut self, now: Cycle, line: LineAddr, _from: NodeId) {
+        if let Some(i) = self.evict_buf.iter().position(|p| p.line == line) {
+            self.evict_buf[i].pending = self.evict_buf[i].pending.saturating_sub(1);
+            if self.evict_buf[i].pending == 0 {
+                self.complete_eviction(now, i);
+            }
+            return;
+        }
+        // Option-1 re-invalidation acknowledgement. If new readers kept
+        // arriving while this round ran, start another round — the
+        // perpetual re-invalidation the paper predicts (Section 3.4).
+        let mut flush: Option<(NodeId, u32)> = None;
+        let mut next_round: u64 = 0;
+        let mut handled = false;
+        if let Some(entry) = self.l3.get_mut(line) {
+            if let DirState::BusyWrite { writer, extra_sharers, extra_acks, deferred_redirs, .. } =
+                &mut entry.state
+            {
+                handled = true;
+                *extra_acks = extra_acks.saturating_sub(1);
+                if *extra_acks == 0 {
+                    if *extra_sharers != 0 {
+                        next_round = std::mem::take(extra_sharers);
+                        *extra_acks = next_round.count_ones();
+                    } else if *deferred_redirs > 0 {
+                        flush = Some((*writer, std::mem::take(deferred_redirs)));
+                    }
+                }
+            }
+        }
+        if next_round != 0 {
+            if let Some(entry) = self.l3.get_mut(line) {
+                entry.sharers &= !next_round;
+            }
+            for i in 0..64u32 {
+                if next_round & (1 << i) != 0 {
+                    self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
+                    self.stats.inc("dir_option1_reinvalidations");
+                }
+            }
+        }
+        if let Some((writer, n)) = flush {
+            for _ in 0..n {
+                self.stats.inc("dir_redir_acks");
+                self.send(writer, ProtoMsg::RedirAck { line });
+            }
+        }
+        if !handled {
+            self.stats.inc("dir_stray_inv_acks");
+        }
+    }
+
+    fn on_datawb(&mut self, now: Cycle, line: LineAddr, _from: NodeId, data: LineData) {
+        if let Some(i) = self.evict_buf.iter().position(|p| p.line == line) {
+            self.evict_buf[i].data = data;
+            self.evict_buf[i].pending = self.evict_buf[i].pending.saturating_sub(1);
+            if self.evict_buf[i].pending == 0 {
+                self.complete_eviction(now, i);
+            }
+            return;
+        }
+        let Some(entry) = self.l3.get_mut(line) else {
+            panic!("DataWb for unknown line {line}");
+        };
+        entry.data = data;
+        let done = match &mut entry.state {
+            DirState::BusyRead { waiting_datawb, waiting_unblock, .. } => {
+                *waiting_datawb = false;
+                !*waiting_unblock
+            }
+            other => panic!("DataWb for line {line} in state {other:?}"),
+        };
+        if done {
+            self.finalize_read(now, line);
+        }
+    }
+
+    fn on_unblock(&mut self, now: Cycle, line: LineAddr, from: NodeId) {
+        // Absorb Unblocks from Option-1 cacheable WritersBlock reads.
+        if let Some(n) = self.stray_unblocks.get_mut(&line) {
+            *n -= 1;
+            if *n == 0 {
+                self.stray_unblocks.remove(&line);
+            }
+            return;
+        }
+        let Some(entry) = self.l3.get_mut(line) else {
+            panic!("Unblock for unknown line {line}");
+        };
+        enum After {
+            Nothing,
+            FinalizeRead,
+            DrainQueued,
+        }
+        let after = match &mut entry.state {
+            DirState::BusyRead { waiting_unblock, waiting_datawb, requester, .. } => {
+                debug_assert_eq!(*requester, from);
+                *waiting_unblock = false;
+                if !*waiting_datawb {
+                    After::FinalizeRead
+                } else {
+                    After::Nothing
+                }
+            }
+            DirState::BusyWrite { writer, .. } => {
+                debug_assert_eq!(*writer, from);
+                entry.sharers = 0;
+                entry.owner = Some(from);
+                entry.state = DirState::Owned;
+                After::DrainQueued
+            }
+            other => panic!("Unblock for line {line} in state {other:?}"),
+        };
+        match after {
+            After::Nothing => {}
+            After::FinalizeRead => self.finalize_read(now, line),
+            After::DrainQueued => self.drain_queued(now, line),
+        }
+    }
+
+    fn finalize_read(&mut self, now: Cycle, line: LineAddr) {
+        let entry = self.l3.get_mut(line).expect("finalizing resident line");
+        if let DirState::BusyRead { requester, grant_exclusive, .. } = entry.state.clone() {
+            if grant_exclusive {
+                entry.owner = Some(requester);
+                entry.sharers = 0;
+                entry.state = DirState::Owned;
+            } else {
+                entry.sharers |= bit(requester);
+                entry.owner = None;
+                entry.state = DirState::Shared;
+            }
+            self.drain_queued(now, line);
+        } else {
+            unreachable!("finalize_read in {:?}", entry.state);
+        }
+    }
+
+    fn drain_queued(&mut self, now: Cycle, line: LineAddr) {
+        if let Some(entry) = self.l3.get_mut(line) {
+            let queued = std::mem::take(&mut entry.queued);
+            for m in queued {
+                self.requeue(now, m, 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation, eviction and memory
+    // ------------------------------------------------------------------
+
+    /// Handle a request for a line with no LLC entry: allocate (evicting
+    /// if needed) and start a memory fetch, or fall back to an allocation-
+    /// free path when no victim is available (Section 3.5.1).
+    fn fetch_or_fallback(&mut self, now: Cycle, msg: ProtoMsg) {
+        let line = msg.line();
+        if self.try_allocate(now, line) {
+            let entry = self.l3.get_mut(line).expect("just allocated");
+            entry.queued.push_back(msg);
+            self.events.push_back((now + self.mem_latency, Event::MemReady { line }));
+            return;
+        }
+        self.stats.inc("dir_alloc_fallbacks");
+        match msg {
+            ProtoMsg::GetS { line, requester, .. } => {
+                // Uncacheable memory read: the SoS load can always make
+                // progress even with every way and buffer slot tied up.
+                self.events
+                    .push_back((now + self.mem_latency, Event::UncachedMemRead { line, requester }));
+            }
+            ProtoMsg::GetX { .. } => {
+                // Writes may wait (TSO allows it): retry after a delay.
+                self.requeue(now, msg, self.retry_delay);
+            }
+            other => panic!("cannot fall back for {other:?}"),
+        }
+    }
+
+    fn try_allocate(&mut self, now: Cycle, line: LineAddr) -> bool {
+        let buffer_free = self.evict_buf.len() < self.evict_cap;
+        let fresh = DirEntry {
+            state: DirState::Fetching,
+            sharers: 0,
+            owner: None,
+            data: LineData::new(),
+            queued: VecDeque::new(),
+        };
+        let res = self.l3.insert(line, fresh, now, |_, e| {
+            // Busy entries are never evictable; Shared/Owned victims need
+            // an eviction-buffer slot for their protocol action.
+            e.stable() && (matches!(e.state, DirState::Uncached) || buffer_free)
+        });
+        match res {
+            Insert::Done => true,
+            Insert::Evicted(vline, v) => {
+                self.dispose_victim(now, vline, v);
+                true
+            }
+            Insert::NoVictim => false,
+        }
+    }
+
+    fn dispose_victim(&mut self, now: Cycle, vline: LineAddr, v: DirEntry) {
+        debug_assert!(v.queued.is_empty(), "busy entries are not evictable");
+        match v.state {
+            DirState::Uncached => {
+                self.memory.write_line(vline, v.data);
+                self.stats.inc("dir_evictions_clean");
+            }
+            DirState::Shared => {
+                let n = v.sharers.count_ones();
+                if n == 0 {
+                    self.memory.write_line(vline, v.data);
+                    self.stats.inc("dir_evictions_clean");
+                    return;
+                }
+                self.stats.inc("dir_evictions_shared");
+                self.evict_buf.push(Evicting {
+                    line: vline,
+                    data: v.data,
+                    pending: n,
+                    wb: false,
+                    queued: VecDeque::new(),
+                });
+                for i in 0..64u32 {
+                    if v.sharers & (1 << i) != 0 {
+                        self.send(NodeId(i as u16), ProtoMsg::Inv { line: vline, writer: None });
+                    }
+                }
+                let _ = now;
+            }
+            DirState::Owned => {
+                let owner = v.owner.expect("Owned entry has an owner");
+                self.stats.inc("dir_evictions_owned");
+                self.evict_buf.push(Evicting {
+                    line: vline,
+                    data: v.data,
+                    pending: 1,
+                    wb: false,
+                    queued: VecDeque::new(),
+                });
+                self.send(owner, ProtoMsg::Recall { line: vline });
+            }
+            other => unreachable!("evicting busy entry {other:?}"),
+        }
+    }
+
+    fn complete_eviction(&mut self, now: Cycle, idx: usize) {
+        let p = self.evict_buf.swap_remove(idx);
+        self.memory.write_line(p.line, p.data);
+        self.stats.inc("dir_evictions_completed");
+        for m in p.queued {
+            self.requeue(now, m, 1);
+        }
+    }
+
+    fn on_mem_ready(&mut self, now: Cycle, line: LineAddr) {
+        let data = self.memory.read_line(line);
+        let Some(entry) = self.l3.get_mut(line) else {
+            panic!("memory fetch completed for missing entry {line}");
+        };
+        debug_assert!(matches!(entry.state, DirState::Fetching));
+        entry.data = data;
+        entry.state = DirState::Uncached;
+        self.stats.inc("dir_mem_fetches");
+        self.drain_queued(now, line);
+    }
+}

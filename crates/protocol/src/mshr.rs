@@ -1,0 +1,201 @@
+//! Miss status holding registers.
+//!
+//! The MSHR file tracks outstanding coherence transactions of a private
+//! cache. Loads to a line with an outstanding transaction piggyback on its
+//! MSHR (the common optimization Section 3.5.2 discusses); one register is
+//! *reserved for SoS loads* so that a source-of-speculation load can
+//! always launch a fresh read and bypass a write blocked in WritersBlock —
+//! the paper's resource-partitioning rule that makes SoS loads unblockable.
+
+use crate::private::ReadTag;
+use wb_mem::LineAddr;
+
+/// What transaction an MSHR tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MshrKind {
+    /// An outstanding cacheable GetS.
+    Read,
+    /// An outstanding GetX (write permission, possibly with data).
+    Write,
+    /// An outstanding tear-off read launched by (or on behalf of) a SoS
+    /// load to bypass a blocked write (Section 3.5.2) or a full set.
+    TearOff,
+}
+
+/// One miss status holding register.
+#[derive(Debug, Clone)]
+pub struct Mshr {
+    pub line: LineAddr,
+    pub kind: MshrKind,
+    /// Loads waiting on this transaction.
+    pub waiting_loads: Vec<ReadTag>,
+    /// For writes: invalidation acks still outstanding (known once the
+    /// Data/ack-count reply arrives).
+    pub acks_expected: Option<u32>,
+    pub acks_received: u32,
+    pub data_received: bool,
+    /// Set when the directory hinted that this write is blocked in
+    /// WritersBlock.
+    pub blocked_hint: bool,
+    /// Line contents delivered for a write, held until every expected
+    /// acknowledgement arrives (the line becomes M only then).
+    pub pending_data: Option<wb_mem::LineData>,
+    /// Cycle at which the request was issued (for latency stats).
+    pub issued_at: u64,
+}
+
+impl Mshr {
+    /// A write transaction is complete when its data arrived and every
+    /// expected invalidation acknowledgement has been counted.
+    pub fn write_complete(&self) -> bool {
+        self.data_received && self.acks_expected.is_some_and(|n| self.acks_received >= n)
+    }
+}
+
+/// The MSHR file: fixed capacity, one register reserved for SoS traffic.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Mshr>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// A file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (one register must remain reservable for
+    /// SoS loads while normal traffic uses the rest).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "need >= 2 MSHRs (one reserved for SoS loads)");
+        MshrFile { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Find the MSHR for `(line, kind)`.
+    pub fn find(&self, line: LineAddr, kind: MshrKind) -> Option<&Mshr> {
+        self.entries.iter().find(|m| m.line == line && m.kind == kind)
+    }
+
+    /// Mutable [`MshrFile::find`].
+    pub fn find_mut(&mut self, line: LineAddr, kind: MshrKind) -> Option<&mut Mshr> {
+        self.entries.iter_mut().find(|m| m.line == line && m.kind == kind)
+    }
+
+    /// Any MSHR for `line`, preferring Write then Read then TearOff (the
+    /// piggyback order for loads).
+    pub fn find_any_mut(&mut self, line: LineAddr) -> Option<&mut Mshr> {
+        for kind in [MshrKind::Write, MshrKind::Read, MshrKind::TearOff] {
+            if self.entries.iter().any(|m| m.line == line && m.kind == kind) {
+                return self.find_mut(line, kind);
+            }
+        }
+        None
+    }
+
+    /// Allocate a new register. Non-SoS allocations keep one register
+    /// free; `sos` allocations may take the last one. Returns `None` when
+    /// the file is exhausted for this class.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if an MSHR for `(line, kind)` already exists.
+    pub fn alloc(&mut self, line: LineAddr, kind: MshrKind, sos: bool, now: u64) -> Option<&mut Mshr> {
+        debug_assert!(self.find(line, kind).is_none(), "duplicate MSHR for {line} {kind:?}");
+        let limit = if sos { self.capacity } else { self.capacity - 1 };
+        if self.entries.len() >= limit {
+            return None;
+        }
+        self.entries.push(Mshr {
+            line,
+            kind,
+            waiting_loads: Vec::new(),
+            acks_expected: None,
+            acks_received: 0,
+            data_received: false,
+            blocked_hint: false,
+            pending_data: None,
+            issued_at: now,
+        });
+        self.entries.last_mut()
+    }
+
+    /// Free the register for `(line, kind)`, returning it (with its
+    /// waiting loads) to the caller.
+    pub fn free(&mut self, line: LineAddr, kind: MshrKind) -> Option<Mshr> {
+        let i = self.entries.iter().position(|m| m.line == line && m.kind == kind)?;
+        Some(self.entries.swap_remove(i))
+    }
+
+    /// Number of registers in use.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no transaction is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over occupied registers.
+    pub fn iter(&self) -> impl Iterator<Item = &Mshr> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_find_free() {
+        let mut f = MshrFile::new(4);
+        f.alloc(LineAddr(1), MshrKind::Read, false, 0).unwrap();
+        assert!(f.find(LineAddr(1), MshrKind::Read).is_some());
+        assert!(f.find(LineAddr(1), MshrKind::Write).is_none());
+        let m = f.free(LineAddr(1), MshrKind::Read).unwrap();
+        assert_eq!(m.line, LineAddr(1));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn reserved_register_for_sos() {
+        let mut f = MshrFile::new(2);
+        assert!(f.alloc(LineAddr(1), MshrKind::Write, false, 0).is_some());
+        // Normal allocation refused: only the reserved slot is left.
+        assert!(f.alloc(LineAddr(2), MshrKind::Read, false, 0).is_none());
+        // SoS allocation may take it.
+        assert!(f.alloc(LineAddr(2), MshrKind::TearOff, true, 0).is_some());
+        // And now even SoS is out of luck.
+        assert!(f.alloc(LineAddr(3), MshrKind::TearOff, true, 0).is_none());
+    }
+
+    #[test]
+    fn same_line_different_kinds_coexist() {
+        let mut f = MshrFile::new(4);
+        f.alloc(LineAddr(1), MshrKind::Write, false, 0).unwrap();
+        f.alloc(LineAddr(1), MshrKind::TearOff, true, 0).unwrap();
+        assert_eq!(f.in_use(), 2);
+        // find_any prefers the write MSHR.
+        assert_eq!(f.find_any_mut(LineAddr(1)).unwrap().kind, MshrKind::Write);
+    }
+
+    #[test]
+    fn write_completion_rule() {
+        let mut f = MshrFile::new(2);
+        let m = f.alloc(LineAddr(1), MshrKind::Write, false, 0).unwrap();
+        assert!(!m.write_complete());
+        m.data_received = true;
+        assert!(!m.write_complete(), "ack count unknown yet");
+        m.acks_expected = Some(2);
+        m.acks_received = 1;
+        assert!(!m.write_complete());
+        m.acks_received = 2;
+        assert!(m.write_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 2 MSHRs")]
+    fn tiny_file_rejected() {
+        let _ = MshrFile::new(1);
+    }
+}

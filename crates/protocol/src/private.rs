@@ -1,0 +1,764 @@
+//! The private cache hierarchy of one core (L1 + L2) and its coherence
+//! controller.
+//!
+//! Coherence is tracked at the private-hierarchy level: the L2 array holds
+//! the authoritative state and data; the L1 array is an inclusive subset
+//! used only to decide hit latency (4 vs. 12 cycles, Table 6). This is the
+//! standard "private cache complex" arrangement of GEMS-style models.
+//!
+//! The controller implements the cache side of both protocols:
+//!
+//! - **base MESI**: invalidations that match M-speculative loads squash
+//!   them (delegated to the core through [`CoreSide`]), acknowledgements
+//!   are immediate;
+//! - **WritersBlock**: invalidations that hit a lockdown are Nacked to the
+//!   directory (Section 3.3); the acknowledgement is deferred until the
+//!   core calls [`PrivateCache::release_lockdown`]; SoS loads bypass
+//!   blocked write MSHRs with tear-off reads (Section 3.5.2); evictions
+//!   under a lockdown are suppressed rather than squashing (Section 3.8).
+
+use crate::array::{Insert, SetAssocArray};
+use crate::messages::{Dest, ProtoMsg, ReadKind};
+use crate::mshr::{MshrFile, MshrKind};
+use crate::{CoreSide, InvalResponse};
+use wb_kernel::config::{MemoryConfig, ProtocolKind};
+use wb_kernel::{Cycle, NodeId, Stats};
+use wb_mem::{Addr, LineAddr, LineData};
+
+/// Identifies a load at the core so completions can be matched to LQ
+/// entries (the core uses the load's sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReadTag(pub u64);
+
+/// Outcome of a [`PrivateCache::load_access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadAccess {
+    /// The line is readable: the value is bound now, consumers wake after
+    /// `latency` cycles (4 for an L1 hit, 12 for an L2 hit).
+    Hit { value: u64, latency: u64 },
+    /// A miss: the load now waits on an MSHR; a [`Completion::LoadData`]
+    /// will carry its tag later.
+    Miss,
+    /// No MSHR could be allocated; the core should retry next cycle.
+    Blocked,
+}
+
+/// Events the cache delivers to the core (drained once per cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// Line data arrived for the listed waiting loads. With
+    /// `cacheable: false` this is a tear-off copy: *at most one* load may
+    /// use it, and only if it is ordered (the SoS load) — Section 3.4.
+    LoadData { tags: Vec<ReadTag>, line: LineAddr, data: LineData, cacheable: bool },
+    /// The line is now writable (M): stores to it at the store-buffer
+    /// head may perform.
+    WriteReady { line: LineAddr },
+    /// The directory hinted that our write request for `line` is blocked
+    /// in WritersBlock (Section 3.5.2).
+    WriteBlocked { line: LineAddr },
+}
+
+/// Stable coherence state of a resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PState {
+    /// Shared, clean.
+    S,
+    /// Exclusive, clean (silently upgradable to M).
+    E,
+    /// Modified.
+    M,
+    /// Shared with a GetX outstanding (readable; upgrade in flight).
+    SmAd,
+}
+
+impl PState {
+    fn readable(self) -> bool {
+        true // every resident state keeps readable data
+    }
+    fn exclusive(self) -> bool {
+        matches!(self, PState::E | PState::M)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct L2Line {
+    state: PState,
+    data: LineData,
+}
+
+/// A line parked after eviction, awaiting PutAck (MI_A) or already
+/// superseded by a forward (II_A).
+#[derive(Debug, Clone, Copy)]
+struct EvictBufEntry {
+    line: LineAddr,
+    data: LineData,
+    /// false = MI_A (our PutM stands), true = II_A (a forward consumed the
+    /// line; the directory will still PutAck our stale PutM).
+    superseded: bool,
+}
+
+/// A completed write fill that could not allocate an L2 way yet.
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    line: LineAddr,
+    data: LineData,
+}
+
+/// The private cache hierarchy and coherence controller of one core.
+pub struct PrivateCache {
+    node: NodeId,
+    banks: usize,
+    protocol: ProtocolKind,
+    silent_shared_evictions: bool,
+    l1_hit: u64,
+    l2_hit: u64,
+    l1: SetAssocArray<()>,
+    l2: SetAssocArray<L2Line>,
+    mshrs: MshrFile,
+    evict_buf: Vec<EvictBufEntry>,
+    pending_fills: Vec<PendingFill>,
+    outbox: Vec<(Dest, ProtoMsg)>,
+    completions: Vec<Completion>,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for PrivateCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateCache")
+            .field("node", &self.node)
+            .field("mshrs_in_use", &self.mshrs.in_use())
+            .field("l2_lines", &self.l2.len())
+            .finish()
+    }
+}
+
+impl PrivateCache {
+    /// Build a private cache for `node` in a system of `banks` directory
+    /// banks, from the Table 6 memory configuration.
+    pub fn new(node: NodeId, banks: usize, mem: &MemoryConfig, protocol: ProtocolKind) -> Self {
+        let l1_sets = SetAssocArray::<()>::geometry(mem.l1_bytes, mem.l1_ways, mem.line_bytes);
+        let l2_sets = SetAssocArray::<L2Line>::geometry(mem.l2_bytes, mem.l2_ways, mem.line_bytes);
+        PrivateCache {
+            node,
+            banks,
+            protocol,
+            silent_shared_evictions: mem.silent_shared_evictions,
+            l1_hit: mem.l1_hit_cycles,
+            l2_hit: mem.l2_hit_cycles,
+            l1: SetAssocArray::new(l1_sets, mem.l1_ways),
+            l2: SetAssocArray::new(l2_sets, mem.l2_ways),
+            mshrs: MshrFile::new(mem.mshrs),
+            evict_buf: Vec::new(),
+            pending_fills: Vec::new(),
+            outbox: Vec::new(),
+            completions: Vec::new(),
+            stats: Stats::new(),
+        }
+    }
+
+    /// The node this cache belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn home(&self, line: LineAddr) -> NodeId {
+        NodeId(line.bank(self.banks) as u16)
+    }
+
+    fn send_cache(&mut self, dst: NodeId, msg: ProtoMsg) {
+        self.outbox.push((Dest::Cache(dst), msg));
+    }
+
+    fn send_dir(&mut self, dst: NodeId, msg: ProtoMsg) {
+        self.outbox.push((Dest::Dir(dst), msg));
+    }
+
+    /// Drain messages to be injected into the mesh this cycle.
+    pub fn drain_outbox(&mut self) -> Vec<(Dest, ProtoMsg)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Drain core-facing completion events.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// Counter access for reports.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Debug: describe all outstanding MSHRs and the state of `line`.
+    pub fn debug_line(&self, line: LineAddr) -> String {
+        let st = self.l2.get(line).map(|l| format!("{:?}", l.state));
+        let mshrs: Vec<String> = self
+            .mshrs
+            .iter()
+            .map(|m| {
+                format!(
+                    "{:?}:{:?} data={} acks={:?}/{} hint={} waiters={}",
+                    m.line, m.kind, m.data_received, m.acks_expected, m.acks_received, m.blocked_hint,
+                    m.waiting_loads.len()
+                )
+            })
+            .collect();
+        let eb: Vec<String> = self.evict_buf.iter().map(|e| format!("{}sup={}", e.line, e.superseded)).collect();
+        format!(
+            "node{} line {line} state={st:?} mshrs=[{}] fills={} evbuf=[{}]",
+            self.node.index(),
+            mshrs.join("; "),
+            self.pending_fills.len(),
+            eb.join(";")
+        )
+    }
+
+    /// True when no transaction, parked eviction or deferred fill is
+    /// outstanding.
+    pub fn is_idle(&self) -> bool {
+        self.mshrs.is_empty() && self.evict_buf.is_empty() && self.pending_fills.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Core-facing operations
+    // ------------------------------------------------------------------
+
+    /// Read `addr` for the load tagged `tag`. `sos` marks the core's
+    /// current source-of-speculation load, which is entitled to the
+    /// reserved MSHR and to tear-off bypasses of blocked writes.
+    pub fn load_access(&mut self, now: Cycle, tag: ReadTag, addr: Addr, sos: bool) -> LoadAccess {
+        let line = addr.line();
+        self.stats.inc("cache_load_accesses");
+        if let Some(l2) = self.l2.get(line) {
+            if l2.state.readable() {
+                let value = l2.data.word(addr.word_index());
+                let latency = if self.l1.contains(line) {
+                    self.stats.inc("cache_l1_hits");
+                    self.l1_hit
+                } else {
+                    self.stats.inc("cache_l2_hits");
+                    self.fill_l1(line, now);
+                    self.l2_hit
+                };
+                self.l2.touch(line, now);
+                return LoadAccess::Hit { value, latency };
+            }
+        }
+        self.stats.inc("cache_load_misses");
+
+        // Piggyback on an outstanding transaction when possible.
+        if let Some(w) = self.mshrs.find_mut(line, MshrKind::Write) {
+            if !(sos && w.blocked_hint) {
+                if !w.waiting_loads.contains(&tag) {
+                    w.waiting_loads.push(tag);
+                }
+                return LoadAccess::Miss;
+            }
+            // SoS load bypassing a blocked write: fresh tear-off read on a
+            // new (possibly reserved) MSHR — Section 3.5.2.
+            if let Some(t) = self.mshrs.find_mut(line, MshrKind::TearOff) {
+                if !t.waiting_loads.contains(&tag) {
+                    t.waiting_loads.push(tag);
+                }
+                return LoadAccess::Miss;
+            }
+            if self.mshrs.alloc(line, MshrKind::TearOff, true, now).is_some() {
+                self.mshrs
+                    .find_mut(line, MshrKind::TearOff)
+                    .expect("just allocated")
+                    .waiting_loads
+                    .push(tag);
+                self.stats.inc("cache_sos_bypass_reads");
+                let home = self.home(line);
+                self.send_dir(home, ProtoMsg::GetS { line, requester: self.node, kind: ReadKind::TearOff });
+                return LoadAccess::Miss;
+            }
+            return LoadAccess::Blocked;
+        }
+        for kind in [MshrKind::Read, MshrKind::TearOff] {
+            if let Some(m) = self.mshrs.find_mut(line, kind) {
+                if !m.waiting_loads.contains(&tag) {
+                    m.waiting_loads.push(tag);
+                }
+                return LoadAccess::Miss;
+            }
+        }
+        // Fresh read.
+        if self.mshrs.alloc(line, MshrKind::Read, sos, now).is_none() {
+            self.stats.inc("cache_mshr_blocked");
+            return LoadAccess::Blocked;
+        }
+        self.mshrs.find_mut(line, MshrKind::Read).expect("just allocated").waiting_loads.push(tag);
+        let home = self.home(line);
+        self.send_dir(home, ProtoMsg::GetS { line, requester: self.node, kind: ReadKind::Cacheable });
+        LoadAccess::Miss
+    }
+
+    /// Is the line currently writable (E or M)?
+    pub fn is_writable(&self, line: LineAddr) -> bool {
+        self.l2.get(line).is_some_and(|l| l.state.exclusive())
+    }
+
+    /// Make sure `line` is (or is becoming) writable. Returns `true` when
+    /// it already is; otherwise issues a GetX (write-permission prefetch)
+    /// if none is outstanding and returns `false`.
+    pub fn ensure_writable(&mut self, now: Cycle, line: LineAddr) -> bool {
+        if self.is_writable(line) {
+            return true;
+        }
+        if self.mshrs.find(line, MshrKind::Write).is_some() {
+            return false;
+        }
+        if self.mshrs.alloc(line, MshrKind::Write, false, now).is_none() {
+            self.stats.inc("cache_mshr_blocked");
+            return false;
+        }
+        self.stats.inc("cache_getx_issued");
+        if let Some(l2) = self.l2.get_mut(line) {
+            debug_assert_eq!(l2.state, PState::S);
+            l2.state = PState::SmAd;
+        }
+        let home = self.home(line);
+        self.send_dir(home, ProtoMsg::GetX { line, requester: self.node });
+        false
+    }
+
+    /// Perform a store: write `value` to `addr`. Requires write
+    /// permission; returns `false` (and issues nothing) otherwise.
+    /// On success the line is M and the store is globally visible.
+    pub fn store_perform(&mut self, now: Cycle, addr: Addr, value: u64) -> bool {
+        let line = addr.line();
+        let Some(l2) = self.l2.get_mut(line) else { return false };
+        if !l2.state.exclusive() {
+            return false;
+        }
+        l2.state = PState::M;
+        l2.data.set_word(addr.word_index(), value);
+        self.l2.touch(line, now);
+        self.stats.inc("cache_stores_performed");
+        true
+    }
+
+    /// Perform an atomic read-modify-write on `addr`: returns the old
+    /// value if write permission is held, applying `new` as replacement.
+    pub fn rmw_perform(&mut self, now: Cycle, addr: Addr, new: impl FnOnce(u64) -> u64) -> Option<u64> {
+        let line = addr.line();
+        let l2 = self.l2.get_mut(line)?;
+        if !l2.state.exclusive() {
+            return None;
+        }
+        let old = l2.data.word(addr.word_index());
+        l2.state = PState::M;
+        l2.data.set_word(addr.word_index(), new(old));
+        self.l2.touch(line, now);
+        self.stats.inc("cache_rmws_performed");
+        Some(old)
+    }
+
+    /// Read a word from a readable resident line (used by the LSQ to bind
+    /// values for loads waking on a fill).
+    pub fn read_word(&self, addr: Addr) -> Option<u64> {
+        let l2 = self.l2.get(addr.line())?;
+        l2.state.readable().then(|| l2.data.word(addr.word_index()))
+    }
+
+    /// The value of `addr` if this cache holds its line exclusively (E or
+    /// M) — i.e. this cache is the architecturally authoritative copy.
+    /// Used for end-of-run memory state resolution.
+    pub fn exclusive_word(&self, addr: Addr) -> Option<u64> {
+        let l2 = self.l2.get(addr.line())?;
+        l2.state.exclusive().then(|| l2.data.word(addr.word_index()))
+    }
+
+    /// The core lifted the last lockdown for `line` after having Nacked an
+    /// invalidation: send the deferred acknowledgement to the directory,
+    /// which redirects it to the blocked writer (Figure 3.B steps 4-5).
+    pub fn release_lockdown(&mut self, _now: Cycle, line: LineAddr) {
+        self.stats.inc("cache_lockdown_acks");
+        let home = self.home(line);
+        self.send_dir(home, ProtoMsg::LockdownAck { line, from: self.node });
+    }
+
+    /// Does an outstanding write for `line` carry a blocked hint?
+    pub fn write_blocked(&self, line: LineAddr) -> bool {
+        self.mshrs.find(line, MshrKind::Write).is_some_and(|m| m.blocked_hint)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn fill_l1(&mut self, line: LineAddr, now: Cycle) {
+        if !self.l1.contains(line) {
+            // L1 victims leave silently; L1 is a latency filter only.
+            let _ = self.l1.insert(line, (), now, |_, _| true);
+        } else {
+            self.l1.touch(line, now);
+        }
+    }
+
+    fn drop_line(&mut self, line: LineAddr) {
+        self.l1.remove(line);
+        self.l2.remove(line);
+    }
+
+    /// Allocate (or refresh) an L2 line, evicting as needed. Returns
+    /// false when no victim was available (caller retries).
+    fn fill_l2(&mut self, now: Cycle, line: LineAddr, data: LineData, state: PState, core: &mut dyn CoreSide) -> bool {
+        if let Some(l2) = self.l2.get_mut(line) {
+            l2.data = data;
+            l2.state = state;
+            self.l2.touch(line, now);
+            self.fill_l1(line, now);
+            return true;
+        }
+        // Choose a victim: stable lines only; under WritersBlock, lines
+        // protecting a lockdown are pinned (Section 3.8 — no squash, and a
+        // dirty line cannot leave silently).
+        let protocol = self.protocol;
+        let pinned: Vec<LineAddr> = self
+            .l2
+            .iter()
+            .filter(|(l, pl)| {
+                matches!(pl.state, PState::SmAd)
+                    || (protocol == ProtocolKind::WritersBlock
+                        && pl.state.exclusive()
+                        && core.has_mspec(*l))
+            })
+            .map(|(l, _)| l)
+            .collect();
+        match self.l2.insert(line, L2Line { state, data }, now, |l, _| !pinned.contains(&l)) {
+            Insert::Done => {
+                self.fill_l1(line, now);
+                true
+            }
+            Insert::Evicted(vline, vpayload) => {
+                self.l1.remove(vline);
+                self.handle_victim(now, vline, vpayload, core);
+                self.fill_l1(line, now);
+                true
+            }
+            Insert::NoVictim => {
+                self.stats.inc("cache_fill_no_victim");
+                false
+            }
+        }
+    }
+
+    fn handle_victim(&mut self, now: Cycle, vline: LineAddr, v: L2Line, core: &mut dyn CoreSide) {
+        match v.state {
+            PState::S => {
+                if self.silent_shared_evictions {
+                    // Section 3.8: silent eviction — the directory keeps us
+                    // in the sharing list, so a future write still reaches
+                    // our LQ via an invalidation. Nothing to do.
+                    self.stats.inc("cache_silent_evictions");
+                } else {
+                    // Non-silent eviction of a shared line (ablation): the
+                    // directory forgets us, so in the base protocol any
+                    // M-speculative load on this line must be squashed; in
+                    // WritersBlock such lines revert to a *silent*
+                    // eviction instead (Section 3.8).
+                    if self.protocol == ProtocolKind::WritersBlock && core.has_mspec(vline) {
+                        self.stats.inc("cache_evictions_kept_silent");
+                    } else {
+                        if self.protocol == ProtocolKind::BaseMesi {
+                            core.on_eviction(now, vline);
+                        }
+                        self.stats.inc("cache_puts_evictions");
+                        let home = self.home(vline);
+                        self.send_dir(home, ProtoMsg::PutS { line: vline, requester: self.node });
+                    }
+                }
+            }
+            PState::E | PState::M => {
+                // Non-silent by necessity (dirty or exclusively tracked):
+                // in the base protocol squash M-speculative loads on the
+                // line (the directory will no longer invalidate us);
+                // under WritersBlock this only happens when no lockdown
+                // exists (pinning filtered the rest).
+                if self.protocol == ProtocolKind::BaseMesi {
+                    core.on_eviction(now, vline);
+                }
+                self.stats.inc("cache_putm_evictions");
+                self.evict_buf.push(EvictBufEntry { line: vline, data: v.data, superseded: false });
+                let home = self.home(vline);
+                self.send_dir(home, ProtoMsg::PutM { line: vline, requester: self.node, data: v.data });
+            }
+            PState::SmAd => unreachable!("transient lines are pinned"),
+        }
+    }
+
+    fn finish_write(&mut self, now: Cycle, line: LineAddr, core: &mut dyn CoreSide) {
+        let m = self.mshrs.free(line, MshrKind::Write).expect("write MSHR present");
+        // If the line is already exclusive locally (a stale prefetch, e.g.
+        // a GetX that raced with a silent E->M upgrade), keep the local
+        // data: the directory's payload may be older than ours.
+        let data = match self.l2.get(line) {
+            Some(l2) if l2.state.exclusive() => l2.data,
+            _ => m.pending_data.expect("completed write carries data"),
+        };
+        if !self.fill_l2(now, line, data, PState::M, core) {
+            // No victim available: retry the fill until one frees up. The
+            // transaction is complete from the directory's point of view,
+            // so unblock it now.
+            self.pending_fills.push(PendingFill { line, data });
+        }
+        let home = self.home(line);
+        self.send_dir(home, ProtoMsg::Unblock { line, from: self.node });
+        self.completions.push(Completion::WriteReady { line });
+        if !m.waiting_loads.is_empty() {
+            self.completions.push(Completion::LoadData {
+                tags: m.waiting_loads,
+                line,
+                data,
+                cacheable: true,
+            });
+        }
+        self.stats.inc("cache_writes_completed");
+    }
+
+    /// Retry deferred fills; call once per cycle.
+    pub fn tick(&mut self, now: Cycle, core: &mut dyn CoreSide) {
+        if self.pending_fills.is_empty() {
+            return;
+        }
+        let fills = std::mem::take(&mut self.pending_fills);
+        for f in fills {
+            if !self.fill_l2(now, f.line, f.data, PState::M, core) {
+                self.pending_fills.push(f);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Network-facing message handling
+    // ------------------------------------------------------------------
+
+    /// Handle one protocol message addressed to this cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics on protocol violations (e.g. a forward for a line we
+    /// provably cannot own) — these indicate simulator bugs, not workload
+    /// behaviour.
+    pub fn handle_msg(&mut self, now: Cycle, msg: ProtoMsg, core: &mut dyn CoreSide) {
+        match msg {
+            ProtoMsg::Data { line, data, acks_expected, exclusive, cacheable, for_write } => {
+                self.on_data(now, line, data, acks_expected, exclusive, cacheable, for_write, core);
+            }
+            ProtoMsg::InvAck { line, .. } | ProtoMsg::RedirAck { line } => {
+                if let Some(m) = self.mshrs.find_mut(line, MshrKind::Write) {
+                    m.acks_received += 1;
+                    if m.write_complete() {
+                        self.finish_write(now, line, core);
+                    }
+                } else {
+                    self.stats.inc("cache_stray_acks");
+                }
+            }
+            ProtoMsg::WbHint { line } => {
+                if let Some(m) = self.mshrs.find_mut(line, MshrKind::Write) {
+                    if !m.blocked_hint {
+                        m.blocked_hint = true;
+                        self.stats.inc("cache_wb_hints");
+                        self.completions.push(Completion::WriteBlocked { line });
+                    }
+                }
+            }
+            ProtoMsg::Inv { line, writer } => self.on_inv(now, line, writer, core),
+            ProtoMsg::FwdGetS { line, requester, kind } => self.on_fwd_gets(now, line, requester, kind),
+            ProtoMsg::FwdGetX { line, requester } => self.on_fwd_getx(now, line, requester, core),
+            ProtoMsg::Recall { line } => self.on_recall(now, line, core),
+            ProtoMsg::PutAck { line } => {
+                if let Some(i) = self.evict_buf.iter().position(|e| e.line == line) {
+                    self.evict_buf.swap_remove(i);
+                }
+            }
+            other => panic!("private cache {:?} received unexpected {other:?}", self.node),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_data(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        data: LineData,
+        acks_expected: u32,
+        exclusive: bool,
+        cacheable: bool,
+        for_write: bool,
+        core: &mut dyn CoreSide,
+    ) {
+        if for_write {
+            // A GetX reply: it belongs to the write MSHR even when a read
+            // to the same line is also outstanding.
+            if let Some(m) = self.mshrs.find_mut(line, MshrKind::Write) {
+                m.data_received = true;
+                m.acks_expected = Some(acks_expected);
+                m.pending_data = Some(data);
+                if m.write_complete() {
+                    self.finish_write(now, line, core);
+                }
+            } else {
+                self.stats.inc("cache_stray_data");
+            }
+            return;
+        }
+        if !cacheable {
+            // Tear-off reply: satisfy whichever read transaction asked.
+            self.stats.inc("cache_tearoff_data");
+            for kind in [MshrKind::TearOff, MshrKind::Read] {
+                if let Some(m) = self.mshrs.free(line, kind) {
+                    if !m.waiting_loads.is_empty() {
+                        self.completions.push(Completion::LoadData {
+                            tags: m.waiting_loads,
+                            line,
+                            data,
+                            cacheable: false,
+                        });
+                    }
+                    return;
+                }
+            }
+            // Both transactions already satisfied elsewhere; drop.
+            return;
+        }
+        if self.mshrs.find(line, MshrKind::Read).is_some() {
+            let m = self.mshrs.free(line, MshrKind::Read).expect("just found");
+            let state = if exclusive { PState::E } else { PState::S };
+            let filled = self.fill_l2(now, line, data, state, core);
+            if !filled {
+                // Rare: every way pinned. Serve the waiting loads from the
+                // message data without caching the line (we stay a
+                // registered sharer; invalidations still reach the LQ).
+                self.stats.inc("cache_uncached_fills");
+            }
+            self.completions.push(Completion::LoadData { tags: m.waiting_loads, line, data, cacheable: true });
+            let home = self.home(line);
+            self.send_dir(home, ProtoMsg::Unblock { line, from: self.node });
+            return;
+        }
+        let _ = acks_expected;
+        self.stats.inc("cache_stray_data");
+    }
+
+    fn on_inv(&mut self, now: Cycle, line: LineAddr, writer: Option<NodeId>, core: &mut dyn CoreSide) {
+        self.stats.inc("cache_invs_received");
+        // Drop any readable copy (plain Inv never targets an owner; an
+        // owner is reached through FwdGetX/Recall).
+        if let Some(l2) = self.l2.get(line) {
+            debug_assert!(
+                matches!(l2.state, PState::S | PState::SmAd),
+                "Inv hit owner state {:?} for {line}",
+                l2.state
+            );
+        }
+        self.drop_line(line);
+        match core.on_invalidation(now, line) {
+            InvalResponse::Ack => match writer {
+                Some(w) => self.send_cache(w, ProtoMsg::InvAck { line, from: self.node }),
+                None => {
+                    let home = self.home(line);
+                    self.send_dir(home, ProtoMsg::InvAck { line, from: self.node });
+                }
+            },
+            InvalResponse::Nack => {
+                debug_assert_eq!(self.protocol, ProtocolKind::WritersBlock);
+                self.stats.inc("cache_nacks_sent");
+                let home = self.home(line);
+                self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: None });
+            }
+        }
+    }
+
+    fn current_owner_data(&mut self, line: LineAddr) -> Option<(LineData, bool)> {
+        if let Some(l2) = self.l2.get(line) {
+            if l2.state.exclusive() {
+                return Some((l2.data, false));
+            }
+        }
+        if let Some(e) = self.evict_buf.iter_mut().find(|e| e.line == line && !e.superseded) {
+            e.superseded = true;
+            return Some((e.data, true));
+        }
+        None
+    }
+
+    fn on_fwd_gets(&mut self, now: Cycle, line: LineAddr, requester: NodeId, kind: ReadKind) {
+        let Some((data, from_buf)) = self.current_owner_data(line) else {
+            panic!("FwdGetS for {line} but {:?} is not owner", self.node);
+        };
+        match kind {
+            ReadKind::TearOff => {
+                // Serve an uncacheable copy; keep ownership (nothing
+                // changes hands). Un-supersede the buffer entry if that is
+                // where the data lives.
+                if from_buf {
+                    if let Some(e) = self.evict_buf.iter_mut().find(|e| e.line == line) {
+                        e.superseded = false;
+                    }
+                }
+                self.send_cache(requester,
+                    ProtoMsg::Data { line, data, acks_expected: 0, exclusive: false, cacheable: false, for_write: false },
+                );
+            }
+            ReadKind::Cacheable => {
+                self.send_cache(requester,
+                    ProtoMsg::Data { line, data, acks_expected: 0, exclusive: false, cacheable: true, for_write: false },
+                );
+                let home = self.home(line);
+                self.send_dir(home, ProtoMsg::DataWb { line, from: self.node, data });
+                if !from_buf {
+                    if let Some(l2) = self.l2.get_mut(line) {
+                        l2.state = PState::S;
+                        self.l2.touch(line, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_fwd_getx(&mut self, now: Cycle, line: LineAddr, requester: NodeId, core: &mut dyn CoreSide) {
+        let Some((data, _)) = self.current_owner_data(line) else {
+            panic!("FwdGetX for {line} but {:?} is not owner", self.node);
+        };
+        self.drop_line(line);
+        match core.on_invalidation(now, line) {
+            InvalResponse::Ack => {
+                // 3-hop: the requester needs no further acks.
+                self.send_cache(requester,
+                    ProtoMsg::Data { line, data, acks_expected: 0, exclusive: false, cacheable: true, for_write: true },
+                );
+            }
+            InvalResponse::Nack => {
+                // Figure 3.B step 3: Data to the writer (who must await one
+                // redirected ack) and Nack+Data to the directory so the LLC
+                // can serve tear-off reads meanwhile.
+                self.stats.inc("cache_nacks_sent");
+                self.send_cache(requester,
+                    ProtoMsg::Data { line, data, acks_expected: 1, exclusive: false, cacheable: true, for_write: true },
+                );
+                let home = self.home(line);
+                self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: Some(data) });
+            }
+        }
+    }
+
+    fn on_recall(&mut self, now: Cycle, line: LineAddr, core: &mut dyn CoreSide) {
+        let Some((data, _)) = self.current_owner_data(line) else {
+            panic!("Recall for {line} but {:?} is not owner", self.node);
+        };
+        self.drop_line(line);
+        let home = self.home(line);
+        match core.on_invalidation(now, line) {
+            InvalResponse::Ack => {
+                self.send_dir(home, ProtoMsg::DataWb { line, from: self.node, data });
+            }
+            InvalResponse::Nack => {
+                self.stats.inc("cache_nacks_sent");
+                self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: Some(data) });
+            }
+        }
+    }
+}

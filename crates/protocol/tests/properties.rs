@@ -1,0 +1,119 @@
+//! Property tests on the protocol's data structures.
+
+use proptest::prelude::*;
+use wb_mem::LineAddr;
+use wb_protocol::array::{Insert, SetAssocArray};
+use wb_protocol::mshr::{MshrFile, MshrKind};
+
+#[derive(Debug, Clone)]
+enum ArrayOp {
+    Insert(u64),
+    Remove(u64),
+    Touch(u64),
+}
+
+fn array_op() -> impl Strategy<Value = ArrayOp> {
+    prop_oneof![
+        (0u64..40).prop_map(ArrayOp::Insert),
+        (0u64..40).prop_map(ArrayOp::Remove),
+        (0u64..40).prop_map(ArrayOp::Touch),
+    ]
+}
+
+proptest! {
+    /// The array mirrors a reference model (a set-limited map): presence
+    /// agrees after every operation, and occupancy never exceeds
+    /// sets x ways.
+    #[test]
+    fn set_assoc_array_matches_reference(ops in proptest::collection::vec(array_op(), 1..200)) {
+        let (sets, ways) = (4usize, 2usize);
+        let mut a: SetAssocArray<u64> = SetAssocArray::new(sets, ways);
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (line, payload)
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            match op {
+                ArrayOp::Insert(l) => {
+                    if reference.iter().any(|(rl, _)| *rl == l) {
+                        continue; // duplicate inserts are a caller error
+                    }
+                    match a.insert(LineAddr(l), l * 10, now, |_, _| true) {
+                        Insert::Done => reference.push((l, l * 10)),
+                        Insert::Evicted(victim, _) => {
+                            reference.retain(|(rl, _)| *rl != victim.0);
+                            reference.push((l, l * 10));
+                        }
+                        Insert::NoVictim => unreachable!("all ways evictable"),
+                    }
+                }
+                ArrayOp::Remove(l) => {
+                    let got = a.remove(LineAddr(l));
+                    let had = reference.iter().any(|(rl, _)| *rl == l);
+                    prop_assert_eq!(got.is_some(), had);
+                    reference.retain(|(rl, _)| *rl != l);
+                }
+                ArrayOp::Touch(l) => a.touch(LineAddr(l), now),
+            }
+            prop_assert!(a.len() <= sets * ways);
+            prop_assert_eq!(a.len(), reference.len());
+            for (l, v) in &reference {
+                prop_assert_eq!(a.get(LineAddr(*l)), Some(v));
+            }
+        }
+    }
+
+    /// LRU: after touching a line, inserting a conflicting line never
+    /// evicts the just-touched one while an older way exists.
+    #[test]
+    fn touched_line_survives_conflict(fresh in 0u64..8) {
+        let mut a: SetAssocArray<u64> = SetAssocArray::new(1, 4);
+        for l in 0..4u64 {
+            a.insert(LineAddr(l), l, l, |_, _| true);
+        }
+        let keep = fresh % 4;
+        a.touch(LineAddr(keep), 100);
+        match a.insert(LineAddr(99), 99, 101, |_, _| true) {
+            Insert::Evicted(victim, _) => prop_assert_ne!(victim.0, keep),
+            other => prop_assert!(false, "expected eviction, got {:?}", other),
+        }
+    }
+
+    /// MSHR invariants: occupancy bounded by capacity; non-SoS traffic
+    /// always leaves one register free; free() returns exactly the
+    /// allocated entries.
+    #[test]
+    fn mshr_reservation_invariant(
+        allocs in proptest::collection::vec((0u64..12, any::<bool>()), 1..40)
+    ) {
+        let cap = 4usize;
+        let mut f = MshrFile::new(cap);
+        let mut live: Vec<u64> = Vec::new();
+        let mut normal_live = 0usize;
+        for (line, sos) in allocs {
+            if live.contains(&line) {
+                continue;
+            }
+            match f.alloc(LineAddr(line), MshrKind::Read, sos, 0) {
+                Some(_) => {
+                    live.push(line);
+                    if !sos {
+                        normal_live += 1;
+                    }
+                }
+                None => {
+                    if sos {
+                        prop_assert_eq!(live.len(), cap, "SoS refused before the file was full");
+                    } else {
+                        prop_assert!(live.len() >= cap - 1, "normal alloc refused too early");
+                    }
+                }
+            }
+            prop_assert!(f.in_use() <= cap);
+            prop_assert!(normal_live <= cap - 1 || normal_live <= f.in_use());
+        }
+        for line in live {
+            prop_assert!(f.free(LineAddr(line), MshrKind::Read).is_some());
+        }
+        prop_assert!(f.is_empty());
+    }
+}

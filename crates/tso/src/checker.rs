@@ -1,0 +1,559 @@
+//! Axiomatic x86-TSO checker.
+//!
+//! Follows the axiomatic formulation of x86-TSO (Sewell et al., CACM
+//! 2010; Sorin/Hill/Wood primer): an execution is TSO-consistent iff
+//!
+//! 1. **uniproc / coherence**: for every location, `po-loc ∪ rf ∪ co ∪ fr`
+//!    is acyclic;
+//! 2. **tso-ghb**: `ppo ∪ rfe ∪ co ∪ fr` is acyclic, where `ppo` is
+//!    program order minus write→read pairs (the store→load relaxation
+//!    that store buffers introduce), except that atomic RMWs order
+//!    everything around them;
+//! 3. **atomicity**: an RMW reads from the write immediately preceding
+//!    its own write in coherence order.
+//!
+//! The coherence order `co` is recovered from the simulator directly:
+//! writes to a location are serialized by the single-writer protocol, so
+//! their perform cycles order them. The reads-from relation `rf` is
+//! recovered by value matching, which requires *unique written values per
+//! location* — the litmus and torture generators guarantee this.
+
+use crate::events::{ExecutionLog, MemEvent, MemOp};
+use std::collections::HashMap;
+use wb_mem::Addr;
+
+/// Why a log failed the TSO check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A read observed a value never written to its location (coherence
+    /// is broken, or store values were not unique).
+    ValueNotFound { core: usize, seq: u64, addr: Addr, value: u64 },
+    /// Two writes to one location wrote the same value; `rf` cannot be
+    /// recovered.
+    AmbiguousValue { addr: Addr, value: u64 },
+    /// Two writes to one location performed at the same cycle on
+    /// different cores — impossible under a single-writer protocol.
+    CoherenceTie { addr: Addr },
+    /// A cycle in `po-loc ∪ rf ∪ co ∪ fr` for one location.
+    UniprocViolation { addr: Addr },
+    /// A cycle in `ppo ∪ rfe ∪ co ∪ fr`: the execution is not TSO.
+    TsoViolation,
+    /// An RMW did not read the coherence-latest value before its write.
+    AtomicityViolation { core: usize, seq: u64, addr: Addr },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::ValueNotFound { core, seq, addr, value } => {
+                write!(f, "core {core} seq {seq} read {value:#x} from {addr}, never written")
+            }
+            CheckError::AmbiguousValue { addr, value } => {
+                write!(f, "value {value:#x} written more than once to {addr}; rf is ambiguous")
+            }
+            CheckError::CoherenceTie { addr } => write!(f, "two writes to {addr} performed at the same cycle"),
+            CheckError::UniprocViolation { addr } => write!(f, "per-location coherence cycle at {addr}"),
+            CheckError::TsoViolation => write!(f, "cycle in ppo ∪ rfe ∪ co ∪ fr: execution violates TSO"),
+            CheckError::AtomicityViolation { core, seq, addr } => {
+                write!(f, "RMW at core {core} seq {seq} on {addr} was not atomic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The source a read obtained its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadFrom {
+    /// The initial memory value.
+    Init,
+    /// The event at this index in the checker's event array.
+    Write(usize),
+}
+
+/// The checker. Construct with [`TsoChecker::new`], then call
+/// [`TsoChecker::check`].
+///
+/// # Example
+///
+/// ```
+/// use wb_tso::{ExecutionLog, MemEvent, MemOp, TsoChecker};
+/// use wb_mem::Addr;
+///
+/// let mut log = ExecutionLog::new();
+/// log.push(MemEvent { core: 0, seq: 0, addr: Addr::new(0x40),
+///                     op: MemOp::Store { value: 1, performed_at: 5 } });
+/// log.push(MemEvent { core: 1, seq: 0, addr: Addr::new(0x40),
+///                     op: MemOp::Load { value: 1 } });
+/// assert!(TsoChecker::new(&log).check().is_ok());
+/// ```
+pub struct TsoChecker<'a> {
+    log: &'a ExecutionLog,
+    events: Vec<&'a MemEvent>,
+}
+
+impl<'a> TsoChecker<'a> {
+    /// Wrap a log for checking.
+    pub fn new(log: &'a ExecutionLog) -> Self {
+        let mut events: Vec<&MemEvent> = log.events().iter().collect();
+        // Canonical order: by core then seq (program order per core).
+        events.sort_by_key(|e| (e.core, e.seq));
+        TsoChecker { log, events }
+    }
+
+    /// Run all three axioms. `Ok(())` means the execution is TSO.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CheckError`] found; see its variants.
+    pub fn check(&self) -> Result<(), CheckError> {
+        let co = self.coherence_orders()?;
+        let rf = self.reads_from(&co)?;
+        self.check_atomicity(&co, &rf)?;
+        self.check_uniproc(&co, &rf)?;
+        self.check_tso(&co, &rf)
+    }
+
+    /// Per-location coherence order: event indices of writes, ordered.
+    fn coherence_orders(&self) -> Result<HashMap<Addr, Vec<usize>>, CheckError> {
+        let mut co: HashMap<Addr, Vec<usize>> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            if e.op.is_write() {
+                co.entry(e.addr).or_default().push(i);
+            }
+        }
+        for (addr, ws) in co.iter_mut() {
+            ws.sort_by_key(|&i| {
+                let e = self.events[i];
+                (e.op.performed_at().expect("write has perform cycle"), e.core, e.seq)
+            });
+            // Different-core ties are a protocol impossibility.
+            for w in ws.windows(2) {
+                let (a, b) = (self.events[w[0]], self.events[w[1]]);
+                if a.op.performed_at() == b.op.performed_at() && a.core != b.core {
+                    return Err(CheckError::CoherenceTie { addr: *addr });
+                }
+            }
+        }
+        Ok(co)
+    }
+
+    /// For each reading event, which write produced its value.
+    fn reads_from(&self, co: &HashMap<Addr, Vec<usize>>) -> Result<HashMap<usize, ReadFrom>, CheckError> {
+        // value -> writer index, per address; detect duplicates.
+        let mut by_value: HashMap<(Addr, u64), Vec<usize>> = HashMap::new();
+        for (addr, ws) in co {
+            for &w in ws {
+                let v = self.events[w].op.written().expect("write");
+                by_value.entry((*addr, v)).or_default().push(w);
+            }
+        }
+        let mut rf = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let Some(v) = e.op.read() else { continue };
+            match by_value.get(&(e.addr, v)) {
+                Some(ws) if ws.len() == 1 => {
+                    rf.insert(i, ReadFrom::Write(ws[0]));
+                }
+                Some(ws) if ws.len() > 1 => {
+                    return Err(CheckError::AmbiguousValue { addr: e.addr, value: v });
+                }
+                _ => {
+                    if v == self.log.init_value(e.addr) {
+                        rf.insert(i, ReadFrom::Init);
+                    } else {
+                        return Err(CheckError::ValueNotFound {
+                            core: e.core,
+                            seq: e.seq,
+                            addr: e.addr,
+                            value: v,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(rf)
+    }
+
+    /// from-read edges: read -> every write coherence-after its source.
+    fn fr_targets(&self, co: &HashMap<Addr, Vec<usize>>, addr: Addr, src: ReadFrom) -> Vec<usize> {
+        let Some(ws) = co.get(&addr) else { return Vec::new() };
+        match src {
+            ReadFrom::Init => ws.clone(),
+            ReadFrom::Write(w) => {
+                let pos = ws.iter().position(|&x| x == w).expect("write in co");
+                ws[pos + 1..].to_vec()
+            }
+        }
+    }
+
+    fn check_atomicity(
+        &self,
+        co: &HashMap<Addr, Vec<usize>>,
+        rf: &HashMap<usize, ReadFrom>,
+    ) -> Result<(), CheckError> {
+        for (i, e) in self.events.iter().enumerate() {
+            if !matches!(e.op, MemOp::Rmw { .. }) {
+                continue;
+            }
+            let ws = &co[&e.addr];
+            let my_pos = ws.iter().position(|&x| x == i).expect("rmw is a write");
+            let expected = if my_pos == 0 { ReadFrom::Init } else { ReadFrom::Write(ws[my_pos - 1]) };
+            if rf.get(&i) != Some(&expected) {
+                return Err(CheckError::AtomicityViolation { core: e.core, seq: e.seq, addr: e.addr });
+            }
+        }
+        Ok(())
+    }
+
+    /// Generic cycle check over an edge list (Kahn's algorithm).
+    fn acyclic(n: usize, edges: &[(usize, usize)]) -> bool {
+        let mut indeg = vec![0usize; n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            adj[a].push(b);
+            indeg[b] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(x) = stack.pop() {
+            seen += 1;
+            for &y in &adj[x] {
+                indeg[y] -= 1;
+                if indeg[y] == 0 {
+                    stack.push(y);
+                }
+            }
+        }
+        seen == n
+    }
+
+    fn check_uniproc(
+        &self,
+        co: &HashMap<Addr, Vec<usize>>,
+        rf: &HashMap<usize, ReadFrom>,
+    ) -> Result<(), CheckError> {
+        // Group events per address; po-loc ∪ rf ∪ co ∪ fr must be acyclic.
+        let mut by_addr: HashMap<Addr, Vec<usize>> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            by_addr.entry(e.addr).or_default().push(i);
+        }
+        for (addr, idxs) in &by_addr {
+            let mut edges: Vec<(usize, usize)> = Vec::new();
+            // po-loc: consecutive same-core accesses to this address.
+            let mut last_of_core: HashMap<usize, usize> = HashMap::new();
+            for &i in idxs {
+                let e = self.events[i];
+                if let Some(&prev) = last_of_core.get(&e.core) {
+                    edges.push((prev, i));
+                }
+                last_of_core.insert(e.core, i);
+            }
+            if let Some(ws) = co.get(addr) {
+                for w in ws.windows(2) {
+                    edges.push((w[0], w[1]));
+                }
+            }
+            for &i in idxs {
+                if let Some(&src) = rf.get(&i) {
+                    if let ReadFrom::Write(w) = src {
+                        if w != i {
+                            edges.push((w, i));
+                        }
+                    }
+                    for t in self.fr_targets(co, *addr, src) {
+                        if t != i {
+                            edges.push((i, t));
+                        }
+                    }
+                }
+            }
+            if !Self::acyclic(self.events.len(), &edges) {
+                return Err(CheckError::UniprocViolation { addr: *addr });
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the ppo edges (program order minus plain-store -> plain-load,
+    /// with RMWs fencing both ways) as an O(n) chain encoding whose
+    /// reachability equals the pairwise relation:
+    ///
+    /// - a *read* (or RMW) points to its immediate po successor and to
+    ///   the next read — from a read, everything later is reachable;
+    /// - a *write* (or RMW) points to the next write — from a plain
+    ///   write, only later writes (and through them RMWs/their read
+    ///   sides) are reachable, never a plain load directly.
+    fn ppo_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        let mut per_core: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            per_core.entry(e.core).or_default().push(i);
+        }
+        for idxs in per_core.values() {
+            let k = idxs.len();
+            // Backward passes: next read / next write after each position.
+            let mut next_read = vec![None; k];
+            let mut next_write = vec![None; k];
+            let (mut nr, mut nw) = (None, None);
+            for pos in (0..k).rev() {
+                next_read[pos] = nr;
+                next_write[pos] = nw;
+                let e = self.events[idxs[pos]];
+                if e.op.is_read() {
+                    nr = Some(idxs[pos]);
+                }
+                if e.op.is_write() {
+                    nw = Some(idxs[pos]);
+                }
+            }
+            for (pos, &i) in idxs.iter().enumerate() {
+                let e = self.events[i];
+                if e.op.is_read() {
+                    if let Some(&n) = idxs.get(pos + 1) {
+                        edges.push((i, n));
+                    }
+                    if let Some(nr) = next_read[pos] {
+                        if Some(nr) != idxs.get(pos + 1).copied() {
+                            edges.push((i, nr));
+                        }
+                    }
+                }
+                if e.op.is_write() {
+                    if let Some(nw) = next_write[pos] {
+                        edges.push((i, nw));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    fn check_tso(
+        &self,
+        co: &HashMap<Addr, Vec<usize>>,
+        rf: &HashMap<usize, ReadFrom>,
+    ) -> Result<(), CheckError> {
+        let n = self.events.len();
+        let mut edges: Vec<(usize, usize)> = self.ppo_edges();
+        // rfe (external reads-from only), co, fr.
+        for (addr, ws) in co {
+            for w in ws.windows(2) {
+                edges.push((w[0], w[1]));
+            }
+            let _ = addr;
+        }
+        for (i, e) in self.events.iter().enumerate() {
+            if let Some(&src) = rf.get(&i) {
+                if let ReadFrom::Write(w) = src {
+                    if self.events[w].core != e.core {
+                        edges.push((w, i));
+                    }
+                }
+                for t in self.fr_targets(co, e.addr, src) {
+                    if t != i {
+                        edges.push((i, t));
+                    }
+                }
+            }
+        }
+        if Self::acyclic(n, &edges) {
+            Ok(())
+        } else {
+            Err(CheckError::TsoViolation)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ld(core: usize, seq: u64, addr: u64, value: u64) -> MemEvent {
+        MemEvent { core, seq, addr: Addr::new(addr), op: MemOp::Load { value } }
+    }
+    fn st(core: usize, seq: u64, addr: u64, value: u64, at: u64) -> MemEvent {
+        MemEvent { core, seq, addr: Addr::new(addr), op: MemOp::Store { value, performed_at: at } }
+    }
+
+    const X: u64 = 0x100;
+    const Y: u64 = 0x200;
+
+    fn check(events: Vec<MemEvent>) -> Result<(), CheckError> {
+        let mut log = ExecutionLog::new();
+        for e in events {
+            log.push(e);
+        }
+        TsoChecker::new(&log).check()
+    }
+
+    #[test]
+    fn empty_log_is_fine() {
+        assert!(check(vec![]).is_ok());
+    }
+
+    #[test]
+    fn mp_legal_outcomes_pass() {
+        // Writer: st x=1; st y=1. Reader: ld y; ld x.
+        // {y=1, x=1} is legal.
+        assert!(check(vec![
+            st(1, 0, X, 1, 10),
+            st(1, 1, Y, 1, 20),
+            ld(0, 0, Y, 1),
+            ld(0, 1, X, 1),
+        ])
+        .is_ok());
+        // {y=0, x=0} and {y=0, x=1} are legal too.
+        assert!(check(vec![st(1, 0, X, 1, 10), st(1, 1, Y, 1, 20), ld(0, 0, Y, 0), ld(0, 1, X, 0)]).is_ok());
+        assert!(check(vec![st(1, 0, X, 1, 10), st(1, 1, Y, 1, 20), ld(0, 0, Y, 0), ld(0, 1, X, 1)]).is_ok());
+    }
+
+    #[test]
+    fn mp_illegal_outcome_fails() {
+        // Table 1 of the paper: ld y sees the new value but ld x sees the
+        // old one — forbidden in TSO.
+        let err = check(vec![
+            st(1, 0, X, 1, 10),
+            st(1, 1, Y, 1, 20),
+            ld(0, 0, Y, 1),
+            ld(0, 1, X, 0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CheckError::TsoViolation);
+    }
+
+    #[test]
+    fn store_buffering_outcome_allowed_in_tso() {
+        // SB: core0: st x=1; ld y. core1: st y=1; ld x.
+        // Both loads reading 0 is the classic TSO-allowed outcome (needs
+        // the W->R relaxation; an SC checker would reject it).
+        assert!(check(vec![
+            st(0, 0, X, 1, 10),
+            ld(0, 1, Y, 0),
+            st(1, 0, Y, 1, 11),
+            ld(1, 1, X, 0),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn load_buffering_outcome_forbidden() {
+        // LB: core0: ld x(=1); st y=1. core1: ld y(=1); st x=1.
+        // Both loads observing the other's store is forbidden in TSO
+        // (R->W is ordered).
+        let err = check(vec![
+            ld(0, 0, X, 1),
+            st(0, 1, Y, 1, 10),
+            ld(1, 0, Y, 1),
+            st(1, 1, X, 1, 11),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CheckError::TsoViolation);
+    }
+
+    #[test]
+    fn read_own_store_early_is_legal() {
+        // Core 0 forwards its own store before it is globally visible,
+        // while core 1's later store wins coherence order.
+        assert!(check(vec![
+            st(0, 0, X, 1, 100),
+            ld(0, 1, X, 1), // rfi: fine even though x=2 performs first
+            st(1, 0, X, 2, 50),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn corr_violation_detected() {
+        // Same core reads new then old value of one location: uniproc
+        // violation.
+        let err = check(vec![st(1, 0, X, 1, 10), ld(0, 0, X, 1), ld(0, 1, X, 0)]).unwrap_err();
+        assert!(matches!(err, CheckError::UniprocViolation { .. } | CheckError::TsoViolation));
+    }
+
+    #[test]
+    fn unknown_value_detected() {
+        let err = check(vec![ld(0, 0, X, 99)]).unwrap_err();
+        assert!(matches!(err, CheckError::ValueNotFound { value: 99, .. }));
+    }
+
+    #[test]
+    fn init_values_respected() {
+        let mut log = ExecutionLog::new();
+        log.set_init(Addr::new(X), 42);
+        log.push(ld(0, 0, X, 42));
+        assert!(TsoChecker::new(&log).check().is_ok());
+    }
+
+    #[test]
+    fn duplicate_written_values_rejected() {
+        let err = check(vec![st(0, 0, X, 7, 10), st(1, 0, X, 7, 20), ld(2, 0, X, 7)]).unwrap_err();
+        assert!(matches!(err, CheckError::AmbiguousValue { value: 7, .. }));
+    }
+
+    #[test]
+    fn coherence_tie_rejected() {
+        let err = check(vec![st(0, 0, X, 1, 10), st(1, 0, X, 2, 10), ld(2, 0, X, 2)]).unwrap_err();
+        assert_eq!(err, CheckError::CoherenceTie { addr: Addr::new(X) });
+    }
+
+    #[test]
+    fn rmw_atomicity_enforced() {
+        // RMW read 0 but a store of 5 performed between init and the RMW's
+        // write: not atomic.
+        let bad = vec![
+            st(1, 0, X, 5, 10),
+            MemEvent {
+                core: 0,
+                seq: 0,
+                addr: Addr::new(X),
+                op: MemOp::Rmw { old: 0, new: 1, performed_at: 20 },
+            },
+        ];
+        let err = check(bad).unwrap_err();
+        assert!(matches!(err, CheckError::AtomicityViolation { .. }));
+        // Reading the latest value is fine.
+        let good = vec![
+            st(1, 0, X, 5, 10),
+            MemEvent {
+                core: 0,
+                seq: 0,
+                addr: Addr::new(X),
+                op: MemOp::Rmw { old: 5, new: 6, performed_at: 20 },
+            },
+        ];
+        assert!(check(good).is_ok());
+    }
+
+    #[test]
+    fn rmw_orders_like_a_fence() {
+        // SB with atomic stores: core0: rmw x; ld y. core1: rmw y; ld x.
+        // Both loads reading 0 would violate TSO because RMWs do not
+        // relax into the store buffer.
+        let err = check(vec![
+            MemEvent { core: 0, seq: 0, addr: Addr::new(X), op: MemOp::Rmw { old: 0, new: 1, performed_at: 10 } },
+            ld(0, 1, Y, 0),
+            MemEvent { core: 1, seq: 0, addr: Addr::new(Y), op: MemOp::Rmw { old: 0, new: 1, performed_at: 11 } },
+            ld(1, 1, X, 0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CheckError::TsoViolation);
+    }
+
+    #[test]
+    fn iriw_is_forbidden_in_tso() {
+        // Writers: core2 st x=1, core3 st y=1. Readers disagree on the
+        // order: forbidden (TSO is multi-copy atomic).
+        let err = check(vec![
+            st(2, 0, X, 1, 10),
+            st(3, 0, Y, 1, 12),
+            ld(0, 0, X, 1),
+            ld(0, 1, Y, 0),
+            ld(1, 0, Y, 1),
+            ld(1, 1, X, 0),
+        ])
+        .unwrap_err();
+        assert_eq!(err, CheckError::TsoViolation);
+    }
+}

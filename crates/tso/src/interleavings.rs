@@ -1,0 +1,169 @@
+//! The six interleavings of Table 2, enumerated explicitly.
+//!
+//! For the Table 1 example — reader `ld y; ld x` racing writer
+//! `st x; st y` — there are C(4,2) = 6 ways to merge the two program
+//! orders. Each interleaving determines which values the loads observe;
+//! five are legal TSO outcomes and one (⑥, `{new, old}`) requires a
+//! cycle through program order and is illegal. This module reproduces
+//! the table mechanically.
+
+/// One of the four operations of the Table 1 example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `ld y` (the reader's older load).
+    LdY,
+    /// `ld x` (the reader's younger load).
+    LdX,
+    /// `st x` (the writer's older store).
+    StX,
+    /// `st y` (the writer's younger store).
+    StY,
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Op::LdY => "ld y",
+            Op::LdX => "ld x",
+            Op::StX => "st x",
+            Op::StY => "st y",
+        })
+    }
+}
+
+/// One interleaving and the outcome it produces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interleaving {
+    /// Paper's numbering ①-⑥ (1..=6).
+    pub index: usize,
+    /// The merge order.
+    pub order: [Op; 4],
+    /// Value observed by `ld y` (false = old, true = new).
+    pub y_new: bool,
+    /// Value observed by `ld x`.
+    pub x_new: bool,
+    /// Whether the interleaving respects both program orders (the five
+    /// legal rows of Table 2). The `{new, old}` combination appears only
+    /// in the row that *violates* the loads' program order — row ⑥.
+    pub legal: bool,
+}
+
+impl Interleaving {
+    /// The paper's value-pair label, e.g. `"old, new"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}, {}",
+            if self.y_new { "new" } else { "old" },
+            if self.x_new { "new" } else { "old" }
+        )
+    }
+}
+
+/// Evaluate a merge order: which values do the loads see?
+fn outcome(order: &[Op; 4]) -> (bool, bool) {
+    let (mut x, mut y) = (false, false);
+    let (mut y_new, mut x_new) = (false, false);
+    for op in order {
+        match op {
+            Op::StX => x = true,
+            Op::StY => y = true,
+            Op::LdY => y_new = y,
+            Op::LdX => x_new = x,
+        }
+    }
+    (y_new, x_new)
+}
+
+/// Enumerate Table 2: the five legal interleavings (program orders
+/// respected on both sides) plus the illegal row ⑥ where the loads are
+/// observed out of program order.
+pub fn table2() -> Vec<Interleaving> {
+    use Op::*;
+    // The paper's rows ①-⑤: all merges with ld y before ld x and
+    // st x before st y.
+    let legal_orders: [[Op; 4]; 5] = [
+        [LdY, LdX, StX, StY], // ①
+        [LdY, StX, LdX, StY], // ②
+        [LdY, StX, StY, LdX], // ③
+        [StX, LdY, StY, LdX], // ④
+        [StX, StY, LdY, LdX], // ⑤
+    ];
+    let mut rows: Vec<Interleaving> = legal_orders
+        .iter()
+        .enumerate()
+        .map(|(i, order)| {
+            let (y_new, x_new) = outcome(order);
+            Interleaving { index: i + 1, order: *order, y_new, x_new, legal: true }
+        })
+        .collect();
+    // Row ⑥: interleaving ③ with the loads swapped — the observation
+    // order that binds x to the old value *after* y bound the new one.
+    let illegal = [LdX, StX, StY, LdY];
+    let (y_new, x_new) = outcome(&illegal);
+    rows.push(Interleaving { index: 6, order: illegal, y_new, x_new, legal: false });
+    rows
+}
+
+/// The set of value pairs `(y, x)` reachable by legal interleavings —
+/// Table 2's conclusion: {old,old}, {old,new}, {new,new}.
+pub fn legal_outcomes() -> Vec<(bool, bool)> {
+    let mut v: Vec<(bool, bool)> =
+        table2().iter().filter(|r| r.legal).map(|r| (r.y_new, r.x_new)).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_total() {
+        let rows = table2();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().filter(|r| r.legal).count(), 5);
+    }
+
+    #[test]
+    fn legal_outcomes_match_paper() {
+        // {old,old}, {old,new}, {new,new} and nothing else.
+        assert_eq!(legal_outcomes(), vec![(false, false), (false, true), (true, true)]);
+    }
+
+    #[test]
+    fn row6_is_the_forbidden_combination() {
+        let rows = table2();
+        let illegal = &rows[5];
+        assert!(!illegal.legal);
+        assert!(illegal.y_new && !illegal.x_new, "row 6 must be {{new, old}}");
+        assert_eq!(illegal.label(), "new, old");
+    }
+
+    #[test]
+    fn row_values_match_the_paper_table() {
+        let rows = table2();
+        let labels: Vec<String> = rows.iter().map(|r| r.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["old, old", "old, new", "old, new", "old, new", "new, new", "new, old"]
+        );
+    }
+
+    #[test]
+    fn legal_set_agrees_with_the_operational_oracle() {
+        let t = crate::litmus::mp();
+        let oracle = crate::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle");
+        let from_table: std::collections::BTreeSet<Vec<u64>> = legal_outcomes()
+            .into_iter()
+            .map(|(y, x)| vec![u64::from(y), u64::from(x)])
+            .collect();
+        assert_eq!(oracle, from_table);
+    }
+
+    #[test]
+    fn display_ops() {
+        assert_eq!(Op::LdY.to_string(), "ld y");
+        assert_eq!(Op::StX.to_string(), "st x");
+    }
+}

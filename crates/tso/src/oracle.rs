@@ -1,0 +1,354 @@
+//! An operational TSO reference model.
+//!
+//! The canonical x86-TSO abstract machine (Sewell et al.): each hart owns
+//! a FIFO store buffer; loads read the youngest matching entry of their
+//! own buffer, else memory; stores enqueue; the buffer drains to memory
+//! nondeterministically; atomic RMWs execute only with an empty own
+//! buffer and touch memory directly.
+//!
+//! [`TsoOracle::enumerate`] explores *every* reachable interleaving of a
+//! small multi-core program by depth-first search over machine states and
+//! returns the set of all TSO-legal outcomes. This is the ground truth
+//! the simulator's litmus results are compared against, and the generator
+//! behind Table 2 of the paper.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use wb_isa::{AmoOp, Inst, Reg, Workload};
+
+
+/// Errors from outcome enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OracleError {
+    /// The state space exceeded the configured budget (e.g. an unbounded
+    /// spin loop).
+    StateSpaceTooLarge { limit: usize },
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::StateSpaceTooLarge { limit } => {
+                write!(f, "state space exceeded {limit} states (unbounded loop?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+#[derive(Clone, PartialEq, Eq)]
+struct HartState {
+    regs: [u64; Reg::COUNT],
+    pc: u32,
+    halted: bool,
+    sb: VecDeque<(u64, u64)>, // (byte address, value)
+}
+
+impl Hash for HartState {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.regs.hash(state);
+        self.pc.hash(state);
+        self.halted.hash(state);
+        for e in &self.sb {
+            e.hash(state);
+        }
+        self.sb.len().hash(state);
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct MachineState {
+    harts: Vec<HartState>,
+    memory: BTreeMap<u64, u64>,
+}
+
+impl MachineState {
+    fn read_mem(&self, a: u64) -> u64 {
+        self.memory.get(&a).copied().unwrap_or(0)
+    }
+}
+
+/// Exhaustive TSO outcome enumerator.
+#[derive(Debug, Clone)]
+pub struct TsoOracle {
+    max_states: usize,
+}
+
+impl Default for TsoOracle {
+    fn default() -> Self {
+        TsoOracle::new()
+    }
+}
+
+impl TsoOracle {
+    /// An oracle with the default state budget (1M states).
+    pub fn new() -> Self {
+        TsoOracle { max_states: 1_000_000 }
+    }
+
+    /// Override the state budget.
+    pub fn with_max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Enumerate every TSO-legal outcome of `workload`, projected onto
+    /// the `observed` `(core, register)` pairs. Outcomes are only taken
+    /// from final states (all harts halted, all store buffers drained).
+    ///
+    /// # Errors
+    ///
+    /// [`OracleError::StateSpaceTooLarge`] if exploration exceeds the
+    /// budget.
+    pub fn enumerate(
+        &self,
+        workload: &Workload,
+        observed: &[(usize, Reg)],
+    ) -> Result<BTreeSet<Vec<u64>>, OracleError> {
+        let mut init = MachineState {
+            harts: workload
+                .programs
+                .iter()
+                .map(|_| HartState { regs: [0; Reg::COUNT], pc: 0, halted: false, sb: VecDeque::new() })
+                .collect(),
+            memory: BTreeMap::new(),
+        };
+        for (a, v) in &workload.init_mem {
+            init.memory.insert(a.0, *v);
+        }
+        let mut outcomes = BTreeSet::new();
+        let mut visited: HashSet<MachineState> = HashSet::new();
+        let mut stack = vec![init];
+        while let Some(st) = stack.pop() {
+            if visited.contains(&st) {
+                continue;
+            }
+            if visited.len() >= self.max_states {
+                return Err(OracleError::StateSpaceTooLarge { limit: self.max_states });
+            }
+            visited.insert(st.clone());
+            let mut terminal = true;
+            for i in 0..st.harts.len() {
+                // Transition (a): drain the oldest store-buffer entry.
+                if !st.harts[i].sb.is_empty() {
+                    terminal = false;
+                    let mut next = st.clone();
+                    let (a, v) = next.harts[i].sb.pop_front().expect("non-empty");
+                    next.memory.insert(a, v);
+                    stack.push(next);
+                }
+                // Transition (b): execute the next instruction. A hart
+                // blocked on an RMW with a non-empty SB cannot step now,
+                // but its own drain transition above keeps the state
+                // non-terminal.
+                if !st.harts[i].halted {
+                    if let Some(next) = Self::step(&st, i, workload) {
+                        terminal = false;
+                        stack.push(next);
+                    }
+                }
+            }
+            if terminal {
+                outcomes.insert(observed.iter().map(|&(c, r)| st.harts[c].regs[r.index()]).collect());
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Execute one instruction of hart `i`, returning the successor state
+    /// (or `None` when the hart cannot step right now, e.g. an RMW with a
+    /// non-empty store buffer).
+    fn step(st: &MachineState, i: usize, workload: &Workload) -> Option<MachineState> {
+        let hart = &st.harts[i];
+        let prog = &workload.programs[i];
+        let Some(inst) = prog.fetch(hart.pc) else {
+            let mut next = st.clone();
+            next.harts[i].halted = true;
+            return Some(next);
+        };
+        let reg = |r: Reg| if r.is_zero() { 0 } else { hart.regs[r.index()] };
+        let ea = |base: Reg, off: i64| reg(base).wrapping_add(off as u64);
+        let mut next = st.clone();
+        let mut pc = hart.pc + 1;
+        {
+            let set = |next: &mut MachineState, r: Reg, v: u64| {
+                if !r.is_zero() {
+                    next.harts[i].regs[r.index()] = v;
+                }
+            };
+            match inst {
+                Inst::Imm { rd, value } => set(&mut next, rd, value),
+                Inst::Alu { op, rd, rs1, rs2 } => set(&mut next, rd, op.apply(reg(rs1), reg(rs2))),
+                Inst::AluImm { op, rd, rs1, imm } => set(&mut next, rd, op.apply(reg(rs1), imm)),
+                Inst::Load { rd, base, offset } => {
+                    let a = ea(base, offset);
+                    // Youngest matching own-store-buffer entry, else memory.
+                    let v = hart
+                        .sb
+                        .iter()
+                        .rev()
+                        .find(|(sa, _)| *sa == a)
+                        .map(|(_, sv)| *sv)
+                        .unwrap_or_else(|| st.read_mem(a));
+                    set(&mut next, rd, v);
+                }
+                Inst::Store { src, base, offset } => {
+                    let a = ea(base, offset);
+                    next.harts[i].sb.push_back((a, reg(src)));
+                }
+                Inst::Amo { op, rd, base, offset, src, cmp } => {
+                    if !hart.sb.is_empty() {
+                        return None; // x86 locked ops drain the buffer first
+                    }
+                    let a = ea(base, offset);
+                    let old = st.read_mem(a);
+                    let new = match op {
+                        AmoOp::Swap => Some(reg(src)),
+                        AmoOp::Add => Some(old.wrapping_add(reg(src))),
+                        AmoOp::Cas => (old == reg(cmp)).then(|| reg(src)),
+                    };
+                    if let Some(n) = new {
+                        next.memory.insert(a, n);
+                    }
+                    set(&mut next, rd, old);
+                }
+                Inst::Branch { cond, rs1, rs2, target } => {
+                    if cond.eval(reg(rs1), reg(rs2)) {
+                        pc = target;
+                    }
+                }
+                Inst::Jump { target } => pc = target,
+                Inst::Nop => {}
+                Inst::Halt => {
+                    next.harts[i].halted = true;
+                    return Some(next);
+                }
+            }
+        }
+        next.harts[i].pc = pc;
+        Some(next)
+    }
+}
+
+/// Convenience: enumerate outcomes with the default oracle.
+///
+/// # Errors
+///
+/// See [`TsoOracle::enumerate`].
+pub fn tso_outcomes(
+    workload: &Workload,
+    observed: &[(usize, Reg)],
+) -> Result<BTreeSet<Vec<u64>>, OracleError> {
+    TsoOracle::new().enumerate(workload, observed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_isa::Program;
+
+    fn addr(a: u64) -> wb_mem::Addr {
+        wb_mem::Addr::new(a)
+    }
+
+    /// Table 1: core0 `ld ra,y; ld rb,x`; core1 `st x,1; st y,1`.
+    fn mp() -> (Workload, Vec<(usize, Reg)>) {
+        let (ra, rb, rx, ry) = (Reg(1), Reg(2), Reg(3), Reg(4));
+        let mut p0 = Program::builder();
+        p0.imm(ry, 0x200).imm(rx, 0x100).load(ra, ry, 0).load(rb, rx, 0).halt();
+        let mut p1 = Program::builder();
+        p1.imm(rx, 0x100).imm(ry, 0x200).imm(Reg(5), 1).store(Reg(5), rx, 0).store(Reg(5), ry, 0).halt();
+        let w = Workload::new("mp", vec![p0.build(), p1.build()]);
+        (w, vec![(0, ra), (0, rb)])
+    }
+
+    #[test]
+    fn mp_outcomes_match_table2() {
+        let (w, obs) = mp();
+        let outcomes = tso_outcomes(&w, &obs).unwrap();
+        // Table 2: {old,old}, {old,new}, {new,new} — never {new,old}.
+        let expect: BTreeSet<Vec<u64>> =
+            [vec![0, 0], vec![0, 1], vec![1, 1]].into_iter().collect();
+        assert_eq!(outcomes, expect);
+    }
+
+    #[test]
+    fn sb_allows_both_zero() {
+        // core0: st x,1; ld ra,y.   core1: st y,1; ld rb,x.
+        let (ra, rb, rx, ry, one) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        let mut p0 = Program::builder();
+        p0.imm(rx, 0x100).imm(ry, 0x200).imm(one, 1).store(one, rx, 0).load(ra, ry, 0).halt();
+        let mut p1 = Program::builder();
+        p1.imm(rx, 0x100).imm(ry, 0x200).imm(one, 1).store(one, ry, 0).load(rb, rx, 0).halt();
+        let w = Workload::new("sb", vec![p0.build(), p1.build()]);
+        let outcomes = tso_outcomes(&w, &[(0, ra), (1, rb)]).unwrap();
+        assert!(outcomes.contains(&vec![0, 0]), "store buffering must be visible in TSO");
+        assert_eq!(outcomes.len(), 4, "all four combinations are legal in SB");
+    }
+
+    #[test]
+    fn lb_forbids_both_one() {
+        // core0: ld ra,x; st y,1.   core1: ld rb,y; st x,1.
+        let (ra, rb, rx, ry, one) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        let mut p0 = Program::builder();
+        p0.imm(rx, 0x100).imm(ry, 0x200).imm(one, 1).load(ra, rx, 0).store(one, ry, 0).halt();
+        let mut p1 = Program::builder();
+        p1.imm(rx, 0x100).imm(ry, 0x200).imm(one, 1).load(rb, ry, 0).store(one, rx, 0).halt();
+        let w = Workload::new("lb", vec![p0.build(), p1.build()]);
+        let outcomes = tso_outcomes(&w, &[(0, ra), (1, rb)]).unwrap();
+        assert!(!outcomes.contains(&vec![1, 1]), "LB outcome {{1,1}} is forbidden in TSO");
+    }
+
+    #[test]
+    fn rmw_drains_store_buffer() {
+        // core0: st x,1; amo_swap y <- 2; core1 reads y==2 implies x==1.
+        let (ra, rb, rx, ry, v) = (Reg(1), Reg(2), Reg(3), Reg(4), Reg(5));
+        let mut p0 = Program::builder();
+        p0.imm(rx, 0x100).imm(ry, 0x200).imm(v, 1).store(v, rx, 0);
+        p0.imm(Reg(6), 2).amo_swap(Reg(7), ry, 0, Reg(6)).halt();
+        let mut p1 = Program::builder();
+        p1.imm(rx, 0x100).imm(ry, 0x200).load(ra, ry, 0).load(rb, rx, 0).halt();
+        let w = Workload::new("rmw-mp", vec![p0.build(), p1.build()]);
+        let outcomes = tso_outcomes(&w, &[(1, ra), (1, rb)]).unwrap();
+        assert!(!outcomes.contains(&vec![2, 0]), "seeing the RMW but not the prior store is forbidden");
+    }
+
+    #[test]
+    fn cas_is_atomic() {
+        // Two cores CAS 0->their id on the same location; exactly one wins.
+        let mk = |my: u64| {
+            let (rd, rx, rv) = (Reg(1), Reg(2), Reg(3));
+            let mut p = Program::builder();
+            p.imm(rx, 0x100).imm(rv, my).amo_cas(rd, rx, 0, Reg::ZERO, rv).halt();
+            p.build()
+        };
+        let w = Workload::new("cas", vec![mk(1), mk(2)]);
+        let outcomes = tso_outcomes(&w, &[(0, Reg(1)), (1, Reg(1))]).unwrap();
+        // Old values: (0, 1) or (0, 2)-ordering — never both zero.
+        assert!(!outcomes.contains(&vec![0, 0]), "both CAS cannot win");
+        let _ = addr(0);
+    }
+
+    #[test]
+    fn spin_loop_exceeds_budget_gracefully() {
+        // A counting loop has unboundedly many distinct states.
+        let mut p = Program::builder();
+        let top = p.here();
+        p.addi(Reg(1), Reg(1), 1);
+        p.jump(top);
+        let w = Workload::new("count", vec![p.build()]);
+        let err = TsoOracle::new().with_max_states(100).enumerate(&w, &[]).unwrap_err();
+        assert!(matches!(err, OracleError::StateSpaceTooLarge { .. }));
+    }
+
+    #[test]
+    fn init_memory_respected() {
+        let (ra, rx) = (Reg(1), Reg(2));
+        let mut p = Program::builder();
+        p.imm(rx, 0x100).load(ra, rx, 0).halt();
+        let w = Workload::new("init", vec![p.build()]).with_init(addr(0x100), 33);
+        let outcomes = tso_outcomes(&w, &[(0, ra)]).unwrap();
+        assert_eq!(outcomes, [vec![33]].into_iter().collect());
+    }
+}

@@ -1,0 +1,158 @@
+//! End-of-run data-integrity invariants.
+//!
+//! Parallel executions are nondeterministic, but several kernels maintain
+//! quantities that are *interleaving-independent* — lock-protected
+//! counters, atomic histograms, task tickets. Checking them after a
+//! simulated run validates the whole machine (pipeline + speculation +
+//! commit policy + coherence) end to end: a lost update, a doubled
+//! replay, or a stale read anywhere breaks the count.
+
+use crate::codegen::layout;
+use crate::Scale;
+use wb_mem::Addr;
+
+/// Check the invariant of workload `name` (as produced by
+/// [`crate::suite`] with the same `cores`/`scale`), reading final memory
+/// through `read`. Returns `Ok(())` for kernels without an
+/// interleaving-independent invariant.
+///
+/// # Errors
+///
+/// A human-readable description of the violated invariant.
+pub fn check(
+    name: &str,
+    cores: usize,
+    scale: Scale,
+    read: impl Fn(Addr) -> u64,
+) -> Result<(), String> {
+    let f = scale.factor();
+    match name {
+        "radix" => {
+            // One fetch-add per 4 iterations per core, over 16 buckets.
+            let iters = 60 * f;
+            let expected = (iters).div_ceil(4) * cores as u64;
+            let total: u64 =
+                (0..16).map(|i| read(Addr::new(layout::SHARED2 + i * 0x40))).sum();
+            if total != expected {
+                return Err(format!("radix histogram: {total} != expected {expected}"));
+            }
+            Ok(())
+        }
+        "barnes" => {
+            // Each core performs `iters` lock-protected payload
+            // increments; the payloads (word 1 of each 16-byte node)
+            // start at zero.
+            let iters = 30 * f;
+            let expected = iters * cores as u64;
+            let total: u64 =
+                (0..256).map(|i| read(Addr::new(layout::SHARED + i * 16 + 8))).sum();
+            if total != expected {
+                return Err(format!("barnes payload sum: {total} != expected {expected}"));
+            }
+            Ok(())
+        }
+        "fluidanimate" => {
+            // Word 1 and word 3 of every cell are incremented by exactly
+            // one per lock-protected visit; total visits = cores x iters x 8.
+            let iters = 20 * f;
+            let expected = cores as u64 * iters * 8;
+            let count_at = |off: u64| -> u64 {
+                (0..64).map(|c| read(Addr::new(layout::SHARED + c * 32 + off))).sum()
+            };
+            let (w1, w3) = (count_at(8), count_at(24));
+            if w1 != expected || w3 != expected {
+                return Err(format!(
+                    "fluidanimate visit counters: {w1}/{w3} != expected {expected}"
+                ));
+            }
+            Ok(())
+        }
+        "bodytrack" => {
+            // The ticket counter ends at >= the task count (each worker
+            // that sees an exhausted queue still bumps it once).
+            let tasks = 32 * f;
+            let got = read(Addr::new(layout::SHARED2 + 0x1000));
+            if got < tasks {
+                return Err(format!("bodytrack tickets: {got} < task count {tasks}"));
+            }
+            // And at most tasks + cores (one overshoot per worker exit).
+            let max = tasks + cores as u64;
+            if got > max {
+                return Err(format!("bodytrack tickets: {got} > maximum {max}"));
+            }
+            Ok(())
+        }
+        "raytrace" => {
+            // Batches of 4 task ids; each core keeps grabbing until its
+            // iteration budget: exactly iters batches per core.
+            let iters = 40 * f;
+            let expected = 4 * iters * cores as u64;
+            let got = read(Addr::new(layout::SHARED2 + 0x800));
+            if got != expected {
+                return Err(format!("raytrace task counter: {got} != expected {expected}"));
+            }
+            Ok(())
+        }
+        "fft" | "lu" | "ocean" => {
+            // Barrier-structured kernels: the barrier counter must equal
+            // cores x barrier-crossings.
+            let crossings = match name {
+                "fft" => 2 * f,
+                "lu" => 2 * 3 * f,
+                _ => 2 * f, // ocean: one barrier per sweep
+            };
+            let expected = cores as u64 * crossings;
+            let got = read(Addr::new(layout::BARRIER));
+            if got != expected {
+                return Err(format!("{name} barrier count: {got} != expected {expected}"));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_isa::ArchState;
+    use wb_mem::MainMemory;
+
+    /// Run every suite kernel single-core on the *interpreter* and check
+    /// its invariant — validates the invariant formulas themselves.
+    #[test]
+    fn invariants_hold_on_interpreter() {
+        for w in crate::suite(1, Scale::Test) {
+            let mut st = ArchState::new();
+            let mut mem = MainMemory::new();
+            st.run(&w.programs[0], &mut mem, 10_000_000)
+                .unwrap_or_else(|| panic!("{} did not halt", w.name));
+            check(&w.name, 1, Scale::Test, |a| mem.read_word(a))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    /// Same for two interleaved cores.
+    #[test]
+    fn invariants_hold_on_two_interleaved_cores() {
+        for w in crate::suite(2, Scale::Test) {
+            let mut mem = MainMemory::new();
+            let mut harts: Vec<ArchState> = (0..2).map(|_| ArchState::new()).collect();
+            let mut steps = 0u64;
+            while !harts.iter().all(|h| h.halted()) {
+                for (i, h) in harts.iter_mut().enumerate() {
+                    h.step(&w.programs[i], &mut mem);
+                }
+                steps += 1;
+                assert!(steps < 30_000_000, "{} stuck", w.name);
+            }
+            check(&w.name, 2, Scale::Test, |a| mem.read_word(a))
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn unknown_names_pass() {
+        assert!(check("nonexistent", 4, Scale::Test, |_| 0).is_ok());
+    }
+}

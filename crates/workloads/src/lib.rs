@@ -1,0 +1,112 @@
+//! Synthetic SPLASH-3 / PARSEC 3.0 surrogate workloads.
+//!
+//! The paper evaluates on SPLASH-3 and PARSEC (simsmall). Those binaries
+//! cannot run on this simulator, so each benchmark is replaced by a
+//! synthetic kernel that reproduces its *coherence-visible* structure —
+//! sharing pattern, invalidation rate, lock/barrier behaviour, miss
+//! regime — which is what drives the paper's per-benchmark variation
+//! (see DESIGN.md for the substitution rationale).
+//!
+//! All kernels are parameterized by a [`Scale`] so tests run in
+//! milliseconds while benches use larger iteration counts.
+//!
+//! # Example
+//!
+//! ```
+//! use wb_workloads::{suite, Scale};
+//! let all = suite(4, Scale::Test);
+//! assert_eq!(all.len(), 12);
+//! assert!(all.iter().any(|w| w.name == "fft"));
+//! ```
+
+pub mod codegen;
+pub mod invariants;
+pub mod parsec;
+pub mod splash;
+
+use wb_isa::Workload;
+
+/// Iteration-count preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny runs for unit/integration tests.
+    Test,
+    /// The default evaluation size for benches (roughly "simsmall" in
+    /// spirit: big enough for steady-state behaviour).
+    Small,
+}
+
+impl Scale {
+    /// Multiplier applied to each kernel's base iteration count.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 8,
+        }
+    }
+}
+
+/// The full 12-benchmark suite for `cores` cores: six SPLASH-3 surrogates
+/// and six PARSEC surrogates, in the order the paper plots them.
+pub fn suite(cores: usize, scale: Scale) -> Vec<Workload> {
+    vec![
+        splash::fft(cores, scale),
+        splash::lu(cores, scale),
+        splash::ocean(cores, scale),
+        splash::radix(cores, scale),
+        splash::barnes(cores, scale),
+        splash::raytrace(cores, scale),
+        parsec::blackscholes(cores, scale),
+        parsec::bodytrack(cores, scale),
+        parsec::canneal(cores, scale),
+        parsec::fluidanimate(cores, scale),
+        parsec::freqmine(cores, scale),
+        parsec::streamcluster(cores, scale),
+    ]
+}
+
+/// Benchmark names, in suite order.
+pub fn suite_names() -> Vec<&'static str> {
+    vec![
+        "fft",
+        "lu",
+        "ocean",
+        "radix",
+        "barnes",
+        "raytrace",
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "fluidanimate",
+        "freqmine",
+        "streamcluster",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_twelve_named_workloads() {
+        let s = suite(4, Scale::Test);
+        assert_eq!(s.len(), 12);
+        let names: Vec<&str> = s.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, suite_names());
+    }
+
+    #[test]
+    fn all_programs_nonempty() {
+        for w in suite(2, Scale::Test) {
+            assert_eq!(w.cores(), 2, "{}", w.name);
+            for (i, p) in w.programs.iter().enumerate() {
+                assert!(p.len() > 4, "{} core {i} program too small", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_grows_iterations() {
+        assert!(Scale::Small.factor() > Scale::Test.factor());
+    }
+}

@@ -1,0 +1,342 @@
+//! PARSEC 3.0 surrogate kernels.
+//!
+//! Same philosophy as [`crate::splash`]: each kernel mimics the
+//! coherence-visible behaviour and memory-level parallelism of its
+//! namesake, not its algorithm.
+
+use crate::codegen::{layout, make_workload, regs, Gen};
+use crate::Scale;
+use wb_isa::{AluOp, Cond, Reg, Workload};
+
+const A0: Reg = Reg(1);
+const A1: Reg = Reg(2);
+const A2: Reg = Reg(3);
+const A3: Reg = Reg(4);
+const V0: Reg = Reg(5);
+const V1: Reg = Reg(6);
+const V2: Reg = Reg(7);
+const V3: Reg = Reg(8);
+const ACC: Reg = Reg(9);
+const BASE: Reg = Reg(10);
+const TMP: Reg = Reg(11);
+const TMP2: Reg = Reg(12);
+/// Warm (always-cached) private base pointer.
+const WARM: Reg = Reg(16);
+
+/// Derive 4 independent pseudo-random word addresses from one LCG step,
+/// using disjoint bit slices (strand registers A0..A3).
+fn random_addr4(g: &mut Gen, base: u64, slots: u64) {
+    assert!(slots.is_power_of_two());
+    g.lcg_next();
+    for (i, a) in [A0, A1, A2, A3].iter().enumerate() {
+        g.p.alui(AluOp::Shr, *a, regs::LCG, 10 + 11 * i as u64);
+        g.p.alui(AluOp::And, *a, *a, slots - 1);
+        g.p.alui(AluOp::Shl, *a, *a, 3);
+        g.p.alui(AluOp::Add, *a, *a, base);
+    }
+}
+
+/// Blackscholes-like: embarrassingly parallel option pricing — 4
+/// independent private load/compute/store strands per iteration, almost
+/// no sharing. The "low coherence traffic" end of the spectrum.
+pub fn blackscholes(cores: usize, scale: Scale) -> Workload {
+    let iters = 60 * scale.factor();
+    make_workload("blackscholes", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xb1ac + core as u64);
+        let base = layout::private(core);
+        for v in [V0, V1, V2, V3] {
+            g.p.imm(v, core as u64 * 3 + 1);
+        }
+        g.loop_n(regs::LOOP0, iters, |g| {
+            // 4 independent strands over disjoint 8 KiB private slices.
+            let strands = [(A0, V0), (A1, V1), (A2, V2), (A3, V3)];
+            for (i, (a, v)) in strands.iter().enumerate() {
+                g.p.alui(AluOp::Mul, *a, regs::LOOP0, 4);
+                g.p.alui(AluOp::Add, *a, *a, i as u64);
+                g.p.alui(AluOp::And, *a, *a, 1023);
+                g.p.alui(AluOp::Shl, *a, *a, 3);
+                g.p.alui(AluOp::Add, *a, *a, base + 0x2000 * i as u64);
+                g.p.load(TMP2, *a, 0);
+                g.p.alu(AluOp::Add, *v, *v, TMP2);
+                g.compute(*v, 4);
+                g.p.store(*v, *a, 0);
+            }
+        });
+        g.build()
+    })
+}
+
+/// Bodytrack-like: a lock-protected shared task queue; workers pull task
+/// ids and do 8 independent irregular shared reads plus private writes.
+/// Queue-head misses block the ROB — the benchmark where the paper's OoO
+/// commit gains the most (41.9%).
+pub fn bodytrack(cores: usize, scale: Scale) -> Workload {
+    let tasks = 32 * scale.factor();
+    make_workload("bodytrack", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xb0d7 + core as u64);
+        let (vlock, vqueue, vtask) = (Reg(13), Reg(14), Reg(15));
+        g.p.imm(WARM, layout::private(core));
+        g.p.imm(vlock, layout::lock(2));
+        g.p.imm(vqueue, layout::SHARED2 + 0x1000);
+        g.p.imm(ACC, 0);
+        let done = g.p.new_label();
+        let top = g.p.here();
+        // Pull a task under the lock.
+        g.lock(vlock);
+        g.p.load(vtask, vqueue, 0);
+        g.p.alui(AluOp::Add, TMP, vtask, 1);
+        g.p.store(TMP, vqueue, 0);
+        g.unlock(vlock);
+        g.p.imm(TMP, tasks);
+        g.p.branch(Cond::Ge, vtask, TMP, done);
+        // Process: four rounds of [1 scattered shared read (miss-prone)
+        // + 3 warm private reads] — hit-under-miss.
+        for round in 0..24u64 {
+            g.p.alui(AluOp::Add, A0, vtask, round);
+            g.p.alui(AluOp::Mul, A0, A0, 0x85eb_ca6b);
+            g.p.alui(AluOp::Shr, A0, A0, 24);
+            g.p.alui(AluOp::And, A0, A0, 1023);
+            g.p.alui(AluOp::Shl, A0, A0, 3);
+            g.p.alui(AluOp::Add, A0, A0, layout::SHARED);
+            g.p.load(V0, A0, 0);
+            let warm = [(A1, V1), (A2, V2), (A3, V3)];
+            for (i, (a, v)) in warm.iter().enumerate() {
+                let _ = a;
+                g.p.load(*v, WARM, (round as i64 * 24 + 8 * i as i64) % 1000);
+            }
+            for v in [V0, V1, V2, V3] {
+                g.p.alu(AluOp::Add, ACC, ACC, v);
+            }
+            g.compute(ACC, 1);
+        }
+        g.indexed_addr(TMP, layout::private(g.core()), vtask, 512);
+        g.p.store(ACC, TMP, 0);
+        g.p.jump(top);
+        g.p.bind(done);
+        g.build()
+    })
+}
+
+/// Canneal-like: random element swaps in a large shared array under
+/// per-region locks — migratory sharing with high invalidation rates.
+pub fn canneal(cores: usize, scale: Scale) -> Workload {
+    let iters = 25 * scale.factor();
+    make_workload("canneal", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xca2e + core as u64 * 13);
+        let vlock = Reg(13);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            // Pick four random elements; lock the region of the first.
+            random_addr4(g, layout::SHARED, 512);
+            g.p.alui(AluOp::Shr, TMP, A0, 6);
+            g.p.alui(AluOp::And, TMP, TMP, 7);
+            g.p.alui(AluOp::Shl, TMP, TMP, 6);
+            g.p.alui(AluOp::Add, vlock, TMP, layout::LOCKS + 0x400);
+            g.lock(vlock);
+            // Two independent swaps (a<->b, c<->d).
+            g.p.load(V0, A0, 0);
+            g.p.load(V1, A1, 0);
+            g.p.load(V2, A2, 0);
+            g.p.load(V3, A3, 0);
+            g.compute(V0, 2);
+            g.compute(V2, 2);
+            g.p.store(V1, A0, 0);
+            g.p.store(V0, A1, 0);
+            g.p.store(V3, A2, 0);
+            g.p.store(V2, A3, 0);
+            g.unlock(vlock);
+        });
+        g.build()
+    })
+}
+
+/// Fluidanimate-like: grid cells protected by fine-grained locks;
+/// neighbour updates cross core partitions. Many short critical sections
+/// on distinct lock lines.
+pub fn fluidanimate(cores: usize, scale: Scale) -> Workload {
+    let iters = 20 * scale.factor();
+    let cells: u64 = 64;
+    make_workload("fluidanimate", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xf1 + core as u64 * 3);
+        let (vcell, vlock) = (Reg(13), Reg(14));
+        g.p.imm(ACC, core as u64 + 2);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            g.loop_n(regs::LOOP1, 8, |g| {
+                // cell = (core*8 + i + iter) % cells — overlapping
+                // partitions so neighbours contend.
+                g.p.alui(AluOp::Mul, vcell, regs::CORE_ID, 8);
+                g.p.alu(AluOp::Add, vcell, vcell, regs::LOOP1);
+                g.p.alu(AluOp::Add, vcell, vcell, regs::LOOP0);
+                g.p.alui(AluOp::And, vcell, vcell, cells - 1);
+                // lock cell, update its four words (independent pairs).
+                g.p.alui(AluOp::Shl, TMP, vcell, 6);
+                g.p.alui(AluOp::Add, vlock, TMP, layout::LOCKS + 0x800);
+                g.lock(vlock);
+                g.p.alui(AluOp::Shl, BASE, vcell, 5);
+                g.p.alui(AluOp::Add, BASE, BASE, layout::SHARED);
+                g.p.load(V0, BASE, 0);
+                g.p.load(V1, BASE, 8);
+                g.p.load(V2, BASE, 16);
+                g.p.load(V3, BASE, 24);
+                g.p.alu(AluOp::Add, V0, V0, ACC);
+                g.p.alui(AluOp::Add, V1, V1, 1);
+                g.p.alu(AluOp::Add, V2, V2, ACC);
+                g.p.alui(AluOp::Add, V3, V3, 1);
+                g.p.store(V0, BASE, 0);
+                g.p.store(V1, BASE, 8);
+                g.p.store(V2, BASE, 16);
+                g.p.store(V3, BASE, 24);
+                g.unlock(vlock);
+                g.compute(ACC, 2);
+            });
+        });
+        g.build()
+    })
+}
+
+/// Freqmine-like: long read traversals of a shared prefix tree with rare
+/// shared-counter writes — reads racing rare writes, the paper's highest
+/// uncacheable-read benchmark.
+pub fn freqmine(cores: usize, scale: Scale) -> Workload {
+    let iters = 12 * scale.factor();
+    make_workload("freqmine", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xf4ee + core as u64 * 11);
+        let vcnt = Reg(13);
+        g.p.imm(WARM, layout::private(core));
+        g.p.imm(ACC, 1);
+        g.p.imm(vcnt, layout::SHARED2 + 0x2000);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            // Three rounds of [1 random tree read (cold) + 3 warm private
+            // reads] — hit-under-miss over the traversal.
+            for r in 0..8i64 {
+                random_addr4(g, layout::SHARED, 2048);
+                g.p.load(V0, A0, 0);
+                g.p.load(V1, WARM, (r * 24) % 1000);
+                g.p.load(V2, WARM, (r * 24 + 8) % 1000);
+                g.p.load(V3, WARM, (r * 24 + 16) % 1000);
+                g.p.alu(AluOp::Add, V0, V0, V1);
+                g.p.alu(AluOp::Add, V2, V2, V3);
+                g.p.alu(AluOp::Add, ACC, ACC, V0);
+                g.p.alu(AluOp::Add, ACC, ACC, V2);
+                g.compute(ACC, 1);
+            }
+            // Rare shared write: every 8th iteration bump a hot counter.
+            g.p.alui(AluOp::And, TMP, regs::LOOP0, 7);
+            let skip = g.p.new_label();
+            g.p.branch(Cond::Ne, TMP, Reg::ZERO, skip);
+            g.p.load(TMP2, vcnt, 0);
+            g.p.alu(AluOp::Add, TMP2, TMP2, ACC);
+            g.p.store(TMP2, vcnt, 0);
+            g.p.bind(skip);
+        });
+        g.build()
+    })
+}
+
+/// Streamcluster-like: all cores read a shared block with independent
+/// strands then update a handful of hot accumulators — the paper's worst
+/// case for blocked writes (stores racing many concurrent readers).
+pub fn streamcluster(cores: usize, scale: Scale) -> Workload {
+    let iters = 15 * scale.factor();
+    make_workload("streamcluster", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x57c1 + core as u64 * 5);
+        let vhot = Reg(13);
+        g.p.imm(WARM, layout::private(core));
+        for v in [V0, V1, V2, V3] {
+            g.p.imm(v, 0);
+        }
+        g.p.imm(ACC, 0);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            // Read the shared "point block": each contended read is
+            // overlapped with 3 warm private reads (hit-under-miss).
+            g.p.imm(BASE, layout::SHARED);
+            for b in 0..12i64 {
+                g.p.load(A0, BASE, 8 * (4 * (b % 4)));
+                g.p.alu(AluOp::Add, V0, V0, A0);
+                let warm = [(A1, V1), (A2, V2), (A3, V3)];
+                for (i, (a, v)) in warm.iter().enumerate() {
+                    let _ = a;
+                    g.p.load(TMP2, WARM, (b * 24 + 8 * i as i64) % 1000);
+                    g.p.alu(AluOp::Add, *v, *v, TMP2);
+                }
+            }
+            for v in [V0, V1, V2, V3] {
+                g.p.alu(AluOp::Add, ACC, ACC, v);
+            }
+            // Update one of 4 hot accumulators with plain load/store under
+            // contention (racy by design: invalidations sweep the readers).
+            g.p.alui(AluOp::And, TMP, regs::LOOP0, 3);
+            g.p.alui(AluOp::Shl, TMP, TMP, 6);
+            g.p.alui(AluOp::Add, vhot, TMP, layout::SHARED2 + 0x3000);
+            g.p.load(TMP2, vhot, 0);
+            g.p.alu(AluOp::Add, TMP2, TMP2, ACC);
+            g.p.store(TMP2, vhot, 0);
+            // And occasionally write INTO the shared block others read.
+            g.p.alui(AluOp::And, TMP, regs::LOOP0, 7);
+            let skip = g.p.new_label();
+            g.p.branch(Cond::Ne, TMP, regs::CORE_ID, skip);
+            g.p.alui(AluOp::Shl, TMP2, regs::LOOP0, 3);
+            g.p.alui(AluOp::And, TMP2, TMP2, 127);
+            g.p.alui(AluOp::Add, TMP2, TMP2, layout::SHARED);
+            g.p.store(ACC, TMP2, 0);
+            g.p.bind(skip);
+        });
+        g.build()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_isa::ArchState;
+    use wb_mem::MainMemory;
+
+    #[test]
+    fn kernels_terminate_single_core() {
+        for w in [
+            blackscholes(1, Scale::Test),
+            bodytrack(1, Scale::Test),
+            canneal(1, Scale::Test),
+            fluidanimate(1, Scale::Test),
+            freqmine(1, Scale::Test),
+            streamcluster(1, Scale::Test),
+        ] {
+            let mut st = ArchState::new();
+            let mut mem = MainMemory::new();
+            st.run(&w.programs[0], &mut mem, 5_000_000)
+                .unwrap_or_else(|| panic!("{} did not terminate", w.name));
+        }
+    }
+
+    #[test]
+    fn kernels_terminate_two_cores_interleaved() {
+        for w in [
+            blackscholes(2, Scale::Test),
+            bodytrack(2, Scale::Test),
+            canneal(2, Scale::Test),
+            fluidanimate(2, Scale::Test),
+            freqmine(2, Scale::Test),
+            streamcluster(2, Scale::Test),
+        ] {
+            let mut mem = MainMemory::new();
+            let mut harts: Vec<ArchState> = (0..2).map(|_| ArchState::new()).collect();
+            let mut steps = 0u64;
+            while !harts.iter().all(|h| h.halted()) {
+                for (i, h) in harts.iter_mut().enumerate() {
+                    h.step(&w.programs[i], &mut mem);
+                }
+                steps += 1;
+                assert!(steps < 20_000_000, "{} deadlocked", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn bodytrack_all_tasks_processed() {
+        let w = bodytrack(1, Scale::Test);
+        let mut st = ArchState::new();
+        let mut mem = MainMemory::new();
+        st.run(&w.programs[0], &mut mem, 5_000_000).expect("halts");
+        let q = mem.read_word(wb_mem::Addr::new(layout::SHARED2 + 0x1000));
+        assert!(q >= 32, "only {q} tasks pulled");
+    }
+}

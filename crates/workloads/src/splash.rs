@@ -1,0 +1,355 @@
+//! SPLASH-3 surrogate kernels.
+//!
+//! Each kernel reproduces the coherence-visible behaviour of its
+//! namesake: sharing pattern, synchronization style, miss regime and —
+//! critically for the commit-policy comparison of Figure 10 — the
+//! *memory-level parallelism* of loop iterations: inner loops are written
+//! as several independent load/compute strands, the way compiled
+//! array code behaves, so a long-latency miss does not serialize the
+//! whole window. They are *not* the original algorithms — see DESIGN.md.
+
+use crate::codegen::{layout, make_workload, regs, Gen};
+use crate::Scale;
+use wb_isa::{AluOp, Reg, Workload};
+
+/// Strand registers for 4-wide independent inner loops.
+const A0: Reg = Reg(1);
+const A1: Reg = Reg(2);
+const A2: Reg = Reg(3);
+const A3: Reg = Reg(4);
+const V0: Reg = Reg(5);
+const V1: Reg = Reg(6);
+const V2: Reg = Reg(7);
+const V3: Reg = Reg(8);
+const ACC: Reg = Reg(9);
+const BASE: Reg = Reg(10);
+const TMP: Reg = Reg(11);
+const TMP2: Reg = Reg(12);
+/// Warm (always-cached) private base pointer.
+const WARM: Reg = Reg(16);
+
+/// The hit-under-miss idiom of Section 2: one read of a *contended
+/// shared* word (often a miss — the line is re-written by other cores)
+/// followed in program order by three reads of *warm private* words
+/// (near-certain hits). The younger hits perform while the older miss is
+/// outstanding, becoming M-speculative — exactly the loads whose commit
+/// the paper's mechanism unblocks. `WARM` must hold the private base.
+fn mixed_burst(g: &mut Gen, shared_base: Reg, off: i64, warm_off: i64) {
+    g.p.load(A0, shared_base, off);
+    g.p.alu(AluOp::Add, V0, V0, A0);
+    let strands = [(A1, V1), (A2, V2), (A3, V3)];
+    for (i, (a, v)) in strands.iter().enumerate() {
+        g.p.load(*a, WARM, (warm_off + 8 * i as i64) % 2040);
+        g.p.alu(AluOp::Add, *v, *v, *a);
+    }
+}
+
+/// FFT-like: all-to-all butterfly exchange. Each phase reads the
+/// partner's segment with independent strided loads, combines, writes
+/// the own segment, and barriers. Heavy read-sharing of freshly written
+/// lines; high MLP.
+pub fn fft(cores: usize, scale: Scale) -> Workload {
+    let seg_words: i64 = 64;
+    let phases = 2 * scale.factor();
+    make_workload("fft", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x0f0f + core as u64);
+        let myseg = layout::SHARED + core as u64 * seg_words as u64 * 8;
+        g.p.imm(WARM, layout::private(core));
+        for v in [V0, V1, V2, V3] {
+            g.p.imm(v, core as u64 + 1);
+        }
+        g.loop_n(regs::LOOP0, phases, |g| {
+            // partner segment base: rotate by loop counter.
+            let mask = (cores.next_power_of_two() - 1) as u64;
+            g.p.alu(AluOp::Add, TMP, regs::CORE_ID, regs::LOOP0);
+            g.p.alui(AluOp::Add, TMP, TMP, 1);
+            g.p.alui(AluOp::And, TMP, TMP, mask);
+            g.p.alui(AluOp::Mul, TMP, TMP, seg_words as u64 * 8);
+            g.p.alui(AluOp::Add, BASE, TMP, layout::SHARED);
+            // Read the partner segment: 4 shared reads, each overlapped
+            // with 3 warm private reads (hit-under-miss).
+            for b in 0..16i64 {
+                mixed_burst(g, BASE, b * 4 * 8, b * 24);
+            }
+            // Write back our own segment (independent stores).
+            g.p.imm(BASE, myseg);
+            for (i, v) in [V0, V1, V2, V3].iter().enumerate() {
+                g.compute(*v, 2);
+                g.p.store(*v, BASE, 8 * i as i64);
+                g.p.store(*v, BASE, 8 * (i as i64 + 4));
+            }
+            g.barrier();
+        });
+        g.build()
+    })
+}
+
+/// LU-like: a rotating pivot owner writes a shared row; everyone reads
+/// it with independent loads and updates private blocks — producer-to-
+/// all-consumers broadcast (the Table 1 pattern at scale).
+pub fn lu(cores: usize, scale: Scale) -> Workload {
+    let row_words: i64 = 32;
+    let phases = 3 * scale.factor();
+    make_workload("lu", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x10 + core as u64);
+        let priv_base = layout::private(core);
+        g.p.imm(WARM, priv_base + 0x4000);
+        for v in [V0, V1, V2, V3] {
+            g.p.imm(v, core as u64 + 1);
+        }
+        g.loop_n(regs::LOOP0, phases, |g| {
+            let mask = (cores.next_power_of_two() - 1) as u64;
+            g.p.alui(AluOp::And, TMP, regs::LOOP0, mask);
+            let not_owner = g.p.new_label();
+            g.p.branch(wb_isa::Cond::Ne, TMP, regs::CORE_ID, not_owner);
+            // Owner writes the pivot row (independent stores).
+            g.p.imm(BASE, layout::SHARED);
+            for i in 0..row_words {
+                g.p.alu(AluOp::Add, TMP2, V0, regs::LOOP0);
+                g.p.store(TMP2, BASE, 8 * i);
+            }
+            g.p.bind(not_owner);
+            g.barrier();
+            // Everyone reads the pivot row, overlapping each shared read
+            // with warm private reads.
+            g.p.imm(BASE, layout::SHARED);
+            for b in 0..12i64 {
+                mixed_burst(g, BASE, (b % 4) * 8 * 8, b * 24);
+            }
+            g.p.imm(BASE, priv_base);
+            for (i, v) in [V0, V1, V2, V3].iter().enumerate() {
+                g.compute(*v, 2);
+                g.p.store(*v, BASE, 8 * i as i64);
+            }
+            g.barrier();
+        });
+        g.build()
+    })
+}
+
+/// Ocean-like: row-partitioned stencil sweeps; halo rows shared between
+/// neighbours, 4 independent column strands per step, barrier per sweep.
+pub fn ocean(cores: usize, scale: Scale) -> Workload {
+    let row_words: i64 = 32;
+    let sweeps = 2 * scale.factor();
+    make_workload("ocean", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x0cea + core as u64);
+        g.p.imm(WARM, layout::private(core));
+        let row = |c: usize| layout::SHARED + (c as u64) * row_words as u64 * 8;
+        let mine = row(core);
+        let up = row(if core == 0 { cores - 1 } else { core - 1 });
+        let down = row((core + 1) % cores);
+        for v in [V0, V1, V2, V3] {
+            g.p.imm(v, 17 * (core as u64 + 1));
+        }
+        g.loop_n(regs::LOOP0, sweeps, |g| {
+            g.loop_n(regs::LOOP1, 12, |g| {
+                // 4 independent stencil columns: up[i] + down[i] -> mine[i].
+                g.p.alui(AluOp::Shl, TMP, regs::LOOP1, 6); // 8 words apart
+                // Halo reads (contended) overlapped with interior reads
+                // (warm private).
+                g.p.imm(BASE, up);
+                g.p.alu(AluOp::Add, BASE, BASE, TMP);
+                mixed_burst(g, BASE, 0, 0);
+                g.p.imm(BASE, down);
+                g.p.alu(AluOp::Add, BASE, BASE, TMP);
+                mixed_burst(g, BASE, 0, 64);
+                g.p.imm(BASE, mine);
+                g.p.alu(AluOp::Add, BASE, BASE, TMP);
+                for (i, v) in [V0, V1, V2, V3].iter().enumerate() {
+                    g.compute(*v, 1);
+                    g.p.store(*v, BASE, 8 * i as i64);
+                }
+            });
+            g.barrier();
+        });
+        g.build()
+    })
+}
+
+/// Radix-like: scatter writes to pseudo-random slots of a big shared
+/// array plus fetch-add histogram updates. Write-heavy, migratory lines,
+/// atomic contention; two independent scatter strands per LCG step.
+pub fn radix(cores: usize, scale: Scale) -> Workload {
+    let iters = 60 * scale.factor();
+    make_workload("radix", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x5eed_0000 + core as u64 * 0x101);
+        g.p.imm(V0, (core as u64) << 32);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            g.lcg_next();
+            // Two independent scatter targets from disjoint LCG bits.
+            g.p.alui(AluOp::Shr, A0, regs::LCG, 33);
+            g.p.alui(AluOp::And, A0, A0, 1023);
+            g.p.alui(AluOp::Shl, A0, A0, 3);
+            g.p.alui(AluOp::Add, A0, A0, layout::SHARED);
+            g.p.alui(AluOp::Shr, A1, regs::LCG, 13);
+            g.p.alui(AluOp::And, A1, A1, 1023);
+            g.p.alui(AluOp::Shl, A1, A1, 3);
+            g.p.alui(AluOp::Add, A1, A1, layout::SHARED);
+            g.p.alui(AluOp::Add, V0, V0, 1);
+            g.p.store(V0, A0, 0);
+            g.p.alui(AluOp::Add, V0, V0, 1);
+            g.p.store(V0, A1, 0);
+            // Histogram bucket (one of 16 lines) via fetch-add, every
+            // 4th iteration (atomics serialize the pipeline).
+            g.p.alui(AluOp::And, TMP, regs::LOOP0, 3);
+            let skip = g.p.new_label();
+            g.p.branch(wb_isa::Cond::Ne, TMP, wb_isa::Reg::ZERO, skip);
+            g.p.alui(AluOp::Shr, TMP, regs::LCG, 40);
+            g.p.alui(AluOp::And, TMP, TMP, 15);
+            g.p.alui(AluOp::Shl, TMP, TMP, 6);
+            g.p.alui(AluOp::Add, A2, TMP, layout::SHARED2);
+            g.p.amo_add(TMP, A2, 0, regs::ONE);
+            g.p.bind(skip);
+        });
+        g.barrier();
+        g.build()
+    })
+}
+
+/// Barnes-like: pointer chasing over a shared linked structure — the
+/// inherently *serial* kernel (low MLP by nature) — with two independent
+/// chase chains and occasional fine-grained-lock updates.
+pub fn barnes(cores: usize, scale: Scale) -> Workload {
+    let nodes: u64 = 256;
+    let iters = 30 * scale.factor();
+    make_workload("barnes", cores, |core| {
+        let mut g = Gen::new(core, cores, 0xba0 + core as u64 * 7);
+        // Core 0 builds the linked structure: node i -> node (i*17+1)%n.
+        if core == 0 {
+            g.loop_n(regs::LOOP0, nodes, |g| {
+                g.p.alui(AluOp::Mul, TMP, regs::LOOP0, 17);
+                g.p.alui(AluOp::Add, TMP, TMP, 1);
+                g.p.alui(AluOp::And, TMP, TMP, nodes - 1);
+                g.p.alui(AluOp::Shl, TMP, TMP, 4);
+                g.p.alui(AluOp::Add, TMP2, TMP, layout::SHARED);
+                g.p.alui(AluOp::Shl, A0, regs::LOOP0, 4);
+                g.p.alui(AluOp::Add, A0, A0, layout::SHARED);
+                g.p.store(TMP2, A0, 0);
+            });
+        }
+        g.barrier();
+        // Two independent chases from different starting nodes.
+        g.p.imm(A0, layout::SHARED + (core as u64 % nodes) * 16);
+        g.p.imm(A1, layout::SHARED + ((core as u64 + nodes / 2) % nodes) * 16);
+        g.p.imm(ACC, 0);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            g.loop_n(regs::LOOP1, 6, |g| {
+                g.p.load(A0, A0, 0);
+                g.p.load(A1, A1, 0);
+                g.compute(ACC, 1);
+            });
+            // Fine-grained lock keyed by the current node.
+            g.p.alui(AluOp::Shr, TMP, A0, 4);
+            g.p.alui(AluOp::And, TMP, TMP, 7);
+            g.p.alui(AluOp::Shl, TMP, TMP, 6);
+            g.p.alui(AluOp::Add, TMP, TMP, layout::LOCKS + 0xc00);
+            g.lock(TMP);
+            g.p.load(TMP2, A0, 8);
+            g.p.alui(AluOp::Add, TMP2, TMP2, 1);
+            g.p.store(TMP2, A0, 8);
+            g.unlock(TMP);
+        });
+        g.build()
+    })
+}
+
+/// Raytrace-like: read-only shared scene, dynamic load balancing via a
+/// fetch-add task counter, 4 independent scene reads per bounce.
+pub fn raytrace(cores: usize, scale: Scale) -> Workload {
+    let iters = 40 * scale.factor();
+    make_workload("raytrace", cores, |core| {
+        let mut g = Gen::new(core, cores, 0x42a7 + core as u64);
+        let task_ctr = layout::SHARED2 + 0x800;
+        g.p.imm(ACC, 0);
+        g.loop_n(regs::LOOP0, iters, |g| {
+            g.p.imm(TMP, task_ctr);
+            g.p.imm(TMP2, 4);
+            g.p.amo_add(TMP2, TMP, 0, TMP2); // grab a batch of 4 tasks
+            // 4 independent scene reads derived from the task id.
+            let strands = [(A0, V0), (A1, V1), (A2, V2), (A3, V3)];
+            for (i, (a, v)) in strands.iter().enumerate() {
+                g.p.alui(AluOp::Add, *a, TMP2, i as u64 * 7 + 1);
+                g.p.alui(AluOp::Mul, *a, *a, 0x9e3779b9);
+                g.p.alui(AluOp::Shr, *a, *a, 20);
+                g.p.alui(AluOp::And, *a, *a, 16383);
+                g.p.alui(AluOp::Shl, *a, *a, 3);
+                g.p.alui(AluOp::Add, *a, *a, layout::SHARED);
+                g.p.load(*v, *a, 0);
+            }
+            for v in [V0, V1, V2, V3] {
+                g.compute(v, 2);
+                g.p.alu(AluOp::Add, ACC, ACC, v);
+            }
+            // Private result write.
+            g.indexed_addr(TMP, layout::private(g.core()), regs::LOOP0, 512);
+            g.p.store(ACC, TMP, 0);
+        });
+        g.build()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_isa::ArchState;
+    use wb_mem::MainMemory;
+
+    /// Single-core versions of every kernel must terminate on the
+    /// interpreter (golden model) — this validates the generated control
+    /// flow and sync primitives.
+    #[test]
+    fn kernels_terminate_single_core() {
+        for w in [
+            fft(1, Scale::Test),
+            lu(1, Scale::Test),
+            ocean(1, Scale::Test),
+            radix(1, Scale::Test),
+            barnes(1, Scale::Test),
+            raytrace(1, Scale::Test),
+        ] {
+            let mut st = ArchState::new();
+            let mut mem = MainMemory::new();
+            st.run(&w.programs[0], &mut mem, 5_000_000)
+                .unwrap_or_else(|| panic!("{} did not terminate", w.name));
+        }
+    }
+
+    /// Multi-core versions must terminate under round-robin
+    /// interpretation (checks barrier/lock codegen for deadlocks).
+    #[test]
+    fn kernels_terminate_two_cores_interleaved() {
+        for w in [
+            fft(2, Scale::Test),
+            lu(2, Scale::Test),
+            ocean(2, Scale::Test),
+            radix(2, Scale::Test),
+            barnes(2, Scale::Test),
+            raytrace(2, Scale::Test),
+        ] {
+            let mut mem = MainMemory::new();
+            let mut harts: Vec<ArchState> = (0..2).map(|_| ArchState::new()).collect();
+            let mut steps = 0u64;
+            while !harts.iter().all(|h| h.halted()) {
+                for (i, h) in harts.iter_mut().enumerate() {
+                    h.step(&w.programs[i], &mut mem);
+                }
+                steps += 1;
+                assert!(steps < 20_000_000, "{} deadlocked", w.name);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_histogram_totals() {
+        // Single core, Test scale: 60 iterations -> 60 fetch-adds spread
+        // over 16 buckets; the bucket sum must equal the iteration count.
+        let w = radix(1, Scale::Test);
+        let mut st = ArchState::new();
+        let mut mem = MainMemory::new();
+        st.run(&w.programs[0], &mut mem, 5_000_000).expect("halts");
+        let total: u64 =
+            (0..16).map(|i| mem.read_word(wb_mem::Addr::new(layout::SHARED2 + i * 0x40))).sum();
+        assert_eq!(total, 15, "one fetch-add per 4 iterations");
+    }
+}

@@ -1,0 +1,24 @@
+; Build a 16-node linked ring (node i -> node (i+5) mod 16), then chase
+; 32 links from node 0 counting steps in r4.
+imm r1, 0x800        ; node base, 8 bytes per node
+imm r3, 0
+imm r4, 16
+; build: mem[base+8i] = base + 8*((i+5) & 15)
+addi r5, r3, 5
+andi r5, r5, 15
+shli r5, r5, 3
+add r5, r5, r1
+shli r6, r3, 3
+add r6, r6, r1
+st r5, [r6+0]
+addi r3, r3, 1
+b.lt r3, r4, @3
+; chase
+imm r2, 0x800
+imm r3, 0
+imm r4, 0
+imm r7, 32
+ld r2, [r2+0]
+addi r4, r4, 1
+b.lt r4, r7, @15
+halt

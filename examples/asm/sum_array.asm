@@ -1,0 +1,21 @@
+; Sum an 8-element array written with values i*7, leave the sum in r2.
+imm r1, 0x100
+imm r2, 0
+imm r3, 0
+imm r4, 8
+; fill
+shli r5, r3, 3
+add r5, r5, r1
+muli r6, r3, 7
+st r6, [r5+0]
+addi r3, r3, 1
+b.lt r3, r4, @4
+; sum
+imm r3, 0
+shli r5, r3, 3
+add r5, r5, r1
+ld r6, [r5+0]
+add r2, r2, r6
+addi r3, r3, 1
+b.lt r3, r4, @11
+halt

@@ -1,0 +1,35 @@
+//! Litmus laboratory: run the paper's litmus tests (and the classics) on
+//! the simulator across many seeds, compare against the exhaustive
+//! operational-TSO oracle, and print outcome histograms.
+//!
+//! ```text
+//! cargo run -p wb-examples --bin litmus_lab --release
+//! ```
+
+use wb_tso::oracle::tso_outcomes;
+use writersblock::prelude::*;
+use writersblock::run_litmus;
+
+fn main() {
+    let seeds = 0..60u64;
+    for t in wb_tso::litmus::enumerable_suite() {
+        println!("== {} — {} ==", t.name, t.description);
+        let legal = tso_outcomes(&t.workload, &t.observed).expect("oracle");
+        println!("   oracle: {} TSO-legal outcomes", legal.len());
+        for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+            let cfg = SystemConfig::new(CoreClass::Slm)
+                .with_cores(t.workload.cores())
+                .with_commit(mode);
+            let report = run_litmus(&t, &cfg, seeds.clone(), 500_000)
+                .unwrap_or_else(|e| panic!("{} {mode:?}: {e}", t.name));
+            let mut shown: Vec<String> = Vec::new();
+            for (o, n) in &report.outcomes {
+                assert!(legal.contains(o), "{}: {o:?} is not TSO-legal!", t.name);
+                shown.push(format!("{o:?}x{n}"));
+            }
+            println!("   {:<8} observed: {}", mode.label(), shown.join("  "));
+        }
+        println!();
+    }
+    println!("every simulated outcome was TSO-legal and every run passed the axiomatic checker");
+}

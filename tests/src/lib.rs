@@ -1,0 +1,1 @@
+//! Integration tests live in `tests/`; this library is intentionally empty.

@@ -1,0 +1,203 @@
+//! Deadlock-freedom regressions for the scenarios of Figure 5 and the
+//! general guarantees of Section 3.5: SoS loads can never be blocked, so
+//! lockdowns always lift and blocked writes always complete.
+
+use wb_isa::{AluOp, Program, Reg, Workload};
+use wb_kernel::config::{CommitMode, CoreClass, SystemConfig};
+use wb_mem::Addr;
+use writersblock::{RunOutcome, System};
+
+/// Figure 5.A flavour: force directory evictions (tiny LLC) while
+/// lockdowns are active — parked WritersBlock entries must not block the
+/// SoS loads that resolve to conflicting directory sets.
+#[test]
+fn dir_eviction_under_lockdowns() {
+    // Writer/reader pairs racing on several lines that all map to the
+    // same tiny directory sets, plus extra cold lines forcing evictions.
+    let mk_reader = |hot: u64, colds: Vec<u64>| {
+        let mut p = Program::builder();
+        p.imm(Reg(1), hot);
+        p.load(Reg(5), Reg(1), 0); // warm the hot line
+        // Chase through cold lines (forces directory allocation/eviction)
+        // while re-reading the hot line out of order.
+        for (i, c) in colds.iter().enumerate() {
+            p.imm(Reg(2), *c);
+            p.load(Reg(3), Reg(2), 0);
+            p.load(Reg(4), Reg(1), 0); // reordered hot read -> lockdowns
+            p.alui(AluOp::Add, Reg(6), Reg(6), i as u64);
+        }
+        p.halt();
+        p.build()
+    };
+    let mk_writer = |hot: u64| {
+        let mut p = Program::builder();
+        p.imm(Reg(1), hot).imm(Reg(3), 1).imm(Reg(6), 1);
+        for _ in 0..40 {
+            p.alui(AluOp::Mul, Reg(6), Reg(6), 1);
+        }
+        p.store(Reg(3), Reg(1), 0);
+        p.halt();
+        p.build()
+    };
+    for seed in 0..10u64 {
+        let hot = 0x1000u64;
+        let colds: Vec<u64> = (1..12).map(|i| 0x1000 + i * 0x4000).collect();
+        let w = Workload::new(
+            "dir-evict",
+            vec![mk_reader(hot, colds.clone()), mk_writer(hot), mk_reader(hot, colds)],
+        );
+        let mut cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(20);
+        // Tiny LLC banks: 4 lines x 2 ways; tiny eviction buffer.
+        cfg.memory.l3_bank_bytes = 4 * 64;
+        cfg.memory.l3_ways = 2;
+        cfg.memory.dir_evict_buffer = 2;
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(3_000_000);
+        assert_eq!(out, RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Figure 5.B flavour: an SoS load resolving into the cacheline of a
+/// blocked write must bypass the write's MSHR via a tear-off read.
+#[test]
+fn sos_load_bypasses_blocked_write() {
+    // Core 0: lockdown holder on x (pointer-chased older load).
+    // Core 1: writes x (gets blocked), then its SoS load targets x too.
+    let x = 0x1000u64;
+    let z1 = 0x3080u64;
+    let z2 = 0x4100u64;
+    let y = 0x2040u64;
+
+    let mut p0 = Program::builder();
+    p0.imm(Reg(1), x).imm(Reg(2), z1).imm(Reg(6), 1);
+    p0.load(Reg(5), Reg(1), 0);
+    for _ in 0..60 {
+        p0.alui(AluOp::Mul, Reg(6), Reg(6), 1);
+    }
+    p0.load(Reg(9), Reg(2), 0); // z1 -> z2
+    p0.load(Reg(9), Reg(9), 0); // z2 -> y
+    p0.load(Reg(3), Reg(9), 0); // ld y: long non-performed
+    p0.load(Reg(4), Reg(1), 0); // ld x: lockdown
+    p0.halt();
+
+    let mut p1 = Program::builder();
+    p1.imm(Reg(1), x).imm(Reg(3), 1).imm(Reg(6), 1);
+    for _ in 0..50 {
+        p1.alui(AluOp::Mul, Reg(6), Reg(6), 1);
+    }
+    p1.store(Reg(3), Reg(1), 0); // write x: blocked by core 0's lockdown
+    p1.load(Reg(7), Reg(1), 0); // SoS load on the SAME line as the write
+    p1.halt();
+
+    let (prog0, prog1) = (p0.build(), p1.build());
+    for seed in 0..20u64 {
+        let w = Workload::new("mshr-bypass", vec![prog0.clone(), prog1.clone()])
+            .with_init(Addr::new(z1), z2)
+            .with_init(Addr::new(z2), y);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(2)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(20);
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(3_000_000);
+        assert_eq!(out, RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        // The load after the store must see the store's value (po-loc).
+        assert_eq!(sys.arch_reg(1, Reg(7)), 1, "seed {seed}: store-to-load order broken");
+    }
+}
+
+/// Spin loops + locks + atomics + WritersBlock must never deadlock
+/// (Section 3.7: no lockdowns past atomics).
+#[test]
+fn locks_and_atomics_never_deadlock() {
+    let t = wb_tso::litmus::spinlock(4);
+    for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+        for seed in 0..8u64 {
+            let cfg = SystemConfig::new(CoreClass::Slm)
+                .with_cores(2)
+                .with_commit(mode)
+                .with_seed(seed)
+                .with_jitter(15);
+            let mut sys = System::new(cfg, &t.workload);
+            let out = sys.run(4_000_000);
+            assert_eq!(out, RunOutcome::Done, "{mode:?} seed {seed}");
+            assert_eq!(sys.memory_word(wb_tso::litmus::X), 8, "{mode:?} seed {seed}: lost update");
+        }
+    }
+}
+
+/// The deadlock detector itself must stay quiet across the whole
+/// workload suite under the most aggressive configuration.
+#[test]
+fn suite_smoke_ooo_wb() {
+    for w in wb_workloads::suite(4, wb_workloads::Scale::Test) {
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .without_event_log();
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(50_000_000);
+        assert_eq!(out, RunOutcome::Done, "{}", w.name);
+    }
+}
+
+/// Every benchmark, every commit mode, bigger core classes too.
+#[test]
+fn suite_smoke_all_modes_nhm() {
+    for w in wb_workloads::suite(4, wb_workloads::Scale::Test) {
+        for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
+            let cfg = SystemConfig::new(CoreClass::Nhm)
+                .with_cores(4)
+                .with_commit(mode)
+                .without_event_log();
+            let mut sys = System::new(cfg, &w);
+            let out = sys.run(50_000_000);
+            assert_eq!(out, RunOutcome::Done, "{} {mode:?}", w.name);
+        }
+    }
+}
+
+/// Branch-y code under WritersBlock with unresolved addresses: the
+/// reorder-over-unresolved-address case of Section 2 must be safe.
+#[test]
+fn unresolved_address_reordering_safe() {
+    let x = 0x1000u64;
+    let y = 0x2040u64;
+    // Reader: address of the older load comes from a (slow) chain; the
+    // younger load commits OoO over it.
+    let mut p0 = Program::builder();
+    p0.imm(Reg(1), x).imm(Reg(2), y).imm(Reg(6), 1);
+    p0.load(Reg(5), Reg(1), 0);
+    for _ in 0..30 {
+        p0.alui(AluOp::Mul, Reg(6), Reg(6), 1);
+    }
+    p0.alui(AluOp::Mul, Reg(6), Reg(6), 0);
+    p0.alu(AluOp::Add, Reg(7), Reg(2), Reg(6)); // r7 = &y only after the chain
+    p0.load(Reg(3), Reg(7), 0);
+    p0.load(Reg(4), Reg(1), 0);
+    p0.halt();
+    let mut p1 = Program::builder();
+    p1.imm(Reg(1), x).imm(Reg(2), y).imm(Reg(3), 1);
+    p1.store(Reg(3), Reg(1), 0).store(Reg(3), Reg(2), 0).halt();
+    let (prog0, prog1) = (p0.build(), p1.build());
+    for seed in 0..30u64 {
+        let w = Workload::new("unresolved", vec![prog0.clone(), prog1.clone()]);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(2)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(1_000_000), RunOutcome::Done, "seed {seed}");
+        let (ra, rb) = (sys.arch_reg(0, Reg(3)), sys.arch_reg(0, Reg(4)));
+        assert!(!(ra == 1 && rb == 0), "seed {seed}: forbidden outcome over unresolved address");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Random torture: pseudo-random multi-core programs with unique store
+//! values, run on both protocols and all commit modes, every execution
+//! validated by the axiomatic TSO checker.
+//!
+//! This is the broadest correctness net in the repository: it explores
+//! protocol races (invalidation vs. lockdown vs. commit) far beyond the
+//! directed litmus tests.
+
+use wb_isa::{AluOp, Program, Reg, Workload};
+use wb_kernel::config::{CommitMode, CoreClass, SystemConfig};
+use wb_kernel::SimRng;
+use writersblock::{RunOutcome, System};
+
+/// Build a random straight-line program for one core. Store values are
+/// globally unique (`core << 32 | k`) so the checker can recover rf.
+fn random_program(core: usize, rng: &mut SimRng, ops: usize, lines: &[u64]) -> Program {
+    let mut p = Program::builder();
+    let addr_reg = Reg(1);
+    let val_reg = Reg(2);
+    let dst = Reg(3);
+    let mut k: u64 = 1;
+    for _ in 0..ops {
+        let a = *rng.choose(lines).expect("non-empty");
+        let word = rng.below(8) * 8;
+        p.imm(addr_reg, a + word);
+        match rng.below(10) {
+            0..=4 => {
+                // load
+                p.load(dst, addr_reg, 0);
+            }
+            5..=8 => {
+                // store with a unique value
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.store(val_reg, addr_reg, 0);
+            }
+            _ => {
+                // atomic swap with a unique value
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.amo_swap(dst, addr_reg, 0, val_reg);
+            }
+        }
+        if rng.chance(1, 4) {
+            p.alui(AluOp::Add, Reg(4), Reg(4), 1); // filler compute
+        }
+    }
+    p.halt();
+    p.build()
+}
+
+fn torture(mode: CommitMode, seeds: std::ops::Range<u64>) {
+    // A handful of lines spread over banks, including two words per line
+    // to exercise same-line different-word interleavings.
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in seeds {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 40, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-{seed}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(mode)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(2_000_000);
+        assert_eq!(out, RunOutcome::Done, "seed {seed} under {mode:?}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed} under {mode:?}: {e}"));
+    }
+}
+
+#[test]
+fn torture_inorder() {
+    torture(CommitMode::InOrder, 0..25);
+}
+
+#[test]
+fn torture_ooo() {
+    torture(CommitMode::OutOfOrder, 0..25);
+}
+
+#[test]
+fn torture_ooo_wb() {
+    torture(CommitMode::OutOfOrderWb, 0..25);
+}
+
+#[test]
+fn torture_ooo_wb_more_contention() {
+    // Two hot lines only: maximal racing.
+    let lines: Vec<u64> = vec![0x1000, 0x2040];
+    for seed in 100..120u64 {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 30, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-hot-{seed}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Figure 9's configuration: the WritersBlock *protocol* under an
+/// in-order-commit core (lockdowns happen for in-flight M-speculative
+/// loads even though commit never reorders).
+#[test]
+fn torture_inorder_wb_protocol() {
+    use wb_kernel::config::ProtocolKind;
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in 200..220u64 {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 40, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-iwb-{seed}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::InOrder)
+            .with_protocol(ProtocolKind::WritersBlock)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// The HSW-class core (deepest window, most speculation) under torture.
+#[test]
+fn torture_hsw_ooo_wb() {
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in 300..315u64 {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 50, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-hsw-{seed}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Hsw)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// The non-collapsible (FIFO) LQ variant under torture.
+#[test]
+fn torture_fifo_lq() {
+    let lines: Vec<u64> = (0..4).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in 400..415u64 {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 40, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-fifo-{seed}"), programs);
+        let mut cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(25);
+        cfg.core.collapsible_lq = false;
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// The ECL (early-commit-of-loads) mode — the paper's stall-on-use use
+/// case — under random torture.
+#[test]
+fn torture_ecl() {
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in 500..525u64 {
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 40, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("torture-ecl-{seed}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::InOrderEcl)
+            .with_seed(seed)
+            .with_jitter(25);
+        let mut sys = System::new(cfg, &w);
+        assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,63 @@
+//! End-to-end data-integrity: run every suite workload on the simulator
+//! under every commit policy and check its interleaving-independent
+//! invariant (atomic histograms, lock-protected counters, barrier
+//! counts). A lost update, doubled replay or stale read anywhere in the
+//! pipeline/protocol breaks these counts.
+
+use wb_kernel::config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+use wb_mem::Addr;
+use wb_workloads::{invariants, suite, Scale};
+use writersblock::{RunOutcome, System};
+
+fn run_and_check(cores: usize, class: CoreClass, mode: CommitMode, protocol: Option<ProtocolKind>) {
+    for w in suite(cores, Scale::Test) {
+        let mut cfg = SystemConfig::new(class)
+            .with_cores(cores)
+            .with_commit(mode)
+            .without_event_log();
+        if let Some(p) = protocol {
+            cfg = cfg.with_protocol(p);
+        }
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(100_000_000);
+        assert_eq!(out, RunOutcome::Done, "{} under {mode:?}", w.name);
+        invariants::check(&w.name, cores, Scale::Test, |a: Addr| sys.memory_word(a))
+            .unwrap_or_else(|e| panic!("{} under {mode:?}/{class:?}: {e}", w.name));
+    }
+}
+
+#[test]
+fn integrity_inorder() {
+    run_and_check(4, CoreClass::Slm, CommitMode::InOrder, None);
+}
+
+#[test]
+fn integrity_ooo() {
+    run_and_check(4, CoreClass::Slm, CommitMode::OutOfOrder, None);
+}
+
+#[test]
+fn integrity_ooo_wb() {
+    run_and_check(4, CoreClass::Slm, CommitMode::OutOfOrderWb, None);
+}
+
+#[test]
+fn integrity_inorder_wb_protocol() {
+    run_and_check(4, CoreClass::Slm, CommitMode::InOrder, Some(ProtocolKind::WritersBlock));
+}
+
+#[test]
+fn integrity_hsw_ooo_wb() {
+    run_and_check(4, CoreClass::Hsw, CommitMode::OutOfOrderWb, None);
+}
+
+#[test]
+fn integrity_sixteen_cores_ooo_wb() {
+    // The full 16-core configuration the figures use.
+    run_and_check(16, CoreClass::Slm, CommitMode::OutOfOrderWb, None);
+}
+
+#[test]
+fn integrity_ecl() {
+    run_and_check(4, CoreClass::Slm, CommitMode::InOrderEcl, None);
+}
