@@ -1,77 +1,73 @@
-//! Criterion benches: one measurement per table/figure of the paper.
+//! Wall-clock benches: one measurement per table/figure of the paper.
 //!
-//! Criterion measures the *simulator's wall-clock throughput* on the
-//! configurations each figure sweeps; the figure data itself (cycles,
-//! rates, speedups) is produced by the `src/bin/` binaries, which print
-//! the paper-shaped rows. Keeping both wired to the same `wb_bench`
-//! harness means `cargo bench` exercises every experiment end to end.
+//! These measure the *simulator's throughput* on the configurations each
+//! figure sweeps; the figure data itself (cycles, rates, speedups) is
+//! produced by the `src/bin/` binaries, which print the paper-shaped
+//! rows. Both run on the in-tree [`wb_bench::timing`] harness, so
+//! `cargo bench` exercises every experiment end to end and emits
+//! `BENCH_figures.json` with the per-run simulator counters attached.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use wb_bench::{eval_config, run_one};
+use wb_bench::{eval_config, run_one, BenchGroup};
 use wb_kernel::config::{CommitMode, CoreClass, SystemConfig};
 use wb_workloads::{splash, Scale};
 use writersblock::run_litmus;
 
 /// Table 1/2/3 machinery: a full litmus campaign (simulate + oracle +
 /// TSO check) per iteration.
-fn bench_litmus_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tables_litmus");
+fn bench_litmus_tables(g: &mut BenchGroup) {
     g.sample_size(10);
     for t in [wb_tso::litmus::mp(), wb_tso::litmus::mp_warm()] {
-        g.bench_function(BenchmarkId::new("campaign", t.name), |b| {
-            b.iter(|| {
-                let cfg = SystemConfig::new(CoreClass::Slm)
-                    .with_cores(2)
-                    .with_commit(CommitMode::OutOfOrderWb);
-                run_litmus(&t, &cfg, 0..5, 300_000).expect("litmus")
-            })
+        g.bench(&format!("campaign/{}", t.name), || {
+            let cfg = SystemConfig::new(CoreClass::Slm)
+                .with_cores(2)
+                .with_commit(CommitMode::OutOfOrderWb);
+            run_litmus(&t, &cfg, 0..5, 300_000).expect("litmus")
         });
     }
-    g.bench_function("table2_oracle", |b| {
+    g.bench("table2_oracle", || {
         let t = wb_tso::litmus::mp();
-        b.iter(|| wb_tso::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle"))
+        wb_tso::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle")
     });
-    g.finish();
 }
 
 /// Figure 8: OoO+WB runs per core class (the sweep axis of the figure).
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_wb_rates");
+fn bench_fig8(g: &mut BenchGroup) {
     g.sample_size(10);
     for class in CoreClass::ALL {
-        g.bench_function(BenchmarkId::new("fft_ooowb", class.label()), |b| {
+        g.bench_with_stats(&format!("fig8_fft_ooowb/{}", class.label()), || {
             let w = splash::fft(16, Scale::Test);
-            b.iter(|| run_one(&w, eval_config(class, CommitMode::OutOfOrderWb, false)))
+            run_one(&w, eval_config(class, CommitMode::OutOfOrderWb, false)).report.stats
         });
     }
-    g.finish();
 }
 
 /// Figure 9: base MESI vs WritersBlock protocol on in-order commit.
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_overheads");
+fn bench_fig9(g: &mut BenchGroup) {
     g.sample_size(10);
     for (label, wb) in [("mesi", false), ("writersblock", true)] {
-        g.bench_function(BenchmarkId::new("fft_inorder", label), |b| {
+        g.bench_with_stats(&format!("fig9_fft_inorder/{label}"), || {
             let w = splash::fft(16, Scale::Test);
-            b.iter(|| run_one(&w, eval_config(CoreClass::Slm, CommitMode::InOrder, wb)))
+            run_one(&w, eval_config(CoreClass::Slm, CommitMode::InOrder, wb)).report.stats
         });
     }
-    g.finish();
 }
 
 /// Figure 10: the three commit policies.
-fn bench_fig10(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_commit_modes");
+fn bench_fig10(g: &mut BenchGroup) {
     g.sample_size(10);
     for mode in [CommitMode::InOrder, CommitMode::OutOfOrder, CommitMode::OutOfOrderWb] {
-        g.bench_function(BenchmarkId::new("ocean", mode.label()), |b| {
+        g.bench_with_stats(&format!("fig10_ocean/{}", mode.label()), || {
             let w = splash::ocean(16, Scale::Test);
-            b.iter(|| run_one(&w, eval_config(CoreClass::Slm, mode, false)))
+            run_one(&w, eval_config(CoreClass::Slm, mode, false)).report.stats
         });
     }
-    g.finish();
 }
 
-criterion_group!(figures, bench_litmus_tables, bench_fig8, bench_fig9, bench_fig10);
-criterion_main!(figures);
+fn main() {
+    let mut g = BenchGroup::new("figures");
+    bench_litmus_tables(&mut g);
+    bench_fig8(&mut g);
+    bench_fig9(&mut g);
+    bench_fig10(&mut g);
+    g.finish();
+}

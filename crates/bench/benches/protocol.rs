@@ -1,45 +1,43 @@
-//! Criterion micro-benches of the simulator's substrates: mesh
-//! throughput, directory transaction processing, TSO checker, and the
-//! operational oracle.
+//! Micro-benches of the simulator's substrates: mesh throughput,
+//! TSO checker, and the operational oracle — on the in-tree
+//! [`wb_bench::timing`] harness (emits `BENCH_protocol.json`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wb_bench::BenchGroup;
 use wb_kernel::NodeId;
 use wb_mem::Addr;
 use wb_mesh::{Mesh, MeshMsg, VNet};
 use wb_tso::{ExecutionLog, MemEvent, MemOp, TsoChecker};
 
-fn bench_mesh(c: &mut Criterion) {
-    c.bench_function("mesh_1k_messages", |b| {
-        b.iter(|| {
-            let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
-            for i in 0..1000u32 {
-                m.send(
-                    (i / 16) as u64,
-                    MeshMsg {
-                        src: NodeId((i % 16) as u16),
-                        dst: NodeId(((i * 7) % 16) as u16),
-                        vnet: VNet::Request,
-                        flits: 1 + (i % 5),
-                        payload: i,
-                    },
-                );
+fn bench_mesh(g: &mut BenchGroup) {
+    g.bench("mesh_1k_messages", || {
+        let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
+        for i in 0..1000u32 {
+            m.send(
+                (i / 16) as u64,
+                MeshMsg {
+                    src: NodeId((i % 16) as u16),
+                    dst: NodeId(((i * 7) % 16) as u16),
+                    vnet: VNet::Request,
+                    flits: 1 + (i % 5),
+                    payload: i,
+                },
+            );
+        }
+        let mut delivered = 0;
+        for now in 0..5000u64 {
+            m.tick(now);
+            for n in 0..16 {
+                delivered += m.drain_arrived(NodeId(n)).len();
             }
-            let mut delivered = 0;
-            for now in 0..5000u64 {
-                m.tick(now);
-                for n in 0..16 {
-                    delivered += m.drain_arrived(NodeId(n)).len();
-                }
-                if delivered == 1000 {
-                    break;
-                }
+            if delivered == 1000 {
+                break;
             }
-            assert_eq!(delivered, 1000);
-        })
+        }
+        assert_eq!(delivered, 1000);
     });
 }
 
-fn bench_checker(c: &mut Criterion) {
+fn bench_checker(g: &mut BenchGroup) {
     // A synthetic 4-core log with unique store values.
     let mut log = ExecutionLog::new();
     let mut value = 1u64;
@@ -59,22 +57,24 @@ fn bench_checker(c: &mut Criterion) {
             }
         }
     }
-    // Make every load read the initial value so the log is consistent.
-    c.bench_function("tso_checker_800_events", |b| {
-        b.iter(|| {
-            // The loads read 0 (init), which is legal only if no store of 0
-            // exists; the checker runs fully regardless of verdict.
-            let _ = TsoChecker::new(&log).check();
-        })
+    g.bench("tso_checker_800_events", || {
+        // The loads read 0 (init), which is legal only if no store of 0
+        // exists; the checker runs fully regardless of verdict.
+        let _ = TsoChecker::new(&log).check();
     });
 }
 
-fn bench_oracle(c: &mut Criterion) {
-    c.bench_function("oracle_iriw", |b| {
+fn bench_oracle(g: &mut BenchGroup) {
+    g.bench("oracle_iriw", || {
         let t = wb_tso::litmus::iriw();
-        b.iter(|| wb_tso::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle"))
+        wb_tso::oracle::tso_outcomes(&t.workload, &t.observed).expect("oracle")
     });
 }
 
-criterion_group!(protocol, bench_mesh, bench_checker, bench_oracle);
-criterion_main!(protocol);
+fn main() {
+    let mut g = BenchGroup::new("protocol");
+    bench_mesh(&mut g);
+    bench_checker(&mut g);
+    bench_oracle(&mut g);
+    g.finish();
+}

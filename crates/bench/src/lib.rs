@@ -5,9 +5,13 @@
 //! text-rendering machinery they share. See DESIGN.md for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod timing;
+
 use wb_isa::Workload;
 use wb_kernel::config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
 use writersblock::{Report, RunOutcome, System};
+
+pub use timing::{BenchGroup, BenchResult};
 
 /// Default per-run cycle budget for evaluation runs.
 pub const RUN_BUDGET: u64 = 200_000_000;

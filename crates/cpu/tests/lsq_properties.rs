@@ -1,7 +1,7 @@
 //! Property tests on the load/store queue invariants that the lockdown
 //! machinery depends on (Sections 3.1-3.2 terminology).
 
-use proptest::prelude::*;
+use wb_kernel::check::prelude::*;
 use wb_cpu::lsq::{ForwardResult, LoadState, Lsq};
 use wb_mem::Addr;
 
@@ -15,7 +15,7 @@ enum LsqOp {
     SquashTail,
 }
 
-fn op_strategy() -> impl Strategy<Value = LsqOp> {
+fn op_strategy() -> Gen<LsqOp> {
     prop_oneof![
         Just(LsqOp::AllocLoad),
         Just(LsqOp::AllocAmo),
@@ -26,14 +26,14 @@ fn op_strategy() -> impl Strategy<Value = LsqOp> {
     ]
 }
 
-proptest! {
+wb_proptest! {
     /// Core invariants under random operation sequences:
     /// - the SoS load is always the oldest non-performed load;
     /// - `is_ordered(seq)` iff no older non-performed load exists;
     /// - M-speculative implies performed and unordered;
     /// - squash never removes older entries.
     #[test]
-    fn ordering_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+    fn ordering_invariants(ops in vec_of(op_strategy(), 1..120)) {
         let mut lsq = Lsq::new(16, 16, 16, 8);
         let mut next_seq = 1u64;
         let addr = Addr::new(0x40);
@@ -106,7 +106,7 @@ proptest! {
 
     /// Forwarding returns the *youngest* older matching store's value.
     #[test]
-    fn forwarding_youngest_wins(values in proptest::collection::vec(1u64..1000, 1..8)) {
+    fn forwarding_youngest_wins(values in vec_of(1u64..1000, 1..8)) {
         let mut lsq = Lsq::new(16, 16, 16, 8);
         let addr = Addr::new(0x80);
         let mut seq = 1u64;

@@ -256,7 +256,7 @@ pub fn parse_program(text: &str) -> Result<Program, ParseAsmError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use wb_kernel::check::prelude::*;
 
     #[test]
     fn parses_all_forms() {
@@ -313,11 +313,11 @@ mod tests {
         assert!(parse_program("imm x1, 1").is_err());
     }
 
-    fn reg_strategy() -> impl Strategy<Value = Reg> {
+    fn reg_strategy() -> Gen<Reg> {
         (0u8..32).prop_map(Reg)
     }
 
-    fn inst_strategy() -> impl Strategy<Value = Inst> {
+    fn inst_strategy() -> Gen<Inst> {
         let alu = prop_oneof![
             Just(AluOp::Add),
             Just(AluOp::Sub),
@@ -357,10 +357,10 @@ mod tests {
         ]
     }
 
-    proptest! {
+    wb_proptest! {
         /// display -> parse round-trips every instruction form.
         #[test]
-        fn display_parse_roundtrip(insts in proptest::collection::vec(inst_strategy(), 1..30)) {
+        fn display_parse_roundtrip(insts in vec_of(inst_strategy(), 1..30)) {
             let p = Program::from_insts(insts);
             let text = p.to_string();
             let reparsed = parse_program(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));

@@ -1,0 +1,636 @@
+//! In-tree property-based testing, built on [`SimRng`].
+//!
+//! The workspace compiles with an **empty cargo registry** (see
+//! DESIGN.md, "zero external dependencies"), so instead of `proptest`
+//! this module provides the small subset the test suites actually use:
+//!
+//! - [`Gen<T>`]: a composable value generator (proptest's `Strategy`),
+//!   with [`GenExt::prop_map`], [`one_of`], [`vec_of`], [`just`] and
+//!   [`any`] as combinators;
+//! - [`wb_proptest!`](crate::wb_proptest): a test-writing macro mirroring
+//!   `proptest! { #[test] fn name(x in gen) { .. } }`, including the
+//!   `#![cases = N]` suite-level override;
+//! - [`prop_assert!`](crate::prop_assert) /
+//!   [`prop_assert_eq!`](crate::prop_assert_eq) /
+//!   [`prop_assert_ne!`](crate::prop_assert_ne) assertions that carry
+//!   formatted context into the failure report;
+//! - deterministic seeding with **failure-seed reporting**: every case
+//!   runs from a seed derived from the test name, and a failing case
+//!   prints `WB_CHECK_SEED=0x...` which re-runs exactly that case.
+//!
+//! # Environment knobs
+//!
+//! | variable         | effect                                          |
+//! |------------------|-------------------------------------------------|
+//! | `WB_CHECK_CASES` | override the number of cases for every property |
+//! | `WB_CHECK_SEED`  | run only the one case with this seed            |
+//!
+//! # Example
+//!
+//! ```
+//! use wb_kernel::check::prelude::*;
+//!
+//! wb_proptest! {
+//!     // add #[test] here in a real test module
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use crate::SimRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+/// Default number of cases per property (override with `WB_CHECK_CASES`
+/// or a `#![cases = N]` header inside [`wb_proptest!`](crate::wb_proptest)).
+pub const DEFAULT_CASES: u32 = 64;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// A composable generator of values of type `T`, driven by [`SimRng`].
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut SimRng) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wrap a sampling function.
+    pub fn new(f: impl Fn(&mut SimRng) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut SimRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Conversion into a [`Gen`]: implemented for `Gen` itself, integer
+/// ranges, [`Just`] and tuples of generators, so the expressions used in
+/// `x in EXPR` positions of [`wb_proptest!`](crate::wb_proptest) mirror
+/// proptest's.
+pub trait IntoGen {
+    /// The generated value type.
+    type Value: 'static;
+    /// Build the generator.
+    fn into_gen(self) -> Gen<Self::Value>;
+}
+
+impl<T: 'static> IntoGen for Gen<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        self
+    }
+}
+
+/// A generator that always yields a clone of the given value
+/// (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> IntoGen for Just<T> {
+    type Value = T;
+    fn into_gen(self) -> Gen<T> {
+        let v = self.0;
+        Gen::new(move |_| v.clone())
+    }
+}
+
+macro_rules! impl_into_gen_for_uint_range {
+    ($($t:ty),*) => {$(
+        impl IntoGen for std::ops::Range<$t> {
+            type Value = $t;
+            fn into_gen(self) -> Gen<$t> {
+                assert!(self.start < self.end, "empty range");
+                let (lo, hi) = (self.start, self.end);
+                Gen::new(move |rng| lo + rng.below((hi - lo) as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_into_gen_for_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_into_gen_for_int_range {
+    ($($t:ty),*) => {$(
+        impl IntoGen for std::ops::Range<$t> {
+            type Value = $t;
+            fn into_gen(self) -> Gen<$t> {
+                assert!(self.start < self.end, "empty range");
+                let (lo, hi) = (self.start, self.end);
+                let span = (hi as i128 - lo as i128) as u64;
+                Gen::new(move |rng| (lo as i128 + rng.below(span) as i128) as $t)
+            }
+        }
+    )*};
+}
+impl_into_gen_for_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_into_gen_for_tuple {
+    ($($g:ident . $idx:tt),+) => {
+        impl<$($g: IntoGen),+> IntoGen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+            fn into_gen(self) -> Gen<Self::Value> {
+                let gens = ($(self.$idx.into_gen(),)+);
+                Gen::new(move |rng| ($(gens.$idx.sample(rng),)+))
+            }
+        }
+    };
+}
+impl_into_gen_for_tuple!(A.0);
+impl_into_gen_for_tuple!(A.0, B.1);
+impl_into_gen_for_tuple!(A.0, B.1, C.2);
+impl_into_gen_for_tuple!(A.0, B.1, C.2, D.3);
+impl_into_gen_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+
+/// Extension combinators available on anything convertible to a [`Gen`].
+pub trait GenExt: IntoGen + Sized {
+    /// Map generated values through `f` (proptest's `prop_map`).
+    fn prop_map<U: 'static>(self, f: impl Fn(Self::Value) -> U + 'static) -> Gen<U> {
+        let g = self.into_gen();
+        Gen::new(move |rng| f(g.sample(rng)))
+    }
+}
+
+impl<T: IntoGen> GenExt for T {}
+
+/// Types with a canonical full-domain generator (proptest's `Arbitrary`).
+pub trait Arb: Sized + 'static {
+    /// The full-domain generator for this type.
+    fn arb() -> Gen<Self>;
+}
+
+impl Arb for u64 {
+    fn arb() -> Gen<u64> {
+        Gen::new(|rng| rng.next_u64())
+    }
+}
+impl Arb for u32 {
+    fn arb() -> Gen<u32> {
+        Gen::new(|rng| rng.next_u64() as u32)
+    }
+}
+impl Arb for u16 {
+    fn arb() -> Gen<u16> {
+        Gen::new(|rng| rng.next_u64() as u16)
+    }
+}
+impl Arb for u8 {
+    fn arb() -> Gen<u8> {
+        Gen::new(|rng| rng.next_u64() as u8)
+    }
+}
+impl Arb for i64 {
+    fn arb() -> Gen<i64> {
+        Gen::new(|rng| rng.next_u64() as i64)
+    }
+}
+impl Arb for bool {
+    fn arb() -> Gen<bool> {
+        Gen::new(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+/// The full-domain generator for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arb>() -> Gen<T> {
+    T::arb()
+}
+
+/// A generator yielding a clone of `v` every time.
+pub fn just<T: Clone + 'static>(v: T) -> Gen<T> {
+    Just(v).into_gen()
+}
+
+/// Choose uniformly among the given generators
+/// (the engine behind [`prop_oneof!`](crate::prop_oneof)).
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of needs at least one generator");
+    Gen::new(move |rng| {
+        let i = rng.below_usize(gens.len());
+        gens[i].sample(rng)
+    })
+}
+
+/// A vector with length drawn from `len` and elements from `g`
+/// (proptest's `collection::vec`).
+pub fn vec_of<G: IntoGen>(g: G, len: std::ops::Range<usize>) -> Gen<Vec<G::Value>> {
+    let g = g.into_gen();
+    let len = len.into_gen();
+    Gen::new(move |rng| {
+        let n = len.sample(rng);
+        (0..n).map(|_| g.sample(rng)).collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Case runner
+// ---------------------------------------------------------------------------
+
+/// A single failed case's explanation (produced by the `prop_assert*`
+/// macros or an early `return Err(..)` in a property body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseError {
+    msg: String,
+}
+
+impl CaseError {
+    /// Wrap a failure message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CaseError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for CaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// What a property body returns per case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// A property failure with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The [`SimRng`] seed of the failing case.
+    pub seed: u64,
+    /// Zero-based index of the failing case within this run.
+    pub case: u32,
+    /// Total cases requested.
+    pub cases: u32,
+    /// The assertion or panic message.
+    pub message: String,
+}
+
+impl Failure {
+    /// The human-readable report, including the reproduction recipe.
+    pub fn render(&self, test: &str) -> String {
+        format!(
+            "property `{test}` failed at case {}/{} (seed {:#018x})\n  {}\n\
+             reproduce with: WB_CHECK_SEED={:#x} cargo test {}",
+            self.case + 1,
+            self.cases,
+            self.seed,
+            self.message,
+            self.seed,
+            test.rsplit("::").next().unwrap_or(test),
+        )
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test base seed from its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The seed of case `i` of the test with base seed `base`.
+fn case_seed(base: u64, i: u32) -> u64 {
+    base.wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn run_case<F>(f: &mut F, seed: u64) -> Result<(), String>
+where
+    F: FnMut(&mut SimRng) -> CaseResult,
+{
+    let mut rng = SimRng::new(seed);
+    match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(e.msg),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic payload>");
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Run `cases` cases of property `f`, returning the first [`Failure`].
+///
+/// `seed_override` runs exactly one case with that seed — the
+/// reproduction path behind `WB_CHECK_SEED`.
+pub fn run_collect<F>(
+    test: &str,
+    cases: u32,
+    seed_override: Option<u64>,
+    f: &mut F,
+) -> Result<(), Failure>
+where
+    F: FnMut(&mut SimRng) -> CaseResult,
+{
+    if let Some(seed) = seed_override {
+        return run_case(f, seed)
+            .map_err(|message| Failure { seed, case: 0, cases: 1, message });
+    }
+    let base = fnv1a(test);
+    for i in 0..cases {
+        let seed = case_seed(base, i);
+        if let Err(message) = run_case(f, seed) {
+            return Err(Failure { seed, case: i, cases, message });
+        }
+    }
+    Ok(())
+}
+
+/// Test-harness entry point used by [`wb_proptest!`](crate::wb_proptest):
+/// applies the `WB_CHECK_CASES` / `WB_CHECK_SEED` environment overrides
+/// and panics with a reproduction recipe on the first failing case.
+///
+/// # Panics
+///
+/// Panics when a case fails, with the failing seed in the message.
+pub fn run<F>(test: &str, default_cases: u32, mut f: F)
+where
+    F: FnMut(&mut SimRng) -> CaseResult,
+{
+    let seed_override = std::env::var("WB_CHECK_SEED").ok().map(|s| {
+        let t = s.trim();
+        let parsed = match t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => t.parse(),
+        };
+        parsed.unwrap_or_else(|_| panic!("WB_CHECK_SEED `{s}` is not a number"))
+    });
+    let cases = std::env::var("WB_CHECK_CASES")
+        .ok()
+        .map(|s| s.parse().unwrap_or_else(|_| panic!("WB_CHECK_CASES `{s}` is not a number")))
+        .unwrap_or(default_cases);
+    if let Err(fail) = run_collect(test, cases, seed_override, &mut f) {
+        panic!("{}", fail.render(test));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: the in-tree replacement for `proptest!`.
+///
+/// ```
+/// use wb_kernel::check::prelude::*;
+///
+/// wb_proptest! {
+///     #![cases = 32]
+///     // add #[test] here in a real test module
+///     fn doubling_is_even(x in 0u32..1000) {
+///         prop_assert_eq!((x * 2) % 2, 0);
+///     }
+/// }
+/// # doubling_is_even();
+/// ```
+#[macro_export]
+macro_rules! wb_proptest {
+    (#![cases = $cases:expr] $($rest:tt)*) => {
+        $crate::__wb_proptest_items! { ($cases) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__wb_proptest_items! { ($crate::check::DEFAULT_CASES) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __wb_proptest_items {
+    (($cases:expr)) => {};
+    (($cases:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            $crate::check::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                ($cases) as u32,
+                |__wb_rng| {
+                    $(let $arg = $crate::check::IntoGen::into_gen($gen).sample(__wb_rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__wb_proptest_items! { ($cases) $($rest)* }
+    };
+}
+
+/// Assert inside a property body; on failure the case's seed is reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::check::CaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Choose uniformly among generator expressions (proptest's `prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($gen:expr),+ $(,)?) => {
+        $crate::check::one_of(vec![
+            $($crate::check::IntoGen::into_gen($gen)),+
+        ])
+    };
+}
+
+/// Everything a property-test file needs: `use wb_kernel::check::prelude::*;`.
+pub mod prelude {
+    pub use super::{any, just, one_of, vec_of, Arb, CaseError, CaseResult, Gen, GenExt, IntoGen, Just};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, wb_proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SimRng::new(1);
+        let g = (10u64..20).into_gen();
+        for _ in 0..1000 {
+            let v = g.sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let g = (-64i64..64).into_gen();
+        let mut seen_neg = false;
+        for _ in 0..1000 {
+            let v = g.sample(&mut rng);
+            assert!((-64..64).contains(&v));
+            seen_neg |= v < 0;
+        }
+        assert!(seen_neg, "signed range never went negative");
+    }
+
+    #[test]
+    fn one_of_covers_all_alternatives() {
+        let mut rng = SimRng::new(2);
+        let g = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[g.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = SimRng::new(3);
+        let g = vec_of(0u8..10, 1..5);
+        for _ in 0..200 {
+            let v = g.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = SimRng::new(4);
+        let g = (0u64..5, any::<bool>()).prop_map(|(n, b)| if b { n + 100 } else { n });
+        for _ in 0..200 {
+            let v = g.sample(&mut rng);
+            assert!(v < 5 || (100..105).contains(&v));
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        run_collect("check::count", 64, None, &mut |_rng| {
+            count += 1;
+            Ok(())
+        })
+        .expect("trivially true property");
+        assert_eq!(count, 64);
+    }
+
+    /// The deliberately-failing property of the harness's own acceptance
+    /// test: it must report a reproduction seed, and re-running with
+    /// exactly that seed must reproduce the failure deterministically.
+    #[test]
+    fn failing_property_reports_reproducible_seed() {
+        fn property(rng: &mut SimRng) -> CaseResult {
+            let v = rng.below(100);
+            if v >= 50 {
+                return Err(CaseError::new(format!("drew {v}, expected < 50")));
+            }
+            Ok(())
+        }
+        let fail = run_collect("check::deliberate", 64, None, &mut property)
+            .expect_err("property fails with ~2^-64 probability of survival");
+        assert!(fail.message.contains("expected < 50"));
+        assert!(fail.case < 64);
+
+        // Reproduction: the reported seed alone replays the failure.
+        let replay = run_collect("check::deliberate", 64, Some(fail.seed), &mut property)
+            .expect_err("reported seed must reproduce the failure");
+        assert_eq!(replay.message, fail.message);
+        assert_eq!(replay.seed, fail.seed);
+
+        // And the render names the seed so a human can copy it.
+        let report = fail.render("check::deliberate");
+        assert!(report.contains(&format!("{:#x}", fail.seed)));
+        assert!(report.contains("WB_CHECK_SEED"));
+    }
+
+    /// Panics (not just `Err` returns) are also caught and attributed to
+    /// their seed.
+    #[test]
+    fn panicking_property_reports_seed() {
+        let mut f = |rng: &mut SimRng| -> CaseResult {
+            assert!(rng.below(10) < 8, "panic path");
+            Ok(())
+        };
+        let fail =
+            run_collect("check::panics", 256, None, &mut f).expect_err("panics eventually");
+        assert!(fail.message.contains("panic"), "got: {}", fail.message);
+        let replay = run_collect("check::panics", 256, Some(fail.seed), &mut f)
+            .expect_err("seed reproduces the panic");
+        assert_eq!(replay.message, fail.message);
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_seed_streams() {
+        assert_ne!(fnv1a("a::test_one"), fnv1a("a::test_two"));
+        assert_ne!(case_seed(1, 0), case_seed(1, 1));
+    }
+
+    wb_proptest! {
+        #![cases = 32]
+        /// The macro end-to-end: bindings, early return, assertions.
+        #[test]
+        fn macro_smoke(xs in vec_of(0u64..100, 1..10), flag in any::<bool>()) {
+            if xs.is_empty() {
+                return Ok(()); // unreachable, but exercises early return
+            }
+            let doubled: Vec<u64> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            for (d, x) in doubled.iter().zip(&xs) {
+                prop_assert_eq!(*d, x * 2, "flag={}", flag);
+                prop_assert!(*d % 2 == 0);
+                prop_assert_ne!(*d, x * 2 + 1);
+            }
+        }
+    }
+}

@@ -5,10 +5,8 @@
 //! with private L1/L2, a shared banked L3 with an embedded directory, and a
 //! 4x4 2D-mesh interconnect.
 
-use serde::{Deserialize, Serialize};
-
 /// The three simulated core classes of Table 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreClass {
     /// Silvermont-class: IQ 16, ROB 32, LQ 10, SQ/SB 16.
     Slm,
@@ -39,7 +37,7 @@ impl std::fmt::Display for CoreClass {
 }
 
 /// How instructions leave the reorder buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CommitMode {
     /// Conventional in-order commit from the ROB head.
     InOrder,
@@ -79,7 +77,7 @@ impl std::fmt::Display for CommitMode {
 }
 
 /// Which coherence protocol the directory and private caches speak.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Base MESI directory protocol (GEMS-style): invalidations that hit
     /// M-speculative loads squash them.
@@ -100,7 +98,7 @@ impl ProtocolKind {
 }
 
 /// Out-of-order core parameters (Table 6, top block).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions dispatched and committed per cycle.
     pub width: usize,
@@ -169,7 +167,7 @@ impl CoreConfig {
 }
 
 /// Cache and memory hierarchy parameters (Table 6, middle block).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemoryConfig {
     /// Cache line size in bytes (64 throughout).
     pub line_bytes: usize,
@@ -221,7 +219,7 @@ impl Default for MemoryConfig {
 }
 
 /// Interconnect parameters (Table 6, bottom block).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkConfig {
     /// Mesh dimensions; 4x4 for 16 nodes.
     pub mesh_width: usize,
@@ -252,7 +250,7 @@ impl Default for NetworkConfig {
 }
 
 /// Full system configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
     pub num_cores: usize,
     pub core: CoreConfig,

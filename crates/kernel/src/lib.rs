@@ -7,7 +7,10 @@
 //! - [`Stats`], a string-keyed statistics registry used for every counter a
 //!   figure or table in the paper reports,
 //! - [`config`], the machine configurations of Table 6 of the paper
-//!   (SLM-class, NHM-class and HSW-class cores) plus protocol knobs.
+//!   (SLM-class, NHM-class and HSW-class cores) plus protocol knobs,
+//! - [`check`], the in-tree property-testing harness every crate's
+//!   randomized test suite runs on (the workspace builds with an empty
+//!   cargo registry, so there is no external `proptest`).
 //!
 //! # Example
 //!
@@ -19,6 +22,7 @@
 //! assert_eq!(cfg.num_cores, 16);
 //! ```
 
+pub mod check;
 pub mod config;
 pub mod rng;
 pub mod stats;

@@ -5,7 +5,6 @@
 //! accumulated in a [`Stats`] owned by each component and merged into a
 //! run-level report at the end of simulation.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Accumulating counters, keyed by a static name.
@@ -20,7 +19,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(s.get("loads"), 4);
 /// assert_eq!(s.get("absent"), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     counters: BTreeMap<&'static str, u64>,
 }
@@ -89,6 +88,34 @@ impl Stats {
     /// True when no counter has been touched.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty()
+    }
+
+    /// Render the counters as a JSON object, keys in name order.
+    ///
+    /// Counter names are `&'static str` identifiers (no quotes or control
+    /// characters), so plain escaping-free emission is sufficient; this
+    /// is what `BENCH_*.json` files embed per run.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use wb_kernel::Stats;
+    /// let s: Stats = [("loads", 3u64), ("stores", 1)].into_iter().collect();
+    /// assert_eq!(s.to_json(), r#"{"loads":3,"stores":1}"#);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(k);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
     }
 }
 
@@ -177,6 +204,13 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains('a') && text.contains('2'));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn to_json_shapes() {
+        assert_eq!(Stats::new().to_json(), "{}");
+        let s: Stats = [("b", 2u64), ("a", 1)].into_iter().collect();
+        assert_eq!(s.to_json(), r#"{"a":1,"b":2}"#);
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl std::fmt::Display for LineAddr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use wb_kernel::check::prelude::*;
 
     #[test]
     fn line_and_word_index() {
@@ -121,7 +121,7 @@ mod tests {
         assert_eq!(LineAddr(16).bank(16), 0);
     }
 
-    proptest! {
+    wb_proptest! {
         #[test]
         fn word_roundtrip(line in 0u64..1_000_000, idx in 0usize..8) {
             let l = LineAddr(line);

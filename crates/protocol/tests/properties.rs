@@ -1,6 +1,6 @@
 //! Property tests on the protocol's data structures.
 
-use proptest::prelude::*;
+use wb_kernel::check::prelude::*;
 use wb_mem::LineAddr;
 use wb_protocol::array::{Insert, SetAssocArray};
 use wb_protocol::mshr::{MshrFile, MshrKind};
@@ -12,7 +12,7 @@ enum ArrayOp {
     Touch(u64),
 }
 
-fn array_op() -> impl Strategy<Value = ArrayOp> {
+fn array_op() -> Gen<ArrayOp> {
     prop_oneof![
         (0u64..40).prop_map(ArrayOp::Insert),
         (0u64..40).prop_map(ArrayOp::Remove),
@@ -20,12 +20,12 @@ fn array_op() -> impl Strategy<Value = ArrayOp> {
     ]
 }
 
-proptest! {
+wb_proptest! {
     /// The array mirrors a reference model (a set-limited map): presence
     /// agrees after every operation, and occupancy never exceeds
     /// sets x ways.
     #[test]
-    fn set_assoc_array_matches_reference(ops in proptest::collection::vec(array_op(), 1..200)) {
+    fn set_assoc_array_matches_reference(ops in vec_of(array_op(), 1..200)) {
         let (sets, ways) = (4usize, 2usize);
         let mut a: SetAssocArray<u64> = SetAssocArray::new(sets, ways);
         let mut reference: Vec<(u64, u64)> = Vec::new(); // (line, payload)
@@ -83,7 +83,7 @@ proptest! {
     /// allocated entries.
     #[test]
     fn mshr_reservation_invariant(
-        allocs in proptest::collection::vec((0u64..12, any::<bool>()), 1..40)
+        allocs in vec_of((0u64..12, any::<bool>()), 1..40)
     ) {
         let cap = 4usize;
         let mut f = MshrFile::new(cap);

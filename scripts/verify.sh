@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification, hermetically: the workspace must build and test
+# against an EMPTY cargo registry (DESIGN.md "Dependencies").
+#
+# CARGO_NET_OFFLINE + --offline make a reintroduced external dependency
+# fail resolution immediately instead of silently fetching.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+# Belt and braces: no Cargo.toml may name a registry crate. Path-only
+# workspace deps are the policy; --offline below enforces it at resolve
+# time, this just makes the failure message direct.
+if grep -rn --include=Cargo.toml -E '^[[:space:]]*(rand|serde|proptest|criterion)[[:space:]]*=' \
+    Cargo.toml crates examples tests; then
+    echo "ERROR: external dependency found in a Cargo.toml (policy: zero external deps)" >&2
+    exit 1
+fi
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "tier-1 verify: OK (offline build + full test suite)"

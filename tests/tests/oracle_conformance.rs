@@ -7,7 +7,7 @@
 //! commit policy, coherence protocol, WritersBlock) against the
 //! definitional x86-TSO model, not just against the axiomatic checker.
 
-use proptest::prelude::*;
+use wb_kernel::check::prelude::*;
 use wb_isa::{Program, Reg, Workload};
 use wb_kernel::config::{CommitMode, CoreClass, SystemConfig};
 use wb_tso::oracle::TsoOracle;
@@ -21,7 +21,7 @@ enum Op {
     Swap { addr: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+fn op_strategy() -> Gen<Op> {
     prop_oneof![
         (0u8..3).prop_map(|addr| Op::Load { addr }),
         (0u8..3).prop_map(|addr| Op::Store { addr }),
@@ -104,14 +104,14 @@ fn check_conformance(per_core: Vec<Vec<Op>>, mode: CommitMode) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+wb_proptest! {
+    #![cases = 64]
 
     /// Two cores, up to 5 ops each, all commit modes.
     #[test]
     fn two_core_outcomes_are_tso_legal(
-        a in proptest::collection::vec(op_strategy(), 1..5),
-        b in proptest::collection::vec(op_strategy(), 1..5),
+        a in vec_of(op_strategy(), 1..5),
+        b in vec_of(op_strategy(), 1..5),
     ) {
         check_conformance(vec![a.clone(), b.clone()], CommitMode::InOrder);
         check_conformance(vec![a.clone(), b.clone()], CommitMode::OutOfOrder);
@@ -119,15 +119,15 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+wb_proptest! {
+    #![cases = 64]
 
     /// Three cores, shorter programs (the oracle's state space grows fast).
     #[test]
     fn three_core_outcomes_are_tso_legal(
-        a in proptest::collection::vec(op_strategy(), 1..4),
-        b in proptest::collection::vec(op_strategy(), 1..4),
-        c in proptest::collection::vec(op_strategy(), 1..4),
+        a in vec_of(op_strategy(), 1..4),
+        b in vec_of(op_strategy(), 1..4),
+        c in vec_of(op_strategy(), 1..4),
     ) {
         check_conformance(vec![a, b, c], CommitMode::OutOfOrderWb);
     }
