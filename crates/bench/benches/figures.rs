@@ -5,7 +5,10 @@
 //! produced by the `src/bin/` binaries, which print the paper-shaped
 //! rows. Both run on the in-tree [`wb_bench::timing`] harness, so
 //! `cargo bench` exercises every experiment end to end and emits
-//! `BENCH_figures.json` with the per-run simulator counters attached.
+//! `BENCH_figures.json` with the per-run simulator counters attached —
+//! including the latency histograms (`cache_*_miss_cycles`,
+//! `cache_lockdown_cycles`, `dir_wb_cycles`, `mesh_msg_cycles`) that
+//! the merged system [`wb_kernel::Stats`] now carries.
 
 use wb_bench::{eval_config, run_one, BenchGroup};
 use wb_kernel::config::{CommitMode, CoreClass, SystemConfig};

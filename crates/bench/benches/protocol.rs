@@ -9,7 +9,9 @@ use wb_mesh::{Mesh, MeshMsg, VNet};
 use wb_tso::{ExecutionLog, MemEvent, MemOp, TsoChecker};
 
 fn bench_mesh(g: &mut BenchGroup) {
-    g.bench("mesh_1k_messages", || {
+    // `bench_with_stats` embeds the mesh counters — including the
+    // `mesh_msg_cycles` latency histogram — in `BENCH_protocol.json`.
+    g.bench_with_stats("mesh_1k_messages", || {
         let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
         for i in 0..1000u32 {
             m.send(
@@ -34,6 +36,7 @@ fn bench_mesh(g: &mut BenchGroup) {
             }
         }
         assert_eq!(delivered, 1000);
+        m.stats().clone()
     });
 }
 

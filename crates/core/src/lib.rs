@@ -56,5 +56,6 @@ pub mod prelude {
     pub use crate::{Report, RunOutcome, System};
     pub use wb_isa::{AluOp, AmoOp, Cond, Inst, Program, ProgramBuilder, Reg, Workload};
     pub use wb_kernel::config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+    pub use wb_kernel::trace::{Category, Level, TraceFilter, TraceSink};
     pub use wb_mem::{Addr, LineAddr};
 }

@@ -4,6 +4,7 @@ use crate::report::Report;
 use wb_cpu::Core;
 use wb_isa::{Reg, Workload};
 use wb_kernel::config::SystemConfig;
+use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::{Cycle, NodeId};
 use wb_mem::Addr;
 use wb_mesh::{Mesh, MeshMsg};
@@ -23,6 +24,14 @@ pub enum RunOutcome {
     Deadlock,
 }
 
+/// The trace identity of a message destination.
+fn comp_of(dest: Dest) -> CompId {
+    match dest {
+        Dest::Cache(n) => CompId::Cache(n.0),
+        Dest::Dir(n) => CompId::Dir(n.0),
+    }
+}
+
 /// A full simulated multicore.
 pub struct System {
     cfg: SystemConfig,
@@ -34,8 +43,12 @@ pub struct System {
     init_mem: Vec<(Addr, u64)>,
     workload_name: String,
     /// When set, every delivered protocol message for this line is
-    /// printed to stderr (see [`System::trace_line`]).
+    /// emitted through the sink (see [`System::trace_line`]).
     trace_line: Option<wb_mem::LineAddr>,
+    /// System-glue event ring (message delivery and injection).
+    tracer: Tracer,
+    /// Where human-readable trace lines go (stderr by default).
+    sink: TraceSink,
 }
 
 impl std::fmt::Debug for System {
@@ -90,14 +103,78 @@ impl System {
             init_mem: workload.init_mem.clone(),
             workload_name: workload.name.clone(),
             trace_line: None,
+            tracer: Tracer::new(CompId::System),
+            sink: TraceSink::default(),
             cfg,
         }
     }
 
-    /// Print every delivered protocol message touching `line` to stderr —
-    /// the protocol debugging tool behind the `protocol_trace` example.
+    /// Emit every delivered protocol message touching `line` through the
+    /// trace sink (stderr by default) — the protocol debugging tool
+    /// behind the `protocol_trace` example.
     pub fn trace_line(&mut self, line: Option<wb_mem::LineAddr>) {
         self.trace_line = line;
+    }
+
+    /// Enable event tracing on every component (cores, caches,
+    /// directory banks, mesh, and the system glue) with `filter`.
+    /// `TraceFilter::OFF` turns it back off; recorded events are kept.
+    pub fn set_trace(&mut self, filter: TraceFilter) {
+        for c in &mut self.cores {
+            c.set_trace(filter);
+        }
+        for c in &mut self.caches {
+            c.set_trace(filter);
+        }
+        for d in &mut self.dirs {
+            d.set_trace(filter);
+        }
+        self.mesh.set_trace(filter);
+        self.tracer.set_filter(filter);
+    }
+
+    /// Swap the human-readable trace sink (default: stderr), returning
+    /// the previous one. `TraceSink::Capture` makes output testable.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) -> TraceSink {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
+    /// Lines collected by a [`TraceSink::Capture`] sink (empty for
+    /// other sinks).
+    pub fn take_sink_lines(&mut self) -> Vec<String> {
+        self.sink.take_lines()
+    }
+
+    /// Every recorded event, merged into one cycle-ordered timeline.
+    /// Same-cycle records keep a fixed component order (system glue,
+    /// cores, caches, directories, mesh), so the result is
+    /// deterministic for a deterministic simulation.
+    pub fn collect_trace(&self) -> Vec<Record> {
+        let mut sources: Vec<&Tracer> = vec![&self.tracer];
+        sources.extend(self.cores.iter().map(|c| c.tracer()));
+        sources.extend(self.caches.iter().map(|c| c.tracer()));
+        sources.extend(self.dirs.iter().map(|d| d.tracer()));
+        sources.push(self.mesh.tracer());
+        trace::merge_records(sources)
+    }
+
+    /// Chrome trace-event JSON of everything recorded so far — loads
+    /// in `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        trace::chrome_trace_json(&self.collect_trace())
+    }
+
+    /// Emit the last `n` recorded events touching cache line `line`
+    /// (every event when `line` is `None`) through the trace sink.
+    pub fn dump_trace_for_line(&mut self, line: Option<u64>, n: usize) {
+        let all = self.collect_trace();
+        let matching: Vec<&Record> = all
+            .iter()
+            .filter(|r| line.is_none() || r.event.line() == line)
+            .collect();
+        for r in &matching[matching.len().saturating_sub(n)..] {
+            self.sink.emit(&r.to_string());
+        }
     }
 
     /// Current cycle.
@@ -118,7 +195,21 @@ impl System {
             for m in self.mesh.drain_arrived(NodeId(i as u16)) {
                 let (dest, msg) = m.payload;
                 if self.trace_line == Some(msg.line()) {
-                    eprintln!("[{:>8}] {} -> {:?}: {:?}", self.now, m.src, dest, msg);
+                    self.sink.emit(&format!(
+                        "[{:>8}] {} -> {:?}: {:?}",
+                        self.now, m.src, dest, msg
+                    ));
+                }
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        self.now,
+                        TraceEvent::MsgRecv {
+                            msg: msg.mnemonic(),
+                            src: m.src.0,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                        },
+                    );
                 }
                 match dest {
                     Dest::Cache(_) => self.caches[i].handle_msg(self.now, msg, &mut self.cores[i]),
@@ -141,13 +232,29 @@ impl System {
             (self.cfg.network.data_flits, self.cfg.network.control_flits);
         for i in 0..n {
             let from = NodeId(i as u16);
-            let out: Vec<(Dest, ProtoMsg)> = self.caches[i]
-                .drain_outbox()
+            // Cache and directory outboxes are kept apart so the trace
+            // records which component sent each message.
+            let cache_out = self.caches[i].drain_outbox();
+            let dir_out = self.dirs[i].drain_outbox();
+            let out = cache_out
                 .into_iter()
-                .chain(self.dirs[i].drain_outbox())
-                .collect();
-            for (dest, msg) in out {
+                .map(|m| (CompId::Cache(i as u16), m))
+                .chain(dir_out.into_iter().map(|m| (CompId::Dir(i as u16), m)));
+            for (sender, (dest, msg)) in out {
                 let flits = msg.flits(data_flits, ctrl_flits);
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        self.now,
+                        TraceEvent::MsgSend {
+                            msg: msg.mnemonic(),
+                            from: sender,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                            vnet: msg.vnet().index() as u8,
+                            flits,
+                        },
+                    );
+                }
                 self.mesh.send(
                     self.now,
                     MeshMsg { src: from, dst: dest.node(), vnet: msg.vnet(), flits, payload: (dest, msg) },
@@ -229,13 +336,45 @@ impl System {
 
     /// Run the axiomatic TSO checker over the execution so far.
     ///
+    /// On failure the recent trace context for the offending cache line
+    /// is dumped through the trace sink (when tracing was enabled), so
+    /// a red checker comes with the protocol history that produced it.
+    ///
     /// # Errors
     ///
     /// Forwards the first [`CheckError`] — any error means the simulated
     /// machine violated TSO (or the workload reused store values).
     pub fn check_tso(&mut self) -> Result<(), CheckError> {
         let log = self.take_log();
-        TsoChecker::new(&log).check()
+        let res = TsoChecker::new(&log).check();
+        if let Err(e) = &res {
+            self.dump_check_failure(e);
+        }
+        res
+    }
+
+    /// Emit the failing line's recent trace history through the sink.
+    fn dump_check_failure(&mut self, e: &CheckError) {
+        const DUMP_LAST: usize = 64;
+        let line = match e {
+            CheckError::ValueNotFound { addr, .. }
+            | CheckError::AmbiguousValue { addr, .. }
+            | CheckError::CoherenceTie { addr }
+            | CheckError::UniprocViolation { addr }
+            | CheckError::AtomicityViolation { addr, .. } => Some(addr.line().0),
+            // A ppo cycle has no single offending address: dump everything.
+            CheckError::TsoViolation => None,
+        };
+        self.sink.emit(&format!("TSO check FAILED: {e}"));
+        if !self.tracer.filter().enabled() {
+            self.sink.emit("(event tracing was off; call System::set_trace before the run for protocol history)");
+            return;
+        }
+        match line {
+            Some(l) => self.sink.emit(&format!("last {DUMP_LAST} traced events for line {l:#x}:")),
+            None => self.sink.emit(&format!("last {DUMP_LAST} traced events:")),
+        }
+        self.dump_trace_for_line(line, DUMP_LAST);
     }
 
     /// Debug: protocol state of `line` at every cache and its home bank.

@@ -1,0 +1,97 @@
+//! Observability integration tests: Chrome-trace determinism and
+//! well-formedness, sink capture for `trace_line`, the ring-buffer dump
+//! on a TSO-checker failure, and the tracing-off-by-default guarantee.
+
+use writersblock::prelude::*;
+use writersblock::{RunOutcome, System};
+
+fn mp_cfg(seed: u64) -> SystemConfig {
+    SystemConfig::new(CoreClass::Slm)
+        .with_cores(2)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_seed(seed)
+        .with_jitter(30)
+}
+
+/// An mp litmus run with full tracing enabled.
+fn traced_mp_run(seed: u64) -> System {
+    let litmus = wb_tso::litmus::mp();
+    let mut sys = System::new(mp_cfg(seed), &litmus.workload);
+    sys.set_trace(TraceFilter::all());
+    assert_eq!(sys.run(200_000), RunOutcome::Done);
+    sys
+}
+
+#[test]
+fn chrome_trace_is_deterministic() {
+    let a = traced_mp_run(3).chrome_trace();
+    let b = traced_mp_run(3).chrome_trace();
+    assert_eq!(a, b, "same seed must give byte-identical Chrome JSON");
+}
+
+#[test]
+fn chrome_trace_parses_and_is_busy() {
+    let sys = traced_mp_run(1);
+    let json = sys.chrome_trace();
+    let parsed = wb_kernel::json::parse(&json).expect("Chrome trace must be well-formed JSON");
+    assert_eq!(parsed.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ns"));
+    let events = parsed.get("traceEvents").and_then(|v| v.as_arr()).expect("traceEvents array");
+    assert!(events.len() > 20, "expected a busy trace, got {} events", events.len());
+    // Async spans (lockdown / WritersBlock windows) must pair up: a
+    // drained run releases everything it began.
+    let phase = |e: &wb_kernel::json::Json| e.get("ph").and_then(|v| v.as_str()).map(String::from);
+    let begins = events.iter().filter(|e| phase(e).as_deref() == Some("b")).count();
+    let ends = events.iter().filter(|e| phase(e).as_deref() == Some("e")).count();
+    assert_eq!(begins, ends, "unbalanced async spans");
+    // Every event sits on a named track.
+    assert!(events.iter().any(|e| phase(e).as_deref() == Some("M")), "missing metadata events");
+}
+
+#[test]
+fn trace_line_routes_through_capture_sink() {
+    let litmus = wb_tso::litmus::mp();
+    let mut sys = System::new(mp_cfg(7), &litmus.workload);
+    sys.set_trace_sink(TraceSink::Capture(Vec::new()));
+    sys.trace_line(Some(wb_tso::litmus::X.line()));
+    assert_eq!(sys.run(200_000), RunOutcome::Done);
+    let lines = sys.take_sink_lines();
+    assert!(!lines.is_empty(), "no protocol messages captured for x's line");
+    assert!(lines.iter().all(|l| l.contains("->")), "unexpected line shape: {lines:?}");
+    // Nothing leaked to a second take.
+    assert!(sys.take_sink_lines().is_empty());
+}
+
+#[test]
+fn checker_failure_dumps_ring_buffer() {
+    // Two stores of the same value to one location make `rf` ambiguous —
+    // the sanctioned way to force the checker red on a correct machine.
+    let mut b = Program::builder();
+    b.imm(Reg(1), 0x1000).imm(Reg(2), 7);
+    b.store(Reg(2), Reg(1), 0);
+    b.store(Reg(2), Reg(1), 0);
+    b.load(Reg(3), Reg(1), 0);
+    b.halt();
+    let workload = Workload::new("dup-store", vec![b.build()]);
+    let cfg = SystemConfig::new(CoreClass::Slm).with_cores(1);
+    let mut sys = System::new(cfg, &workload);
+    sys.set_trace(TraceFilter::all());
+    sys.set_trace_sink(TraceSink::Capture(Vec::new()));
+    assert_eq!(sys.run(2_000_000), RunOutcome::Done);
+    assert!(sys.check_tso().is_err(), "duplicate store values must fail the checker");
+    let lines = sys.take_sink_lines();
+    assert!(lines.iter().any(|l| l.contains("TSO check FAILED")), "{lines:?}");
+    let line_tag = format!("line {:#x}", Addr(0x1000).line().0);
+    assert!(
+        lines.iter().any(|l| l.contains(&line_tag)),
+        "dump should show events for the offending {line_tag}: {lines:?}"
+    );
+}
+
+#[test]
+fn tracing_is_off_by_default() {
+    let litmus = wb_tso::litmus::mp();
+    let mut sys = System::new(mp_cfg(2), &litmus.workload);
+    assert_eq!(sys.run(200_000), RunOutcome::Done);
+    assert!(sys.collect_trace().is_empty(), "untraced run must record nothing");
+    assert_eq!(sys.chrome_trace(), r#"{"displayTimeUnit":"ns","traceEvents":[]}"#);
+}

@@ -23,6 +23,7 @@ use crate::lsq::{ForwardResult, LoadState, Lsq};
 use crate::predictor::Bimodal;
 use wb_isa::{AmoOp, Inst, Program, Reg};
 use wb_kernel::config::{CommitMode, CoreConfig, ProtocolKind};
+use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, Stats};
 use wb_mem::{Addr, LineAddr};
 use wb_protocol::{Completion, CoreSide, InvalResponse, LoadAccess, PrivateCache, ReadTag};
@@ -122,6 +123,7 @@ pub struct Core {
     /// value delivery (seq -> destination register).
     ecl_pending: Vec<(u64, Option<Reg>)>,
     stats: Stats,
+    tracer: Tracer,
     log: ExecutionLog,
     record_events: bool,
     retired: u64,
@@ -179,6 +181,7 @@ impl Core {
             prefetch_writes: Vec::new(),
             ecl_pending: Vec::new(),
             stats: Stats::new(),
+            tracer: Tracer::new(CompId::Core(id.0)),
             log: ExecutionLog::new(),
             record_events,
             retired: 0,
@@ -218,6 +221,16 @@ impl Core {
     /// Counter access.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Enable event tracing with `filter` (see [`wb_kernel::trace`]).
+    pub fn set_trace(&mut self, filter: TraceFilter) {
+        self.tracer.set_filter(filter);
+    }
+
+    /// The core's event ring buffer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Take the memory-event log (for the TSO checker).
@@ -323,6 +336,11 @@ impl Core {
     }
 
     fn bind_load(&mut self, now: Cycle, seq: u64, line: LineAddr, data: &wb_mem::LineData) {
+        // Reordered = an older load has not performed yet at bind time
+        // (computed before this load flips to Performed; skipped entirely
+        // when LSQ tracing is off so the bind path stays scan-free).
+        let tracing = self.tracer.wants(Category::Lsq);
+        let reordered = tracing && !self.lsq.is_ordered(seq);
         let Some(e) = self.lsq.load_mut(seq) else { return };
         if e.performed() || e.is_amo {
             return;
@@ -334,6 +352,7 @@ impl Core {
         e.value = data.word(addr.word_index());
         e.state = LoadState::Performed;
         e.wake_at = now + 1;
+        self.tracer.record(now, TraceEvent::LoadBind { seq, line: line.0, reordered });
     }
 
     // ------------------------------------------------------------------
@@ -414,7 +433,12 @@ impl Core {
         for (seq, rd) in ready {
             self.lsq.mark_delivered(seq);
             if std::env::var_os("WB_ECL_DEBUG").is_some() {
-                eprintln!("[ecl] core{} deliver seq={} rd={:?}", self.id.index(), seq, rd);
+                wb_kernel::trace::stderr_line(&format!(
+                    "[ecl] core{} deliver seq={} rd={:?}",
+                    self.id.index(),
+                    seq,
+                    rd
+                ));
             }
             let (value, addr) = {
                 let e = self.lsq.load(seq).expect("just checked");
@@ -711,7 +735,7 @@ impl Core {
         true
     }
 
-    fn do_commit(&mut self, _now: Cycle, idx: usize) {
+    fn do_commit(&mut self, now: Cycle, idx: usize) {
         let e = self.rob.remove(idx);
         // Architectural register state: guard against an older commit
         // overwriting a younger one (out-of-order commit). Loads without
@@ -738,7 +762,12 @@ impl Core {
                     // the register file when it arrives.
                     self.lsq.commit_load_early(e.seq);
                     if std::env::var_os("WB_ECL_DEBUG").is_some() {
-                        eprintln!("[ecl] core{} early-commit seq={} dest={:?}", self.id.index(), e.seq, e.inst.dest());
+                        wb_kernel::trace::stderr_line(&format!(
+                            "[ecl] core{} early-commit seq={} dest={:?}",
+                            self.id.index(),
+                            e.seq,
+                            e.inst.dest()
+                        ));
                     }
                     self.ecl_pending.push((e.seq, e.inst.dest()));
                     self.stats.inc("core_ecl_loads_committed");
@@ -775,10 +804,10 @@ impl Core {
                     }
                 }
                 if std::env::var_os("WB_ECL_DEBUG").is_some() {
-                    eprintln!(
+                    wb_kernel::trace::stderr_line(&format!(
                         "[ecl] core{} normal-commit seq={} dest={:?} lq.value={} rob.result={} has={}",
                         self.id.index(), e.seq, e.inst.dest(), lq.value, e.result, e.has_result
-                    );
+                    ));
                 }
                 if self.record_events {
                     self.log.push(MemEvent {
@@ -789,6 +818,10 @@ impl Core {
                     });
                 }
                 self.stats.inc("core_loads_committed");
+                self.tracer.record(
+                    now,
+                    TraceEvent::LoadCommit { seq: e.seq, line: addr.line().0, reordered: mspec },
+                );
                 if mspec {
                     self.stats.inc("core_loads_ooo_committed");
                     if self.cfg.collapsible_lq && self.cfg.commit_mode == CommitMode::OutOfOrderWb {

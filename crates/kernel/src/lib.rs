@@ -10,7 +10,15 @@
 //!   (SLM-class, NHM-class and HSW-class cores) plus protocol knobs,
 //! - [`check`], the in-tree property-testing harness every crate's
 //!   randomized test suite runs on (the workspace builds with an empty
-//!   cargo registry, so there is no external `proptest`).
+//!   cargo registry, so there is no external `proptest`),
+//! - [`hist`], log-2-bucketed latency histograms carried inside
+//!   [`Stats`] (p50/p90/p99 for miss latency, blocked-write stalls,
+//!   lockdown and mesh latency),
+//! - [`trace`], the cycle-stamped event tracer: per-component ring
+//!   buffers of typed [`trace::TraceEvent`]s with a human-readable dump
+//!   and a Chrome trace-event (Perfetto) exporter,
+//! - [`json`], a minimal JSON parser so emitted JSON (stats, benches,
+//!   Chrome traces) can be validated in-tree.
 //!
 //! # Example
 //!
@@ -24,12 +32,17 @@
 
 pub mod check;
 pub mod config;
+pub mod hist;
+pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+pub use hist::Hist;
 pub use rng::SimRng;
 pub use stats::Stats;
+pub use trace::{Category, CompId, Level, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 
 /// A point in simulated time, measured in core clock cycles.
 ///

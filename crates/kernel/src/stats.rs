@@ -5,9 +5,16 @@
 //! accumulated in a [`Stats`] owned by each component and merged into a
 //! run-level report at the end of simulation.
 
+use crate::hist::Hist;
 use std::collections::BTreeMap;
 
 /// Accumulating counters, keyed by a static name.
+///
+/// Besides flat counters, a `Stats` can carry [`Hist`] latency
+/// histograms under their own (disjoint) key namespace — recorded with
+/// [`Stats::record`], merged alongside the counters, and serialised
+/// into the same JSON object as nested `{count,sum,min,max,p50,...}`
+/// objects.
 ///
 /// # Example
 ///
@@ -18,10 +25,13 @@ use std::collections::BTreeMap;
 /// s.inc("loads");
 /// assert_eq!(s.get("loads"), 4);
 /// assert_eq!(s.get("absent"), 0);
+/// s.record("miss_cycles", 120);
+/// assert_eq!(s.hist("miss_cycles").unwrap().count(), 1);
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
 }
 
 impl Stats {
@@ -52,10 +62,30 @@ impl Stats {
         self.counters.insert(key, v);
     }
 
-    /// Merge another registry into this one (summing matching keys).
+    /// Record a sample into histogram `key`, creating it if absent.
+    #[inline]
+    pub fn record(&mut self, key: &'static str, v: u64) {
+        self.hists.entry(key).or_default().record(v);
+    }
+
+    /// The histogram under `key`, if any sample was ever recorded.
+    pub fn hist(&self, key: &str) -> Option<&Hist> {
+        self.hists.get(key)
+    }
+
+    /// Iterate over `(name, histogram)` pairs in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
+        self.hists.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Merge another registry into this one (summing matching counters,
+    /// folding matching histograms).
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in &other.counters {
             *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.hists {
+            self.hists.entry(k).or_default().merge(h);
         }
     }
 
@@ -90,7 +120,10 @@ impl Stats {
         self.counters.is_empty()
     }
 
-    /// Render the counters as a JSON object, keys in name order.
+    /// Render counters and histograms as one JSON object, keys in name
+    /// order. Counters serialise as plain integers, histograms as
+    /// nested objects (see [`Hist::to_json`]); with no histograms the
+    /// output is byte-identical to the counters-only format.
     ///
     /// Counter names are `&'static str` identifiers (no quotes or control
     /// characters), so plain escaping-free emission is sufficient; this
@@ -104,15 +137,22 @@ impl Stats {
     /// assert_eq!(s.to_json(), r#"{"loads":3,"stores":1}"#);
     /// ```
     pub fn to_json(&self) -> String {
+        let mut fields: Vec<(&str, String)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (*k, v.to_string()))
+            .chain(self.hists.iter().map(|(k, h)| (*k, h.to_json())))
+            .collect();
+        fields.sort_by_key(|(k, _)| *k);
         let mut out = String::from("{");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        for (i, (k, v)) in fields.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push('"');
             out.push_str(k);
             out.push_str("\":");
-            out.push_str(&v.to_string());
+            out.push_str(v);
         }
         out.push('}');
         out
@@ -123,6 +163,9 @@ impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         for (k, v) in &self.counters {
             writeln!(f, "{k:<40} {v}")?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(f, "{k:<40} {h}")?;
         }
         Ok(())
     }
@@ -218,5 +261,70 @@ mod tests {
         let s: Stats = [("b", 2u64), ("a", 1)].into_iter().collect();
         let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn record_and_hist_accessors() {
+        let mut s = Stats::new();
+        assert!(s.hist("lat").is_none());
+        s.record("lat", 10);
+        s.record("lat", 20);
+        let h = s.hist("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 30);
+        assert_eq!(s.hists().count(), 1);
+        // Hists don't leak into counter accessors.
+        assert_eq!(s.get("lat"), 0);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn merge_folds_hists() {
+        let mut a = Stats::new();
+        a.record("lat", 1);
+        let mut b = Stats::new();
+        b.record("lat", 100);
+        b.record("other", 5);
+        b.add("count", 2);
+        a.merge(&b);
+        assert_eq!(a.hist("lat").unwrap().count(), 2);
+        assert_eq!(a.hist("lat").unwrap().max(), 100);
+        assert_eq!(a.hist("other").unwrap().count(), 1);
+        assert_eq!(a.get("count"), 2);
+    }
+
+    #[test]
+    fn to_json_interleaves_hists_in_key_order() {
+        let mut s: Stats = [("b", 2u64)].into_iter().collect();
+        s.record("a_lat", 4);
+        s.record("z_lat", 8);
+        let j = s.to_json();
+        let a = j.find("\"a_lat\"").unwrap();
+        let b = j.find("\"b\"").unwrap();
+        let z = j.find("\"z_lat\"").unwrap();
+        assert!(a < b && b < z, "{j}");
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parser() {
+        let mut s: Stats = [("loads", 3u64), ("stores", 1)].into_iter().collect();
+        for v in [1u64, 2, 3, 50, 1000] {
+            s.record("miss_cycles", v);
+        }
+        let parsed = crate::json::parse(&s.to_json()).expect("well-formed JSON");
+        assert_eq!(parsed.get("loads").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("stores").unwrap().as_u64(), Some(1));
+        let h = parsed.get("miss_cycles").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(5));
+        assert_eq!(h.get("sum").unwrap().as_u64(), Some(1056));
+        assert_eq!(h.get("min").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("max").unwrap().as_u64(), Some(1000));
+        let p50 = h.get("p50").unwrap().as_u64().unwrap();
+        let p99 = h.get("p99").unwrap().as_u64().unwrap();
+        assert!(p50 <= p99);
+        // The counters-only serialisation is unchanged by the hist
+        // extension (backward compatibility with existing BENCH JSON).
+        let plain: Stats = [("a", 1u64)].into_iter().collect();
+        assert_eq!(plain.to_json(), r#"{"a":1}"#);
     }
 }

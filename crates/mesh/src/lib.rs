@@ -21,6 +21,7 @@
 //! traffic numbers of Figure 9 without a full five-stage router pipeline.
 
 use std::collections::{HashMap, VecDeque};
+use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, SimRng, Stats};
 
 /// The three virtual networks.
@@ -42,7 +43,9 @@ impl VNet {
     /// All virtual networks.
     pub const ALL: [VNet; 3] = [VNet::Request, VNet::Forward, VNet::Response];
 
-    fn index(self) -> usize {
+    /// Stable ordinal (0 = request, 1 = forward, 2 = response) — also
+    /// the `vnet` field in trace events.
+    pub fn index(self) -> usize {
         match self {
             VNet::Request => 0,
             VNet::Forward => 1,
@@ -71,6 +74,8 @@ struct Flight<T> {
     ready_at: Cycle,
     /// Per-flow sequence for point-to-point FIFO delivery.
     flow_seq: u64,
+    /// Injection cycle, for the end-to-end latency histogram.
+    sent_at: Cycle,
 }
 
 type FlowKey = (NodeId, NodeId, usize);
@@ -96,6 +101,7 @@ pub struct Mesh<T> {
     next_flow_seq: HashMap<FlowKey, u64>,
     next_deliver_seq: HashMap<FlowKey, u64>,
     stats: Stats,
+    tracer: Tracer,
 }
 
 impl<T> Mesh<T> {
@@ -118,7 +124,18 @@ impl<T> Mesh<T> {
             next_flow_seq: HashMap::new(),
             next_deliver_seq: HashMap::new(),
             stats: Stats::new(),
+            tracer: Tracer::new(CompId::Mesh),
         }
+    }
+
+    /// Enable/disable event tracing (per-hop events are `Level::Debug`).
+    pub fn set_trace(&mut self, filter: TraceFilter) {
+        self.tracer.set_filter(filter);
+    }
+
+    /// The mesh's event tracer (for merging into a system timeline).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     fn coords(&self, n: NodeId) -> (usize, usize) {
@@ -164,13 +181,14 @@ impl<T> Mesh<T> {
         let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
         let hops = self.hops(msg.src, msg.dst);
         let ready_at = start + 1 + jitter; // one cycle of local latency
-        self.in_flight.push(Flight { msg, hops_left: hops, ready_at, flow_seq });
+        self.in_flight.push(Flight { msg, hops_left: hops, ready_at, flow_seq, sent_at: now });
     }
 
     /// Advance the network by one cycle: move flights along their route and
     /// park completed ones in the destination's arrival buffer.
     pub fn tick(&mut self, now: Cycle) {
         let hop_cycles = self.hop_cycles;
+        let trace_hops = self.tracer.wants(Category::Mesh);
         let mut done: Vec<usize> = Vec::new();
         for (i, f) in self.in_flight.iter_mut().enumerate() {
             if f.ready_at > now {
@@ -183,11 +201,23 @@ impl<T> Mesh<T> {
                 // tail serialization.
                 f.hops_left -= 1;
                 f.ready_at = now + hop_cycles + (f.msg.flits as u64 - 1);
+                if trace_hops {
+                    self.tracer.record(
+                        now,
+                        TraceEvent::MeshHop {
+                            src: f.msg.src.0,
+                            dst: f.msg.dst.0,
+                            hops_left: f.hops_left,
+                            vnet: f.msg.vnet.index() as u8,
+                        },
+                    );
+                }
             }
         }
         // Remove in reverse index order so indices stay valid.
         for &i in done.iter().rev() {
             let f = self.in_flight.swap_remove(i);
+            self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
             self.arrived[f.msg.dst.index()].push_back(f);
         }
     }
@@ -355,6 +385,33 @@ mod tests {
         assert_eq!(m.stats().get("mesh_flits"), 6);
         assert_eq!(m.stats().get("mesh_msgs"), 2);
         assert_eq!(m.stats().get("mesh_flits_response"), 5);
+    }
+
+    #[test]
+    fn latency_histogram_records_deliveries() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
+        let _ = run_until_delivered(&mut m, NodeId(1), 0, 100);
+        let h = m.stats().hist("mesh_msg_cycles").expect("latency hist");
+        assert_eq!(h.count(), 1);
+        // 1 cycle local + 1 hop of 6 = delivered at cycle 7.
+        assert_eq!(h.max(), 7);
+    }
+
+    #[test]
+    fn hop_tracing_records_each_link() {
+        let mut m = mk(0);
+        m.set_trace(wb_kernel::TraceFilter::all());
+        // Node 0 -> node 15 is 6 hops on the 4x4 mesh.
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 0 });
+        let _ = run_until_delivered(&mut m, NodeId(15), 0, 1000);
+        let hops = m.tracer().records().count();
+        assert_eq!(hops, 6);
+        // Disabled by default: a fresh mesh records nothing.
+        let mut quiet = mk(0);
+        quiet.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 0 });
+        let _ = run_until_delivered(&mut quiet, NodeId(15), 0, 1000);
+        assert!(quiet.tracer().is_empty());
     }
 
     #[test]

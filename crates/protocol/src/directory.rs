@@ -29,8 +29,9 @@
 
 use crate::array::{Insert, SetAssocArray};
 use crate::messages::{Dest, ProtoMsg, ReadKind};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use wb_kernel::config::{MemoryConfig, SystemConfig};
+use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, Stats};
 use wb_mem::{LineAddr, LineData, MainMemory};
 
@@ -120,6 +121,11 @@ pub struct Directory {
     /// does not expect; this counts how many to absorb per line.
     stray_unblocks: std::collections::HashMap<LineAddr, u32>,
     stats: Stats,
+    tracer: Tracer,
+    /// Cycle each line entered WritersBlock (first Nack), for the
+    /// blocked-duration histogram. Covers both in-flight writes and
+    /// parked evictions (a line is never in both at once).
+    wb_since: HashMap<LineAddr, Cycle>,
 }
 
 impl std::fmt::Debug for Directory {
@@ -155,12 +161,50 @@ impl Directory {
             option1_cacheable_reads: option1,
             stray_unblocks: std::collections::HashMap::new(),
             stats: Stats::new(),
+            tracer: Tracer::new(CompId::Dir(node.0)),
+            wb_since: HashMap::new(),
         }
     }
 
     /// The node hosting this bank.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Enable/disable event tracing (state transitions, WritersBlock
+    /// entry/exit).
+    pub fn set_trace(&mut self, filter: TraceFilter) {
+        self.tracer.set_filter(filter);
+    }
+
+    /// The bank's event tracer (for merging into a system timeline).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The observable state name of `line` at this bank.
+    fn state_name(&self, line: LineAddr) -> &'static str {
+        if let Some(p) = self.evict_buf.iter().find(|p| p.line == line) {
+            return if p.wb { "Evicting.wb" } else { "Evicting" };
+        }
+        match self.l3.get(line).map(|e| &e.state) {
+            None => "Absent",
+            Some(DirState::Uncached) => "Uncached",
+            Some(DirState::Shared) => "Shared",
+            Some(DirState::Owned) => "Owned",
+            Some(DirState::BusyRead { .. }) => "BusyRead",
+            Some(DirState::BusyWrite { wb: true, .. }) => "BusyWrite.wb",
+            Some(DirState::BusyWrite { .. }) => "BusyWrite",
+            Some(DirState::Fetching) => "Fetching",
+        }
+    }
+
+    /// `line` left WritersBlock: close the stall histogram window.
+    fn note_wb_exit(&mut self, now: Cycle, line: LineAddr) {
+        if let Some(t0) = self.wb_since.remove(&line) {
+            self.stats.record("dir_wb_cycles", now.saturating_sub(t0));
+            self.tracer.record(now, TraceEvent::WritersBlockEnd { line: line.0 });
+        }
     }
 
     /// Pre-load a word into this bank's backing memory (simulation setup).
@@ -250,6 +294,32 @@ impl Directory {
     }
 
     fn handle(&mut self, now: Cycle, ev: Event) {
+        // State transitions are observed around each event rather than
+        // at every `entry.state = ...` site: one wiring point, and the
+        // trace shows the externally-visible before/after per message.
+        let traced_line = if self.tracer.wants(Category::Directory) {
+            match &ev {
+                Event::Process(msg) => Some(msg.line()),
+                Event::MemReady { line } => Some(*line),
+                Event::UncachedMemRead { .. } => None,
+            }
+        } else {
+            None
+        };
+        let before = traced_line.map(|l| self.state_name(l));
+        self.handle_inner(now, ev);
+        if let (Some(line), Some(before)) = (traced_line, before) {
+            let after = self.state_name(line);
+            if after != before {
+                self.tracer.record(
+                    now,
+                    TraceEvent::DirTransition { line: line.0, from: before, to: after },
+                );
+            }
+        }
+    }
+
+    fn handle_inner(&mut self, now: Cycle, ev: Event) {
         match ev {
             Event::Process(msg) => self.process(now, msg),
             Event::MemReady { line } => self.on_mem_ready(now, line),
@@ -621,6 +691,7 @@ impl Directory {
             if !p.wb {
                 p.wb = true;
                 self.stats.inc("dir_evictions_blocked");
+                self.wb_since.entry(line).or_insert(now);
             }
             if let Some(d) = data {
                 p.data = d;
@@ -675,6 +746,9 @@ impl Directory {
         }
         if let Some(writer) = newly_blocked {
             self.stats.inc("dir_writes_blocked");
+            self.wb_since.entry(line).or_insert(now);
+            self.tracer
+                .record(now, TraceEvent::WritersBlockBegin { line: line.0, writer: writer.0 });
             self.send(writer, ProtoMsg::WbHint { line });
         }
     }
@@ -846,7 +920,12 @@ impl Directory {
         match after {
             After::Nothing => {}
             After::FinalizeRead => self.finalize_read(now, line),
-            After::DrainQueued => self.drain_queued(now, line),
+            After::DrainQueued => {
+                // The write finally performed; if it had been blocked in
+                // WritersBlock, the stall window closes here.
+                self.note_wb_exit(now, line);
+                self.drain_queued(now, line);
+            }
         }
     }
 
@@ -979,6 +1058,9 @@ impl Directory {
 
     fn complete_eviction(&mut self, now: Cycle, idx: usize) {
         let p = self.evict_buf.swap_remove(idx);
+        if p.wb {
+            self.note_wb_exit(now, p.line);
+        }
         self.memory.write_line(p.line, p.data);
         self.stats.inc("dir_evictions_completed");
         for m in p.queued {

@@ -22,6 +22,17 @@ pub enum MshrKind {
     TearOff,
 }
 
+impl MshrKind {
+    /// Static name, used as the trace-event mnemonic.
+    pub fn label(self) -> &'static str {
+        match self {
+            MshrKind::Read => "Read",
+            MshrKind::Write => "Write",
+            MshrKind::TearOff => "TearOff",
+        }
+    }
+}
+
 /// One miss status holding register.
 #[derive(Debug, Clone)]
 pub struct Mshr {
@@ -42,6 +53,9 @@ pub struct Mshr {
     pub pending_data: Option<wb_mem::LineData>,
     /// Cycle at which the request was issued (for latency stats).
     pub issued_at: u64,
+    /// Cycle at which the first WritersBlock hint arrived, if any
+    /// (for the blocked-write stall-duration histogram).
+    pub blocked_at: Option<u64>,
 }
 
 impl Mshr {
@@ -115,6 +129,7 @@ impl MshrFile {
             blocked_hint: false,
             pending_data: None,
             issued_at: now,
+            blocked_at: None,
         });
         self.entries.last_mut()
     }

@@ -19,9 +19,11 @@
 
 use crate::array::{Insert, SetAssocArray};
 use crate::messages::{Dest, ProtoMsg, ReadKind};
-use crate::mshr::{MshrFile, MshrKind};
+use crate::mshr::{Mshr, MshrFile, MshrKind};
 use crate::{CoreSide, InvalResponse};
+use std::collections::HashMap;
 use wb_kernel::config::{MemoryConfig, ProtocolKind};
+use wb_kernel::trace::{CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, Stats};
 use wb_mem::{Addr, LineAddr, LineData};
 
@@ -120,6 +122,10 @@ pub struct PrivateCache {
     outbox: Vec<(Dest, ProtoMsg)>,
     completions: Vec<Completion>,
     stats: Stats,
+    tracer: Tracer,
+    /// Cycle each active lockdown began (first Nack sent), for the
+    /// lockdown-duration histogram.
+    lockdown_since: HashMap<LineAddr, Cycle>,
 }
 
 impl std::fmt::Debug for PrivateCache {
@@ -153,12 +159,54 @@ impl PrivateCache {
             outbox: Vec::new(),
             completions: Vec::new(),
             stats: Stats::new(),
+            tracer: Tracer::new(CompId::Cache(node.0)),
+            lockdown_since: HashMap::new(),
         }
     }
 
     /// The node this cache belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// Enable/disable event tracing (MSHR and lockdown events).
+    pub fn set_trace(&mut self, filter: TraceFilter) {
+        self.tracer.set_filter(filter);
+    }
+
+    /// The cache's event tracer (for merging into a system timeline).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Record an MSHR free: trace the event and feed the latency
+    /// histograms (read/write miss latency; blocked-write stall).
+    fn note_mshr_free(&mut self, now: Cycle, m: &Mshr) {
+        let latency = now.saturating_sub(m.issued_at);
+        match m.kind {
+            MshrKind::Write => {
+                self.stats.record("cache_write_miss_cycles", latency);
+                if let Some(b) = m.blocked_at {
+                    self.stats.record("cache_blocked_write_cycles", now.saturating_sub(b));
+                }
+            }
+            MshrKind::Read | MshrKind::TearOff => {
+                self.stats.record("cache_read_miss_cycles", latency);
+            }
+        }
+        self.tracer.record(
+            now,
+            TraceEvent::MshrFree { line: m.line.0, kind: m.kind.label(), latency },
+        );
+    }
+
+    /// A Nack was sent for `line`: the lockdown window opens now (if it
+    /// is not already open).
+    fn note_lockdown_begin(&mut self, now: Cycle, line: LineAddr) {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.lockdown_since.entry(line) {
+            e.insert(now);
+            self.tracer.record(now, TraceEvent::LockdownBegin { line: line.0 });
+        }
     }
 
     fn home(&self, line: LineAddr) -> NodeId {
@@ -268,6 +316,7 @@ impl PrivateCache {
                     .waiting_loads
                     .push(tag);
                 self.stats.inc("cache_sos_bypass_reads");
+                self.tracer.record(now, TraceEvent::MshrAlloc { line: line.0, kind: "TearOff" });
                 let home = self.home(line);
                 self.send_dir(home, ProtoMsg::GetS { line, requester: self.node, kind: ReadKind::TearOff });
                 return LoadAccess::Miss;
@@ -288,6 +337,7 @@ impl PrivateCache {
             return LoadAccess::Blocked;
         }
         self.mshrs.find_mut(line, MshrKind::Read).expect("just allocated").waiting_loads.push(tag);
+        self.tracer.record(now, TraceEvent::MshrAlloc { line: line.0, kind: "Read" });
         let home = self.home(line);
         self.send_dir(home, ProtoMsg::GetS { line, requester: self.node, kind: ReadKind::Cacheable });
         LoadAccess::Miss
@@ -313,6 +363,7 @@ impl PrivateCache {
             return false;
         }
         self.stats.inc("cache_getx_issued");
+        self.tracer.record(now, TraceEvent::MshrAlloc { line: line.0, kind: "Write" });
         if let Some(l2) = self.l2.get_mut(line) {
             debug_assert_eq!(l2.state, PState::S);
             l2.state = PState::SmAd;
@@ -372,8 +423,13 @@ impl PrivateCache {
     /// The core lifted the last lockdown for `line` after having Nacked an
     /// invalidation: send the deferred acknowledgement to the directory,
     /// which redirects it to the blocked writer (Figure 3.B steps 4-5).
-    pub fn release_lockdown(&mut self, _now: Cycle, line: LineAddr) {
+    pub fn release_lockdown(&mut self, now: Cycle, line: LineAddr) {
         self.stats.inc("cache_lockdown_acks");
+        if let Some(t0) = self.lockdown_since.remove(&line) {
+            let held = now.saturating_sub(t0);
+            self.stats.record("cache_lockdown_cycles", held);
+            self.tracer.record(now, TraceEvent::LockdownEnd { line: line.0, held });
+        }
         let home = self.home(line);
         self.send_dir(home, ProtoMsg::LockdownAck { line, from: self.node });
     }
@@ -490,6 +546,7 @@ impl PrivateCache {
 
     fn finish_write(&mut self, now: Cycle, line: LineAddr, core: &mut dyn CoreSide) {
         let m = self.mshrs.free(line, MshrKind::Write).expect("write MSHR present");
+        self.note_mshr_free(now, &m);
         // If the line is already exclusive locally (a stale prefetch, e.g.
         // a GetX that raced with a silent E->M upgrade), keep the local
         // data: the directory's payload may be older than ours.
@@ -560,6 +617,7 @@ impl PrivateCache {
                 if let Some(m) = self.mshrs.find_mut(line, MshrKind::Write) {
                     if !m.blocked_hint {
                         m.blocked_hint = true;
+                        m.blocked_at = Some(now);
                         self.stats.inc("cache_wb_hints");
                         self.completions.push(Completion::WriteBlocked { line });
                     }
@@ -610,6 +668,7 @@ impl PrivateCache {
             self.stats.inc("cache_tearoff_data");
             for kind in [MshrKind::TearOff, MshrKind::Read] {
                 if let Some(m) = self.mshrs.free(line, kind) {
+                    self.note_mshr_free(now, &m);
                     if !m.waiting_loads.is_empty() {
                         self.completions.push(Completion::LoadData {
                             tags: m.waiting_loads,
@@ -626,6 +685,7 @@ impl PrivateCache {
         }
         if self.mshrs.find(line, MshrKind::Read).is_some() {
             let m = self.mshrs.free(line, MshrKind::Read).expect("just found");
+            self.note_mshr_free(now, &m);
             let state = if exclusive { PState::E } else { PState::S };
             let filled = self.fill_l2(now, line, data, state, core);
             if !filled {
@@ -666,6 +726,7 @@ impl PrivateCache {
             InvalResponse::Nack => {
                 debug_assert_eq!(self.protocol, ProtocolKind::WritersBlock);
                 self.stats.inc("cache_nacks_sent");
+                self.note_lockdown_begin(now, line);
                 let home = self.home(line);
                 self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: None });
             }
@@ -736,6 +797,7 @@ impl PrivateCache {
                 // redirected ack) and Nack+Data to the directory so the LLC
                 // can serve tear-off reads meanwhile.
                 self.stats.inc("cache_nacks_sent");
+                self.note_lockdown_begin(now, line);
                 self.send_cache(requester,
                     ProtoMsg::Data { line, data, acks_expected: 1, exclusive: false, cacheable: true, for_write: true },
                 );
@@ -757,6 +819,7 @@ impl PrivateCache {
             }
             InvalResponse::Nack => {
                 self.stats.inc("cache_nacks_sent");
+                self.note_lockdown_begin(now, line);
                 self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: Some(data) });
             }
         }

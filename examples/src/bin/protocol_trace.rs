@@ -6,14 +6,30 @@
 //! Nack that parks the directory in WritersBlock, and the deferred,
 //! directory-redirected acknowledgement that finally releases the write.
 //!
+//! With `--chrome PATH` the run is also recorded through the full event
+//! tracer and exported as Chrome trace-event JSON — open the file in
+//! `chrome://tracing` or <https://ui.perfetto.dev> to see lockdown and
+//! WritersBlock windows as spans on per-component timelines.
+//!
 //! ```text
-//! cargo run -p wb-examples --bin protocol_trace --release
+//! cargo run -p wb-examples --bin protocol_trace --release -- --chrome out.json
 //! ```
 
 use writersblock::prelude::*;
 use writersblock::System;
 
+fn chrome_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--chrome" {
+            return Some(args.next().expect("--chrome needs a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
+    let chrome = chrome_path();
     // Find a seed whose timing triggers the lockdown, then re-run it
     // with tracing enabled.
     let t = wb_tso::litmus::mp_warm();
@@ -42,6 +58,9 @@ fn main() {
         .with_jitter(30);
     let mut sys = System::new(cfg, &t.workload);
     sys.trace_line(Some(line));
+    if chrome.is_some() {
+        sys.set_trace(TraceFilter::all());
+    }
     assert_eq!(sys.run(300_000), RunOutcome::Done);
     sys.trace_line(None);
 
@@ -52,5 +71,17 @@ fn main() {
         r.stats.get("dir_redir_acks"));
     println!("observed (ra, rb) = ({}, {}) — never the forbidden (1, 0)",
         sys.arch_reg(0, Reg(1)), sys.arch_reg(0, Reg(2)));
+
+    if let Some(path) = chrome {
+        let json = sys.chrome_trace();
+        let parsed = wb_kernel::json::parse(&json).expect("exporter must emit well-formed JSON");
+        let n = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .map(|a| a.len())
+            .expect("traceEvents array");
+        std::fs::write(&path, &json).expect("write chrome trace");
+        println!("chrome trace OK: {n} events -> {path}");
+    }
     sys.check_tso().expect("TSO");
 }

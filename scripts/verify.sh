@@ -18,7 +18,27 @@ if grep -rn --include=Cargo.toml -E '^[[:space:]]*(rand|serde|proptest|criterion
     exit 1
 fi
 
+# Observability discipline: component crates must not print directly.
+# The only sanctioned call sites are the trace sink / stderr_line escape
+# hatch in wb_kernel::trace and the bench harness's report output
+# (crates/bench/src prints tables and file paths by design).
+if grep -rn --include='*.rs' -E '\b(eprintln|println)!' crates/*/src \
+    | grep -v '^crates/kernel/src/trace\.rs:' \
+    | grep -v '^crates/bench/src/'; then
+    echo "ERROR: bare eprintln!/println! in a component crate (route it through wb_kernel::trace)" >&2
+    exit 1
+fi
+
 cargo build --release --offline
 cargo test -q --offline
 
-echo "tier-1 verify: OK (offline build + full test suite)"
+# Trace smoke test: the protocol_trace example must emit a well-formed,
+# self-validated Chrome trace (it parses its own output before printing
+# the OK line).
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+cargo run -q --release --offline -p wb-examples --bin protocol_trace -- \
+    --chrome "$tracedir/trace.json" | grep -q 'chrome trace OK:'
+test -s "$tracedir/trace.json"
+
+echo "tier-1 verify: OK (offline build + full test suite + trace smoke test)"
