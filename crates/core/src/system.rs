@@ -1,27 +1,60 @@
 //! The full system: cores + private caches + directory banks + mesh.
 
 use crate::report::Report;
+use std::collections::VecDeque;
 use wb_cpu::Core;
 use wb_isa::{Reg, Workload};
+use wb_kernel::chaos::ChaosEngine;
 use wb_kernel::config::SystemConfig;
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
+use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
 use wb_kernel::{Cycle, NodeId};
 use wb_mem::Addr;
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
-use wb_protocol::{Directory, PrivateCache, ProtoMsg};
+use wb_protocol::{Directory, PrivateCache, ProtoMsg, ProtocolError};
 use wb_tso::{CheckError, ExecutionLog, TsoChecker};
 
 /// How a [`System::run`] ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RunOutcome {
     /// Every core halted and the memory system drained.
     Done,
     /// The cycle budget ran out first.
     Budget,
-    /// No core retired an instruction for a long window while work was
-    /// still pending — a deadlock (this must never happen; Section 3.5).
-    Deadlock,
+    /// Some core made no progress for a whole stall window while work
+    /// was still pending. The report classifies the wedge (deadlock,
+    /// livelock, or starvation) from live machine state — none of these
+    /// must ever happen under WritersBlock (Section 3.5).
+    Wedge(Box<WedgeReport>),
+    /// A protocol component reached an "impossible" state and recorded a
+    /// typed fault instead of panicking the process.
+    Fault(Box<WedgeReport>),
+}
+
+impl RunOutcome {
+    /// Did the run complete cleanly?
+    pub fn is_done(&self) -> bool {
+        matches!(self, RunOutcome::Done)
+    }
+
+    /// The wedge report, for `Wedge` and `Fault` outcomes.
+    pub fn wedge_report(&self) -> Option<&WedgeReport> {
+        match self {
+            RunOutcome::Wedge(r) | RunOutcome::Fault(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunOutcome::Done => write!(f, "done"),
+            RunOutcome::Budget => write!(f, "cycle budget exhausted"),
+            RunOutcome::Wedge(r) | RunOutcome::Fault(r) => write!(f, "{r}"),
+        }
+    }
 }
 
 /// The trace identity of a message destination.
@@ -49,6 +82,9 @@ pub struct System {
     tracer: Tracer,
     /// Where human-readable trace lines go (stderr by default).
     sink: TraceSink,
+    /// The installed chaos plan has a directed `StallWhileSignal`
+    /// clause, so `tick` must push the lockdown-live signal each cycle.
+    chaos_wants_signal: bool,
 }
 
 impl std::fmt::Debug for System {
@@ -93,7 +129,12 @@ impl System {
             dirs[addr.line().bank(n)].init_word(*addr, *value);
         }
         let net = &cfg.network;
-        let mesh = Mesh::new(net.mesh_width, net.mesh_height, n, net.hop_cycles, net.jitter, cfg.seed);
+        let mut mesh =
+            Mesh::new(net.mesh_width, net.mesh_height, n, net.hop_cycles, net.jitter, cfg.seed);
+        if let Some(plan) = &cfg.chaos {
+            mesh.set_chaos(Some(ChaosEngine::new(plan.clone(), cfg.seed)));
+        }
+        let chaos_wants_signal = mesh.chaos_wants_signal();
         System {
             now: 0,
             mesh,
@@ -105,6 +146,7 @@ impl System {
             trace_line: None,
             tracer: Tracer::new(CompId::System),
             sink: TraceSink::default(),
+            chaos_wants_signal,
             cfg,
         }
     }
@@ -190,6 +232,10 @@ impl System {
     /// Advance the whole system one cycle.
     pub fn tick(&mut self) {
         let n = self.cores.len();
+        if self.chaos_wants_signal {
+            let lockdown_live = self.caches.iter().any(|c| c.active_lockdowns() > 0);
+            self.mesh.set_chaos_signal(lockdown_live);
+        }
         // 1. Deliver mesh arrivals to caches / directory banks.
         for i in 0..n {
             for m in self.mesh.drain_arrived(NodeId(i as u16)) {
@@ -274,29 +320,335 @@ impl System {
             && self.mesh.is_idle()
     }
 
-    /// Run until [`System::done`], a deadlock, or `max_cycles`.
+    /// Run until [`System::done`], a wedge, or `max_cycles`, with the
+    /// default 200k-cycle stall window.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
-        const DEADLOCK_WINDOW: u64 = 200_000;
-        let mut last_retired: u64 = self.total_retired();
-        let mut last_progress = self.now;
+        self.run_watchdog(max_cycles, 200_000)
+    }
+
+    /// Run with an explicit per-core stall window.
+    ///
+    /// The watchdog tracks the last cycle at which *each* core retired
+    /// an instruction (not a global sum: one spinning core retiring
+    /// forever must not mask a permanently wedged neighbour). It trips
+    /// when the worst per-core stall — or, once every core has drained,
+    /// the time the memory system has failed to go idle — exceeds
+    /// `stall_window`, and then diagnoses the wedge from live state.
+    /// Typed protocol faults abort the run as soon as they are raised.
+    pub fn run_watchdog(&mut self, max_cycles: u64, stall_window: u64) -> RunOutcome {
+        /// Retry-counter snapshot cadence (power of two, cheap mask test).
+        const SNAP_EVERY_MASK: u64 = 0x1FFF; // 8192 cycles
+        const SNAPS_KEPT: usize = 64;
+        let mut progress: Vec<(u64, Cycle)> =
+            self.cores.iter().map(|c| (c.retired(), self.now)).collect();
+        let mut drained_since: Option<Cycle> = None;
+        let mut snaps: VecDeque<(Cycle, u64)> = VecDeque::with_capacity(SNAPS_KEPT + 1);
+        snaps.push_back((self.now, self.retry_activity()));
         let deadline = self.now + max_cycles;
         while self.now < deadline {
             if self.done() {
                 return RunOutcome::Done;
             }
             self.tick();
-            let r = self.total_retired();
-            if r != last_retired {
-                last_retired = r;
-                last_progress = self.now;
-            } else if self.now - last_progress > DEADLOCK_WINDOW {
-                return RunOutcome::Deadlock;
+            if let Some(e) = self.protocol_fault() {
+                let stalled = self.stalled_cores(&progress, stall_window);
+                let report = self.diagnose(stalled, 0, Some(e));
+                return RunOutcome::Fault(Box::new(report));
+            }
+            let mut worst: u64 = 0;
+            let mut all_drained = true;
+            for (i, c) in self.cores.iter().enumerate() {
+                let r = c.retired();
+                if c.drained() || r != progress[i].0 {
+                    progress[i] = (r, self.now);
+                } else {
+                    worst = worst.max(self.now - progress[i].1);
+                }
+                all_drained &= c.drained();
+            }
+            if all_drained {
+                // Cores finished but done() is false: the memory system
+                // (store buffers drained, but MSHRs / directory / mesh)
+                // is wedged. No core will ever retire again, so measure
+                // from the moment everything drained.
+                let since = *drained_since.get_or_insert(self.now);
+                worst = worst.max(self.now - since);
+            } else {
+                drained_since = None;
+            }
+            if self.now & SNAP_EVERY_MASK == 0 {
+                snaps.push_back((self.now, self.retry_activity()));
+                while snaps.len() > SNAPS_KEPT {
+                    snaps.pop_front();
+                }
+            }
+            if worst > stall_window {
+                let activity_now = self.retry_activity();
+                // Baseline: the newest snapshot at least a full stall
+                // window old (fall back to the oldest kept).
+                let base = snaps
+                    .iter()
+                    .rev()
+                    .find(|(t, _)| self.now.saturating_sub(*t) >= stall_window)
+                    .or_else(|| snaps.front())
+                    .map_or(0, |&(_, a)| a);
+                let retries = activity_now.saturating_sub(base);
+                let stalled = self.stalled_cores(&progress, stall_window);
+                let report = self.diagnose(stalled, retries, None);
+                return RunOutcome::Wedge(Box::new(report));
             }
         }
         if self.done() {
             RunOutcome::Done
         } else {
             RunOutcome::Budget
+        }
+    }
+
+    /// Cores that have gone at least half the stall window without
+    /// retiring, worst first: `(core, stalled-for cycles)`.
+    fn stalled_cores(&self, progress: &[(u64, Cycle)], stall_window: u64) -> Vec<(u16, u64)> {
+        let mut v: Vec<(u16, u64)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| !c.drained() && self.now - progress[*i].1 >= stall_window / 2)
+            .map(|(i, _)| (i as u16, self.now - progress[i].1))
+            .collect();
+        v.sort_by_key(|&(c, s)| (std::cmp::Reverse(s), c));
+        v
+    }
+
+    /// Total retry-shaped protocol activity: Nack-driven directory
+    /// retries, Option-1 re-invalidation rounds, tear-off read retries
+    /// and Nacks sent. A wedge during which this keeps climbing is a
+    /// livelock (messages flow, nobody retires), not a deadlock.
+    fn retry_activity(&self) -> u64 {
+        let mut total = 0;
+        for d in &self.dirs {
+            total += d.stats().get("dir_nack_retries") + d.stats().get("dir_option1_reinvalidations");
+        }
+        for c in &self.caches {
+            total += c.stats().get("cache_nacks_sent");
+        }
+        for c in &self.cores {
+            total += c.stats().get("core_tearoff_retries");
+        }
+        total
+    }
+
+    /// First typed protocol fault recorded by any cache or directory.
+    fn protocol_fault(&self) -> Option<ProtocolError> {
+        for c in &self.caches {
+            if let Some(e) = c.fault() {
+                return Some(e.clone());
+            }
+        }
+        for d in &self.dirs {
+            if let Some(e) = d.fault() {
+                return Some(e.clone());
+            }
+        }
+        None
+    }
+
+    /// One-line command-equivalent description of this run, printed in
+    /// every wedge report so a failure can be replayed byte-for-byte.
+    fn reproducer(&self) -> String {
+        let c = &self.cfg;
+        let mut s = format!(
+            "workload={} seed={:#x} cores={} protocol={:?} commit={:?} jitter={}",
+            self.workload_name,
+            c.seed,
+            c.num_cores,
+            c.protocol,
+            c.core.commit_mode,
+            c.network.jitter
+        );
+        if c.wb_cacheable_reads {
+            s.push_str(" option1=true");
+        }
+        match &c.chaos {
+            Some(p) => s.push_str(&format!(" chaos={p}")),
+            None => s.push_str(" chaos=off"),
+        }
+        s
+    }
+
+    /// Extract a wait-for graph from live machine state, classify the
+    /// wedge, and render the report through the trace sink.
+    ///
+    /// Edges (all deterministic — inputs are sorted, duplicates merged):
+    /// - `core -> line`: the ROB head (or store buffer / unperformed
+    ///   load) is waiting on a cache line;
+    /// - `cache -> line`: an MSHR transaction for the line is in flight;
+    /// - `line -> cache`: a directory transaction for the line waits on
+    ///   that cache to respond, or the cache holds the line locked down;
+    /// - `cache -> core`: a lockdown only lifts when that core commits
+    ///   its bound loads;
+    /// - `cache -> line`: the cache's request is queued at the home bank
+    ///   behind the line's current transaction;
+    /// - `dir -> line`: the line occupies an eviction-buffer slot.
+    fn diagnose(
+        &mut self,
+        stalled: Vec<(u16, u64)>,
+        retries_in_window: u64,
+        error: Option<ProtocolError>,
+    ) -> WedgeReport {
+        /// Retries accumulating over the stall window that indicate the
+        /// machine is spinning (livelock), not stuck (deadlock).
+        const LIVELOCK_RETRIES: u64 = 16;
+        let mut edges: Vec<WaitEdge> = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            if let Some(s) = core.stall_info() {
+                if let Some(line) = s.line {
+                    let why = match s.seq {
+                        Some(q) => format!("{} (seq {q})", s.kind),
+                        None => s.kind.to_string(),
+                    };
+                    edges.push(WaitEdge {
+                        from: WaitParty::Core(i as u16),
+                        to: WaitParty::Line(line),
+                        why,
+                    });
+                }
+            }
+        }
+        for (i, cache) in self.caches.iter().enumerate() {
+            for m in cache.mshr_summary() {
+                let blocked = if m.blocked { " (write blocked by lockdown)" } else { "" };
+                edges.push(WaitEdge {
+                    from: WaitParty::Cache(i as u16),
+                    to: WaitParty::Line(m.line),
+                    why: format!("MSHR {}{} since cycle {}", m.kind, blocked, m.issued_at),
+                });
+            }
+            for line in cache.lockdown_lines() {
+                edges.push(WaitEdge {
+                    from: WaitParty::Line(line),
+                    to: WaitParty::Cache(i as u16),
+                    why: "lockdown held, invalidation ack deferred".to_string(),
+                });
+                edges.push(WaitEdge {
+                    from: WaitParty::Cache(i as u16),
+                    to: WaitParty::Core(i as u16),
+                    why: "lockdown lifts when bound loads commit".to_string(),
+                });
+            }
+        }
+        for d in &self.dirs {
+            for w in d.wait_summary() {
+                if let Some(target) = w.waiting_on {
+                    edges.push(WaitEdge {
+                        from: WaitParty::Line(w.line),
+                        to: WaitParty::Cache(target),
+                        why: format!("{} transaction in flight", w.state),
+                    });
+                }
+                for q in &w.queued {
+                    edges.push(WaitEdge {
+                        from: WaitParty::Cache(*q),
+                        to: WaitParty::Line(w.line),
+                        why: format!("request queued behind {}", w.state),
+                    });
+                }
+                if w.state.starts_with("Evicting") {
+                    edges.push(WaitEdge {
+                        from: WaitParty::Dir(d.node().0),
+                        to: WaitParty::Line(w.line),
+                        why: "eviction-buffer slot held".to_string(),
+                    });
+                }
+            }
+        }
+        edges.sort_by(|a, b| (a.from, a.to, &a.why).cmp(&(b.from, b.to, &b.why)));
+        edges.dedup_by(|a, b| a.from == b.from && a.to == b.to);
+
+        let cycle = wedge::find_cycle(&edges);
+        let class = if error.is_some() {
+            WedgeClass::ProtocolFault
+        } else if retries_in_window >= LIVELOCK_RETRIES {
+            WedgeClass::Livelock
+        } else if cycle.is_some() {
+            WedgeClass::Deadlock
+        } else {
+            WedgeClass::Starvation
+        };
+        let participants = match (&class, cycle) {
+            (WedgeClass::Deadlock, Some(cyc)) => cyc,
+            _ => {
+                // Everything reachable from a stalled core in two hops:
+                // the line it waits on and whoever holds that line.
+                let mut ps: Vec<WaitParty> = Vec::new();
+                for &(c, _) in &stalled {
+                    ps.push(WaitParty::Core(c));
+                    for e in &edges {
+                        if e.from == WaitParty::Core(c) {
+                            ps.push(e.to);
+                            for e2 in &edges {
+                                if e2.from == e.to {
+                                    ps.push(e2.to);
+                                }
+                            }
+                        }
+                    }
+                }
+                ps.sort_unstable();
+                ps.dedup();
+                ps
+            }
+        };
+
+        let mut notes = Vec::new();
+        let in_flight = self.mesh.in_flight_summary(self.now);
+        notes.push(format!("{} protocol messages in flight", in_flight.len()));
+        for &(src, dst, vnet, age) in in_flight.iter().take(4) {
+            notes.push(format!("  oldest: {src} -> {dst} vnet{vnet}, in flight {age} cycles"));
+        }
+        if self.cfg.chaos.is_some() {
+            let (touched, injected) = self.mesh.chaos_injected();
+            notes.push(format!("chaos delayed {touched} messages by {injected} cycles total"));
+        }
+
+        let mut report = WedgeReport {
+            class,
+            at_cycle: self.now,
+            reproducer: self.reproducer(),
+            stalled_cores: stalled,
+            retries_in_window,
+            edges,
+            participants,
+            error: error.map(|e| e.to_string()),
+            notes,
+        };
+        self.emit_wedge(&mut report);
+        report
+    }
+
+    /// Render `report` through the trace sink and, when event tracing
+    /// is on, dump a chrome trace of the run next to it.
+    fn emit_wedge(&mut self, report: &mut WedgeReport) {
+        if self.tracer.filter().enabled() {
+            let stem: String = self
+                .workload_name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path =
+                std::env::temp_dir().join(format!("wb-wedge-{stem}-{:#x}.json", self.cfg.seed));
+            match std::fs::write(&path, self.chrome_trace()) {
+                Ok(()) => report.notes.push(format!("chrome trace dumped to {}", path.display())),
+                Err(e) => report.notes.push(format!("chrome trace dump failed: {e}")),
+            }
+        } else {
+            report.notes.push(
+                "event tracing off; call System::set_trace before the run for a chrome trace dump"
+                    .to_string(),
+            );
+        }
+        let text = report.to_string();
+        for line in text.lines() {
+            self.sink.emit(line);
         }
     }
 

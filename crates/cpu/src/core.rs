@@ -99,6 +99,19 @@ fn align(ea: u64) -> Addr {
     Addr(ea & !7)
 }
 
+/// A snapshot of why a core is failing to make forward progress,
+/// exported for wedge diagnosis (see `wb_kernel::wedge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInfo {
+    /// Stable reason tag: `"rob-head-load"`, `"rob-head-amo"`,
+    /// `"sb-drain"`, `"sb-full"`, `"unperformed-load"`, … .
+    pub kind: &'static str,
+    /// Sequence number of the blocking instruction, if identifiable.
+    pub seq: Option<u64>,
+    /// Cache line being waited on, if identifiable.
+    pub line: Option<u64>,
+}
+
 /// One out-of-order core.
 pub struct Core {
     id: NodeId,
@@ -202,6 +215,61 @@ impl Core {
     /// empty store buffer)?
     pub fn drained(&self) -> bool {
         self.halted && self.lsq.sb_empty() && self.ecl_pending.is_empty()
+    }
+
+    /// Why this core is not making forward progress right now, for
+    /// wedge diagnosis. `None` when drained (nothing left to do).
+    pub fn stall_info(&self) -> Option<StallInfo> {
+        if self.drained() {
+            return None;
+        }
+        if let Some(head) = self.rob.first() {
+            let line = if head.is_load() || head.is_amo() {
+                self.lsq.load(head.seq).and_then(|e| e.addr).map(|a| a.line().0)
+            } else if head.is_store() {
+                self.lsq.store(head.seq).and_then(|e| e.addr).map(|a| a.line().0)
+            } else {
+                None
+            };
+            let (kind, line) = match head.state {
+                EState::WaitMem if head.is_amo() => ("rob-head-amo", line),
+                EState::WaitMem => ("rob-head-load", line),
+                EState::WaitOps => ("rob-head-waitops", line),
+                EState::Executing { .. } => ("rob-head-exec", line),
+                EState::Done => {
+                    // The head itself is finished, so commit is gated on
+                    // something younger/structural: a full store buffer,
+                    // or (OoO modes) an older non-performed load.
+                    if self.lsq.sb_full() {
+                        let l = self.lsq.sb_head().map(|s| s.addr.line().0);
+                        ("sb-full", l)
+                    } else if let Some(l) = self
+                        .lsq
+                        .loads()
+                        .filter(|e| !e.performed())
+                        .min_by_key(|e| e.seq)
+                    {
+                        ("unperformed-load", l.addr.map(|a| a.line().0))
+                    } else {
+                        ("commit-blocked", line)
+                    }
+                }
+            };
+            return Some(StallInfo { kind, seq: Some(head.seq), line });
+        }
+        // ROB empty: the core is halted (or fetch-stalled) but not
+        // drained — the store buffer or ECL deliveries hold it open.
+        if let Some(sb) = self.lsq.sb_head() {
+            return Some(StallInfo {
+                kind: "sb-drain",
+                seq: Some(sb.seq),
+                line: Some(sb.addr.line().0),
+            });
+        }
+        if let Some(&(seq, _)) = self.ecl_pending.first() {
+            return Some(StallInfo { kind: "ecl-pending", seq: Some(seq), line: None });
+        }
+        Some(StallInfo { kind: "fetch", seq: None, line: None })
     }
 
     /// Dynamic instructions retired.

@@ -18,6 +18,6 @@ pub mod core;
 pub mod lsq;
 pub mod predictor;
 
-pub use crate::core::Core;
+pub use crate::core::{Core, StallInfo};
 pub use lsq::Lsq;
 pub use predictor::Bimodal;

@@ -267,6 +267,10 @@ pub struct SystemConfig {
     /// Litmus/torture runs need this; long benchmark runs turn it off
     /// (the log grows with every committed load).
     pub record_events: bool,
+    /// Adversarial network schedule (delay storms, hotspots, bounded
+    /// starvation, lockdown-directed stalls). `None` leaves the mesh
+    /// byte-identical to a chaos-free build.
+    pub chaos: Option<crate::chaos::ChaosPlan>,
 }
 
 impl SystemConfig {
@@ -282,6 +286,7 @@ impl SystemConfig {
             seed: 0x5eed_cafe,
             wb_cacheable_reads: false,
             record_events: true,
+            chaos: None,
         }
     }
 
@@ -330,6 +335,12 @@ impl SystemConfig {
     /// Builder-style: random message jitter for litmus exploration.
     pub fn with_jitter(mut self, jitter: u64) -> Self {
         self.network.jitter = jitter;
+        self
+    }
+
+    /// Builder-style: install an adversarial network schedule.
+    pub fn with_chaos(mut self, plan: crate::chaos::ChaosPlan) -> Self {
+        self.chaos = Some(plan);
         self
     }
 

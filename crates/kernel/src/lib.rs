@@ -30,6 +30,7 @@
 //! assert_eq!(cfg.num_cores, 16);
 //! ```
 
+pub mod chaos;
 pub mod check;
 pub mod config;
 pub mod hist;
@@ -37,12 +38,15 @@ pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod wedge;
 
+pub use chaos::{ChaosClause, ChaosEffect, ChaosEngine, ChaosPlan, FlowMatch};
 pub use config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
 pub use hist::Hist;
 pub use rng::SimRng;
 pub use stats::Stats;
 pub use trace::{Category, CompId, Level, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
+pub use wedge::{WaitEdge, WaitParty, WedgeClass, WedgeReport};
 
 /// A point in simulated time, measured in core clock cycles.
 ///

@@ -21,6 +21,7 @@
 //! traffic numbers of Figure 9 without a full five-stage router pipeline.
 
 use std::collections::{HashMap, VecDeque};
+use wb_kernel::chaos::ChaosEngine;
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, SimRng, Stats};
 
@@ -102,6 +103,11 @@ pub struct Mesh<T> {
     next_deliver_seq: HashMap<FlowKey, u64>,
     stats: Stats,
     tracer: Tracer,
+    /// Adversarial timing injection (`None` = byte-identical to a
+    /// chaos-free mesh). Perturbs `ready_at` at injection only, so
+    /// per-flow FIFO delivery is unaffected: every plan stays within
+    /// legal unordered-network behaviour (no drops, no duplicates).
+    chaos: Option<ChaosEngine>,
 }
 
 impl<T> Mesh<T> {
@@ -125,7 +131,31 @@ impl<T> Mesh<T> {
             next_deliver_seq: HashMap::new(),
             stats: Stats::new(),
             tracer: Tracer::new(CompId::Mesh),
+            chaos: None,
         }
+    }
+
+    /// Install (or clear) a chaos engine for adversarial timing.
+    pub fn set_chaos(&mut self, engine: Option<ChaosEngine>) {
+        self.chaos = engine;
+    }
+
+    /// True when the installed plan has signal-gated clauses; the system
+    /// only computes the lockdown-live signal if so.
+    pub fn chaos_wants_signal(&self) -> bool {
+        self.chaos.as_ref().is_some_and(ChaosEngine::wants_signal)
+    }
+
+    /// Raise/lower the lockdown-live signal for directed chaos clauses.
+    pub fn set_chaos_signal(&mut self, live: bool) {
+        if let Some(ch) = &mut self.chaos {
+            ch.set_signal(live);
+        }
+    }
+
+    /// (messages touched, total cycles injected) by the chaos engine.
+    pub fn chaos_injected(&self) -> (u64, u64) {
+        self.chaos.as_ref().map_or((0, 0), |c| (c.touched, c.injected))
     }
 
     /// Enable/disable event tracing (per-hop events are `Level::Debug`).
@@ -180,7 +210,15 @@ impl<T> Mesh<T> {
 
         let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
         let hops = self.hops(msg.src, msg.dst);
-        let ready_at = start + 1 + jitter; // one cycle of local latency
+        let mut ready_at = start + 1 + jitter; // one cycle of local latency
+        if let Some(ch) = &mut self.chaos {
+            let extra = ch.delay(now, msg.src.0, msg.dst.0, msg.vnet.index() as u8);
+            if extra > 0 {
+                ready_at += extra;
+                self.stats.inc("mesh_chaos_msgs");
+                self.stats.add("mesh_chaos_cycles", extra);
+            }
+        }
         self.in_flight.push(Flight { msg, hops_left: hops, ready_at, flow_seq, sent_at: now });
     }
 
@@ -258,6 +296,25 @@ impl<T> Mesh<T> {
     /// undrained ones).
     pub fn in_flight(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// `(src, dst, vnet, in-flight cycles)` for every traversing
+    /// message, sorted — for wedge reports.
+    pub fn in_flight_summary(&self, now: Cycle) -> Vec<(u16, u16, u8, u64)> {
+        let mut v: Vec<(u16, u16, u8, u64)> = self
+            .in_flight
+            .iter()
+            .map(|f| {
+                (
+                    f.msg.src.0,
+                    f.msg.dst.0,
+                    f.msg.vnet.index() as u8,
+                    now.saturating_sub(f.sent_at),
+                )
+            })
+            .collect();
+        v.sort();
+        v
     }
 
     /// True when nothing is in flight and nothing awaits draining.
@@ -455,5 +512,110 @@ mod tests {
         // for the extra hop, the second message is further delayed by
         // serialization of the first's 5 flits.
         assert!(t2 >= t1 + 5, "t1={t1} t2={t2}");
+    }
+
+    use wb_kernel::chaos::{ChaosEngine, ChaosPlan};
+
+    #[test]
+    fn chaos_delays_but_delivers() {
+        let mut m = mk(0);
+        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::hotspot(0), 1)));
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 7 });
+        let (msgs, when) = run_until_delivered(&mut m, NodeId(1), 0, 1_000);
+        assert_eq!(msgs.len(), 1);
+        // Baseline is cycle 7 (1 local + 1 hop of 6); hotspot adds 150.
+        assert_eq!(when, 157);
+        assert_eq!(m.stats().get("mesh_chaos_msgs"), 1);
+        assert_eq!(m.stats().get("mesh_chaos_cycles"), 150);
+    }
+
+    #[test]
+    fn chaos_preserves_per_flow_fifo() {
+        let mut m = mk(0);
+        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::reorder_amplify(), 3)));
+        for p in 0..20u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(5), vnet: VNet::Request, flits: 1, payload: p });
+        }
+        let mut got = Vec::new();
+        for now in 0..10_000 {
+            m.tick(now);
+            got.extend(m.drain_arrived(NodeId(5)).into_iter().map(|ms| ms.payload));
+            if got.len() == 20 {
+                break;
+            }
+        }
+        assert_eq!(got, (0..20).collect::<Vec<_>>(), "same-flow order must survive chaos");
+    }
+
+    #[test]
+    fn chaos_is_deterministic() {
+        let deliveries = |seed: u64| {
+            let mut m = Mesh::<u32>::new(4, 4, 16, 6, 0, seed);
+            m.set_chaos(Some(ChaosEngine::new(ChaosPlan::wb_entry_squeeze(), seed)));
+            let mut log = Vec::new();
+            for p in 0..30u32 {
+                let vnet = [VNet::Request, VNet::Forward, VNet::Response][(p % 3) as usize];
+                m.send(p as u64, MeshMsg { src: NodeId(p as u16 % 16), dst: NodeId((p as u16 * 5) % 16), vnet, flits: 1, payload: p });
+            }
+            for now in 0..20_000u64 {
+                m.tick(now);
+                for n in 0..16 {
+                    for ms in m.drain_arrived(NodeId(n)) {
+                        log.push((now, ms.payload));
+                    }
+                }
+            }
+            assert!(m.is_idle(), "all chaos-delayed messages must drain");
+            log
+        };
+        assert_eq!(deliveries(7), deliveries(7), "same seed, same schedule");
+    }
+
+    #[test]
+    fn chaos_none_is_byte_identical() {
+        // Installing no chaos must not perturb the rng-driven schedule.
+        let run = |with_none_install: bool| {
+            let mut m = Mesh::<u32>::new(4, 4, 16, 6, 20, 9);
+            if with_none_install {
+                m.set_chaos(None);
+            }
+            let mut log = Vec::new();
+            for p in 0..20u32 {
+                m.send(p as u64, MeshMsg { src: NodeId(p as u16 % 16), dst: NodeId(3), vnet: VNet::Request, flits: 1, payload: p });
+            }
+            for now in 0..2_000u64 {
+                m.tick(now);
+                for ms in m.drain_arrived(NodeId(3)) {
+                    log.push((now, ms.payload));
+                }
+            }
+            log
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn chaos_signal_gates_directed_stall() {
+        let mut m = mk(0);
+        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::lockdown_vnet_stall(2), 1)));
+        assert!(m.chaos_wants_signal());
+        // Signal low: normal latency.
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 1, payload: 1 });
+        let (_, when) = run_until_delivered(&mut m, NodeId(1), 0, 1_000);
+        assert_eq!(when, 7);
+        // Signal high: +300 on the response vnet.
+        m.set_chaos_signal(true);
+        m.send(100, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 1, payload: 2 });
+        let (_, when) = run_until_delivered(&mut m, NodeId(1), 100, 1_000);
+        assert_eq!(when, 407);
+    }
+
+    #[test]
+    fn in_flight_summary_reports_traversing_messages() {
+        let mut m = mk(0);
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Forward, flits: 1, payload: 1 });
+        m.tick(0);
+        let s = m.in_flight_summary(10);
+        assert_eq!(s, vec![(0, 15, 1, 10)]);
     }
 }

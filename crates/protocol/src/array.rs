@@ -187,7 +187,7 @@ mod tests {
                 assert_eq!(l, LineAddr(1));
                 assert_eq!(v, 1);
             }
-            other => panic!("unexpected {other:?}"),
+            other => panic!("unexpected {other:?}"), // allow(panic): test-only assertion
         }
     }
 
@@ -199,7 +199,7 @@ mod tests {
         // Only line 1 is evictable.
         match a.insert(LineAddr(2), 2, 2, |l, _| l == LineAddr(1)) {
             Insert::Evicted(l, _) => assert_eq!(l, LineAddr(1)),
-            other => panic!("unexpected {other:?}"),
+            other => panic!("unexpected {other:?}"), // allow(panic): test-only assertion
         }
         // Now nothing is evictable.
         assert!(matches!(a.insert(LineAddr(3), 3, 3, |_, _| false), Insert::NoVictim));

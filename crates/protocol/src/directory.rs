@@ -29,6 +29,7 @@
 
 use crate::array::{Insert, SetAssocArray};
 use crate::messages::{Dest, ProtoMsg, ReadKind};
+use crate::{DirWait, ProtocolError};
 use std::collections::{HashMap, VecDeque};
 use wb_kernel::config::{MemoryConfig, SystemConfig};
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
@@ -126,6 +127,15 @@ pub struct Directory {
     /// blocked-duration histogram. Covers both in-flight writes and
     /// parked evictions (a line is never in both at once).
     wb_since: HashMap<LineAddr, Cycle>,
+    /// First "impossible state" seen by this bank; the offending message
+    /// is dropped and the system surfaces this as `RunOutcome::Fault`.
+    fault: Option<ProtocolError>,
+    /// Per-line retry escalation (Nack-driven requeues, Option-1
+    /// re-invalidation rounds) feeding the `nack_retries` histogram.
+    retry_counts: HashMap<LineAddr, u64>,
+    /// Per-line tear-off serve counts feeding the `tearoff_reads_served`
+    /// histogram (cross-check for Figure 8's uncacheable-read counts).
+    tearoff_counts: HashMap<LineAddr, u64>,
 }
 
 impl std::fmt::Debug for Directory {
@@ -163,7 +173,87 @@ impl Directory {
             stats: Stats::new(),
             tracer: Tracer::new(CompId::Dir(node.0)),
             wb_since: HashMap::new(),
+            fault: None,
+            retry_counts: HashMap::new(),
+            tearoff_counts: HashMap::new(),
         }
+    }
+
+    /// Record an "impossible state" instead of panicking. Only the first
+    /// violation is kept (later ones are usually fallout); the counter
+    /// still ticks for each.
+    fn record_fault(&mut self, line: LineAddr, context: &'static str, detail: String) {
+        self.stats.inc("dir_protocol_faults");
+        if self.fault.is_none() {
+            self.fault = Some(ProtocolError {
+                at: format!("dir{}", self.node.index()),
+                line: line.0,
+                context: context.to_string(),
+                detail,
+            });
+        }
+    }
+
+    /// The first protocol violation this bank has seen, if any.
+    pub fn fault(&self) -> Option<&ProtocolError> {
+        self.fault.as_ref()
+    }
+
+    /// A Nack-driven retry (requeue or Option-1 re-invalidation) for
+    /// `line`: escalate its per-line count into the `nack_retries`
+    /// histogram and the `dir_nack_retries` counter the livelock
+    /// classifier watches.
+    fn note_retry(&mut self, line: LineAddr) {
+        self.stats.inc("dir_nack_retries");
+        let c = self.retry_counts.entry(line).or_insert(0);
+        *c += 1;
+        let c = *c;
+        self.stats.record("nack_retries", c);
+    }
+
+    /// A tear-off copy served for `line` (from the LLC, a parked
+    /// eviction, or uncacheable memory).
+    fn note_tearoff(&mut self, line: LineAddr) {
+        self.stats.inc("dir_tearoff_replies");
+        let c = self.tearoff_counts.entry(line).or_insert(0);
+        *c += 1;
+        let c = *c;
+        self.stats.record("tearoff_reads_served", c);
+    }
+
+    /// Every transient or parked entry, with who it waits on and who is
+    /// queued behind it — the directory's contribution to the wedge
+    /// wait-for graph.
+    pub fn wait_summary(&self) -> Vec<DirWait> {
+        let queued_of = |q: &VecDeque<ProtoMsg>| -> Vec<u16> {
+            q.iter().filter_map(|m| m.requester().map(|n| n.0)).collect()
+        };
+        let mut out: Vec<DirWait> = Vec::new();
+        for (line, e) in self.l3.iter() {
+            if e.stable() && e.queued.is_empty() {
+                continue;
+            }
+            let (state, waiting_on) = match &e.state {
+                DirState::BusyRead { requester, .. } => ("BusyRead", Some(requester.0)),
+                DirState::BusyWrite { wb: true, writer, .. } => ("BusyWrite.wb", Some(writer.0)),
+                DirState::BusyWrite { writer, .. } => ("BusyWrite", Some(writer.0)),
+                DirState::Fetching => ("Fetching", None),
+                DirState::Uncached => ("Uncached", None),
+                DirState::Shared => ("Shared", None),
+                DirState::Owned => ("Owned", e.owner.map(|o| o.0)),
+            };
+            out.push(DirWait { line: line.0, state, waiting_on, queued: queued_of(&e.queued) });
+        }
+        for p in &self.evict_buf {
+            out.push(DirWait {
+                line: p.line.0,
+                state: if p.wb { "Evicting.wb" } else { "Evicting" },
+                waiting_on: None,
+                queued: queued_of(&p.queued),
+            });
+        }
+        out.sort_by_key(|w| w.line);
+        out
     }
 
     /// The node hosting this bank.
@@ -325,7 +415,7 @@ impl Directory {
             Event::MemReady { line } => self.on_mem_ready(now, line),
             Event::UncachedMemRead { line, requester } => {
                 let data = self.memory.read_line(line);
-                self.stats.inc("dir_tearoff_replies");
+                self.note_tearoff(line);
                 self.send(
                     requester,
                     ProtoMsg::Data {
@@ -352,7 +442,10 @@ impl Directory {
             ProtoMsg::InvAck { line, from } => self.on_inv_ack(now, line, from),
             ProtoMsg::DataWb { line, from, data } => self.on_datawb(now, line, from, data),
             ProtoMsg::Unblock { line, from } => self.on_unblock(now, line, from),
-            other => panic!("directory {:?} received unexpected {other:?}", self.node),
+            other => {
+                let line = other.line();
+                self.record_fault(line, "receive", format!("unexpected message {other:?}"));
+            }
         }
     }
 
@@ -361,7 +454,7 @@ impl Directory {
     // ------------------------------------------------------------------
 
     fn tear_off_reply(&mut self, line: LineAddr, requester: NodeId, data: LineData) {
-        self.stats.inc("dir_tearoff_replies");
+        self.note_tearoff(line);
         self.send(
             requester,
             ProtoMsg::Data {
@@ -699,7 +792,8 @@ impl Directory {
             return;
         }
         let Some(entry) = self.l3.get_mut(line) else {
-            panic!("Nack for unknown line {line}");
+            self.record_fault(line, "Nack", "no directory entry".to_string());
+            return;
         };
         if let Some(d) = data {
             entry.data = d;
@@ -714,7 +808,11 @@ impl Directory {
                     None
                 }
             }
-            other => panic!("Nack for line {line} in state {other:?}"),
+            other => {
+                let detail = format!("in state {other:?}");
+                self.record_fault(line, "Nack", detail);
+                return;
+            }
         };
         // Entering WritersBlock: reads must never wait behind the blocked
         // write (Section 3.4). A read queued while the entry was merely
@@ -763,11 +861,13 @@ impl Directory {
         }
         let option1 = self.option1_cacheable_reads;
         let Some(entry) = self.l3.get_mut(line) else {
-            panic!("LockdownAck for unknown line {line}");
+            self.record_fault(line, "LockdownAck", "no directory entry".to_string());
+            return;
         };
         enum Act {
             Redir(NodeId),
             Reinvalidate(u64),
+            Bad(String),
         }
         let sharers_mask = entry.sharers;
         let act = match &mut entry.state {
@@ -783,7 +883,7 @@ impl Directory {
                     Act::Redir(*writer)
                 }
             }
-            other => panic!("LockdownAck for line {line} in state {other:?}"),
+            other => Act::Bad(format!("in state {other:?}")),
         };
         if let Act::Reinvalidate(sharers) = &act {
             entry.sharers = sharers_mask & !sharers;
@@ -798,9 +898,11 @@ impl Directory {
                     if sharers & (1 << i) != 0 {
                         self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
                         self.stats.inc("dir_option1_reinvalidations");
+                        self.note_retry(line);
                     }
                 }
             }
+            Act::Bad(detail) => self.record_fault(line, "LockdownAck", detail),
         }
     }
 
@@ -842,6 +944,7 @@ impl Directory {
                 if next_round & (1 << i) != 0 {
                     self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
                     self.stats.inc("dir_option1_reinvalidations");
+                    self.note_retry(line);
                 }
             }
         }
@@ -866,56 +969,79 @@ impl Directory {
             return;
         }
         let Some(entry) = self.l3.get_mut(line) else {
-            panic!("DataWb for unknown line {line}");
+            self.record_fault(line, "DataWb", "no directory entry".to_string());
+            return;
         };
         entry.data = data;
         let done = match &mut entry.state {
             DirState::BusyRead { waiting_datawb, waiting_unblock, .. } => {
                 *waiting_datawb = false;
-                !*waiting_unblock
+                Ok(!*waiting_unblock)
             }
-            other => panic!("DataWb for line {line} in state {other:?}"),
+            other => Err(format!("in state {other:?}")),
         };
-        if done {
-            self.finalize_read(now, line);
+        match done {
+            Ok(true) => self.finalize_read(now, line),
+            Ok(false) => {}
+            Err(detail) => self.record_fault(line, "DataWb", detail),
         }
     }
 
     fn on_unblock(&mut self, now: Cycle, line: LineAddr, from: NodeId) {
-        // Absorb Unblocks from Option-1 cacheable WritersBlock reads.
-        if let Some(n) = self.stray_unblocks.get_mut(&line) {
-            *n -= 1;
-            if *n == 0 {
-                self.stray_unblocks.remove(&line);
+        // Absorb Unblocks from Option-1 cacheable WritersBlock reads —
+        // but never one the current transaction is actually waiting for
+        // (a stray from a spin-reader can still be in flight when the
+        // blocked write finally performs and sends its own Unblock).
+        let expected_here = match self.l3.get(line).map(|e| &e.state) {
+            Some(DirState::BusyRead { requester, waiting_unblock, .. }) => {
+                *waiting_unblock && *requester == from
             }
-            return;
+            Some(DirState::BusyWrite { writer, .. }) => *writer == from,
+            _ => false,
+        };
+        if !expected_here {
+            if let Some(n) = self.stray_unblocks.get_mut(&line) {
+                *n -= 1;
+                if *n == 0 {
+                    self.stray_unblocks.remove(&line);
+                }
+                return;
+            }
         }
         let Some(entry) = self.l3.get_mut(line) else {
-            panic!("Unblock for unknown line {line}");
+            self.record_fault(line, "Unblock", "no directory entry".to_string());
+            return;
         };
         enum After {
             Nothing,
             FinalizeRead,
             DrainQueued,
+            Bad(String),
         }
         let after = match &mut entry.state {
             DirState::BusyRead { waiting_unblock, waiting_datawb, requester, .. } => {
-                debug_assert_eq!(*requester, from);
-                *waiting_unblock = false;
-                if !*waiting_datawb {
-                    After::FinalizeRead
+                if *requester != from {
+                    After::Bad(format!("from {from}, BusyRead requester is {requester}"))
                 } else {
-                    After::Nothing
+                    *waiting_unblock = false;
+                    if !*waiting_datawb {
+                        After::FinalizeRead
+                    } else {
+                        After::Nothing
+                    }
                 }
             }
             DirState::BusyWrite { writer, .. } => {
-                debug_assert_eq!(*writer, from);
-                entry.sharers = 0;
-                entry.owner = Some(from);
-                entry.state = DirState::Owned;
-                After::DrainQueued
+                if *writer != from {
+                    After::Bad(format!("from {from}, BusyWrite writer is {writer}"))
+                } else {
+                    entry.sharers = 0;
+                    entry.owner = Some(from);
+                    entry.state = DirState::Owned;
+                    After::DrainQueued
+                }
             }
-            other => panic!("Unblock for line {line} in state {other:?}"),
+            other => After::Bad(format!("in state {other:?}")),
         };
         match after {
             After::Nothing => {}
@@ -926,11 +1052,15 @@ impl Directory {
                 self.note_wb_exit(now, line);
                 self.drain_queued(now, line);
             }
+            After::Bad(detail) => self.record_fault(line, "Unblock", detail),
         }
     }
 
     fn finalize_read(&mut self, now: Cycle, line: LineAddr) {
-        let entry = self.l3.get_mut(line).expect("finalizing resident line");
+        let Some(entry) = self.l3.get_mut(line) else {
+            self.record_fault(line, "finalize_read", "entry vanished mid-read".to_string());
+            return;
+        };
         if let DirState::BusyRead { requester, grant_exclusive, .. } = entry.state.clone() {
             if grant_exclusive {
                 entry.owner = Some(requester);
@@ -943,7 +1073,8 @@ impl Directory {
             }
             self.drain_queued(now, line);
         } else {
-            unreachable!("finalize_read in {:?}", entry.state);
+            let detail = format!("in state {:?}", entry.state);
+            self.record_fault(line, "finalize_read", detail);
         }
     }
 
@@ -981,9 +1112,13 @@ impl Directory {
             }
             ProtoMsg::GetX { .. } => {
                 // Writes may wait (TSO allows it): retry after a delay.
+                self.note_retry(line);
                 self.requeue(now, msg, self.retry_delay);
             }
-            other => panic!("cannot fall back for {other:?}"),
+            other => {
+                let detail = format!("cannot fall back for {other:?}");
+                self.record_fault(line, "allocate", detail);
+            }
         }
     }
 
@@ -1052,7 +1187,14 @@ impl Directory {
                 });
                 self.send(owner, ProtoMsg::Recall { line: vline });
             }
-            other => unreachable!("evicting busy entry {other:?}"),
+            other => {
+                // The victim filter only admits stable entries, so this is
+                // unreachable unless the protocol is broken; preserve the
+                // data and report rather than abort.
+                let detail = format!("evicting busy entry {other:?}");
+                self.memory.write_line(vline, v.data);
+                self.record_fault(vline, "evict", detail);
+            }
         }
     }
 
@@ -1071,7 +1213,8 @@ impl Directory {
     fn on_mem_ready(&mut self, now: Cycle, line: LineAddr) {
         let data = self.memory.read_line(line);
         let Some(entry) = self.l3.get_mut(line) else {
-            panic!("memory fetch completed for missing entry {line}");
+            self.record_fault(line, "MemReady", "fetch completed for missing entry".to_string());
+            return;
         };
         debug_assert!(matches!(entry.state, DirState::Fetching));
         entry.data = data;

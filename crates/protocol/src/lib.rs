@@ -31,6 +31,58 @@ pub use private::{Completion, LoadAccess, PrivateCache, ReadTag};
 
 use wb_mem::LineAddr;
 
+/// A protocol component reached an "impossible" state.
+///
+/// Instead of panicking (which aborts a whole torture suite and leaves
+/// no usable diagnosis), directory banks and private caches record the
+/// first violation they see and drop the offending message; the system
+/// watchdog surfaces it as `RunOutcome::Fault` with a full wedge report
+/// and a reproducer line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Component that detected the violation, e.g. `"dir2"`, `"cache0"`.
+    pub at: String,
+    /// Cache line involved.
+    pub line: u64,
+    /// What was being processed (message or internal event name).
+    pub context: String,
+    /// Why the state was impossible.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} for line {:#x}: {}",
+            self.at, self.context, self.line, self.detail
+        )
+    }
+}
+
+/// One transient or parked directory entry, for wedge diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirWait {
+    pub line: u64,
+    /// Stable state name (`"BusyWrite.wb"`, `"Evicting"`, …).
+    pub state: &'static str,
+    /// The node the transaction is waiting on (writer / requester /
+    /// owner), when one is identifiable.
+    pub waiting_on: Option<u16>,
+    /// Requesters with messages queued behind this entry.
+    pub queued: Vec<u16>,
+}
+
+/// One outstanding MSHR, for wedge diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrWait {
+    pub line: u64,
+    pub kind: &'static str,
+    /// A write currently blocked by WritersBlock (got a hint).
+    pub blocked: bool,
+    pub issued_at: u64,
+}
+
 /// How a core answers an invalidation that was delivered to it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvalResponse {

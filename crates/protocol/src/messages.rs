@@ -187,6 +187,20 @@ impl ProtoMsg {
         }
     }
 
+    /// The node whose request this message represents, when one exists —
+    /// used by wedge diagnosis to attribute queued directory messages.
+    pub fn requester(&self) -> Option<NodeId> {
+        match *self {
+            ProtoMsg::GetS { requester, .. }
+            | ProtoMsg::GetX { requester, .. }
+            | ProtoMsg::PutM { requester, .. }
+            | ProtoMsg::PutS { requester, .. }
+            | ProtoMsg::FwdGetS { requester, .. }
+            | ProtoMsg::FwdGetX { requester, .. } => Some(requester),
+            _ => None,
+        }
+    }
+
     /// Short mnemonic for traces.
     pub fn mnemonic(&self) -> &'static str {
         match self {

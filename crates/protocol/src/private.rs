@@ -20,7 +20,7 @@
 use crate::array::{Insert, SetAssocArray};
 use crate::messages::{Dest, ProtoMsg, ReadKind};
 use crate::mshr::{Mshr, MshrFile, MshrKind};
-use crate::{CoreSide, InvalResponse};
+use crate::{CoreSide, InvalResponse, MshrWait, ProtocolError};
 use std::collections::HashMap;
 use wb_kernel::config::{MemoryConfig, ProtocolKind};
 use wb_kernel::trace::{CompId, TraceEvent, TraceFilter, Tracer};
@@ -126,6 +126,9 @@ pub struct PrivateCache {
     /// Cycle each active lockdown began (first Nack sent), for the
     /// lockdown-duration histogram.
     lockdown_since: HashMap<LineAddr, Cycle>,
+    /// First "impossible state" seen by this cache; the offending
+    /// message is dropped and the system surfaces `RunOutcome::Fault`.
+    fault: Option<ProtocolError>,
 }
 
 impl std::fmt::Debug for PrivateCache {
@@ -161,7 +164,56 @@ impl PrivateCache {
             stats: Stats::new(),
             tracer: Tracer::new(CompId::Cache(node.0)),
             lockdown_since: HashMap::new(),
+            fault: None,
         }
+    }
+
+    /// Record an "impossible state" instead of panicking; only the first
+    /// violation is kept, later ones are usually fallout.
+    fn record_fault(&mut self, line: LineAddr, context: &'static str, detail: String) {
+        self.stats.inc("cache_protocol_faults");
+        if self.fault.is_none() {
+            self.fault = Some(ProtocolError {
+                at: format!("cache{}", self.node.index()),
+                line: line.0,
+                context: context.to_string(),
+                detail,
+            });
+        }
+    }
+
+    /// The first protocol violation this cache has seen, if any.
+    pub fn fault(&self) -> Option<&ProtocolError> {
+        self.fault.as_ref()
+    }
+
+    /// Lines this cache currently holds a lockdown on (sorted).
+    pub fn lockdown_lines(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.lockdown_since.keys().map(|l| l.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live lockdowns (for the chaos lockdown signal).
+    pub fn active_lockdowns(&self) -> usize {
+        self.lockdown_since.len()
+    }
+
+    /// Every outstanding MSHR, with its blocked-write status — this
+    /// cache's contribution to the wedge wait-for graph.
+    pub fn mshr_summary(&self) -> Vec<MshrWait> {
+        let mut v: Vec<MshrWait> = self
+            .mshrs
+            .iter()
+            .map(|m| MshrWait {
+                line: m.line.0,
+                kind: m.kind.label(),
+                blocked: m.blocked_hint,
+                issued_at: m.issued_at,
+            })
+            .collect();
+        v.sort_by_key(|w| (w.line, w.issued_at));
+        v
     }
 
     /// The node this cache belongs to.
@@ -540,7 +592,11 @@ impl PrivateCache {
                 let home = self.home(vline);
                 self.send_dir(home, ProtoMsg::PutM { line: vline, requester: self.node, data: v.data });
             }
-            PState::SmAd => unreachable!("transient lines are pinned"),
+            PState::SmAd => {
+                // The eviction filter pins transient lines, so this state
+                // is unreachable unless the protocol is broken.
+                self.record_fault(vline, "evict", "evicting transient line".to_string());
+            }
         }
     }
 
@@ -632,7 +688,10 @@ impl PrivateCache {
                     self.evict_buf.swap_remove(i);
                 }
             }
-            other => panic!("private cache {:?} received unexpected {other:?}", self.node),
+            other => {
+                let line = other.line();
+                self.record_fault(line, "receive", format!("unexpected message {other:?}"));
+            }
         }
     }
 
@@ -748,7 +807,8 @@ impl PrivateCache {
 
     fn on_fwd_gets(&mut self, now: Cycle, line: LineAddr, requester: NodeId, kind: ReadKind) {
         let Some((data, from_buf)) = self.current_owner_data(line) else {
-            panic!("FwdGetS for {line} but {:?} is not owner", self.node);
+            self.record_fault(line, "FwdGetS", "cache is not owner".to_string());
+            return;
         };
         match kind {
             ReadKind::TearOff => {
@@ -782,7 +842,8 @@ impl PrivateCache {
 
     fn on_fwd_getx(&mut self, now: Cycle, line: LineAddr, requester: NodeId, core: &mut dyn CoreSide) {
         let Some((data, _)) = self.current_owner_data(line) else {
-            panic!("FwdGetX for {line} but {:?} is not owner", self.node);
+            self.record_fault(line, "FwdGetX", "cache is not owner".to_string());
+            return;
         };
         self.drop_line(line);
         match core.on_invalidation(now, line) {
@@ -809,7 +870,8 @@ impl PrivateCache {
 
     fn on_recall(&mut self, now: Cycle, line: LineAddr, core: &mut dyn CoreSide) {
         let Some((data, _)) = self.current_owner_data(line) else {
-            panic!("Recall for {line} but {:?} is not owner", self.node);
+            self.record_fault(line, "Recall", "cache is not owner".to_string());
+            return;
         };
         self.drop_line(line);
         let home = self.home(line);

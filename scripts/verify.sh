@@ -18,6 +18,16 @@ if grep -rn --include=Cargo.toml -E '^[[:space:]]*(rand|serde|proptest|criterion
     exit 1
 fi
 
+# Graceful-degradation discipline: protocol impossible-states must
+# surface as typed ProtocolError faults (RunOutcome::Fault), never as
+# process aborts. A deliberate test-only assertion may stay if it is
+# tagged with an `allow(panic)` comment on the same line.
+if grep -rn --include='*.rs' -E '\b(panic|unreachable)!' crates/protocol/src \
+    | grep -v 'allow(panic)'; then
+    echo "ERROR: bare panic!/unreachable! in crates/protocol/src (use record_fault/After::Bad, or tag allow(panic))" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -41,4 +51,11 @@ cargo run -q --release --offline -p wb-examples --bin protocol_trace -- \
     --chrome "$tracedir/trace.json" | grep -q 'chrome trace OK:'
 test -s "$tracedir/trace.json"
 
-echo "tier-1 verify: OK (offline build + full test suite + trace smoke test)"
+# Chaos smoke test: every plan in the standard matrix plus the directed
+# §3.5 scenarios must drain TSO-green, and the §3.4 Option-1 ablation
+# must produce a livelock WedgeReport (chaos_lab asserts all of this
+# internally and prints one OK line per scenario).
+cargo run -q --release --offline -p wb-examples --bin chaos_lab \
+    | grep -q 'chaos lab: all scenarios OK'
+
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos smoke tests)"

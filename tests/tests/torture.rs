@@ -170,6 +170,48 @@ fn torture_fifo_lq() {
     }
 }
 
+/// Every chaos plan in the standard matrix (delay storms, per-vnet
+/// storms, hotspots, bounded starvation, reorder amplification, the
+/// §3.5-window squeezes and the directed lockdown stall) across both
+/// protocols and the interesting commit modes. Chaos only stretches
+/// legal unordered-network timing, so every run must still drain and
+/// pass the TSO checker; a failure prints the plan's reproducer.
+#[test]
+fn torture_chaos_matrix() {
+    use wb_kernel::chaos::ChaosPlan;
+    use wb_kernel::config::ProtocolKind;
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    let combos = [
+        (ProtocolKind::BaseMesi, CommitMode::InOrder),
+        (ProtocolKind::BaseMesi, CommitMode::OutOfOrder),
+        (ProtocolKind::WritersBlock, CommitMode::InOrder),
+        (ProtocolKind::WritersBlock, CommitMode::OutOfOrderWb),
+    ];
+    let plans = ChaosPlan::matrix();
+    assert!(plans.len() >= 8, "matrix shrank to {} plans", plans.len());
+    for plan in plans {
+        for (protocol, mode) in combos {
+            let seed = 7u64;
+            let mut rng = SimRng::new(seed);
+            let programs =
+                (0..4).map(|c| random_program(c, &mut rng, 25, &lines)).collect::<Vec<_>>();
+            let w = Workload::new(format!("chaos-{plan}"), programs);
+            let cfg = SystemConfig::new(CoreClass::Slm)
+                .with_cores(4)
+                .with_commit(mode)
+                .with_protocol(protocol)
+                .with_seed(seed)
+                .with_jitter(25)
+                .with_chaos(plan.clone());
+            let mut sys = System::new(cfg, &w);
+            let out = sys.run(8_000_000);
+            assert!(out.is_done(), "plan {plan} {protocol:?} {mode:?}:\n{out}");
+            sys.check_tso()
+                .unwrap_or_else(|e| panic!("plan {plan} {protocol:?} {mode:?}: {e}"));
+        }
+    }
+}
+
 /// The ECL (early-commit-of-loads) mode — the paper's stall-on-use use
 /// case — under random torture.
 #[test]
