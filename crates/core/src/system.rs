@@ -6,6 +6,7 @@ use wb_cpu::Core;
 use wb_isa::{Reg, Workload};
 use wb_kernel::chaos::ChaosEngine;
 use wb_kernel::config::SystemConfig;
+use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
 use wb_kernel::{Cycle, NodeId};
@@ -133,6 +134,13 @@ impl System {
             Mesh::new(net.mesh_width, net.mesh_height, n, net.hop_cycles, net.jitter, cfg.seed);
         if let Some(plan) = &cfg.chaos {
             mesh.set_chaos(Some(ChaosEngine::new(plan.clone(), cfg.seed)));
+        }
+        if let Some(plan) = &cfg.fault {
+            // Lossy links need the ARQ sublayer underneath the protocol;
+            // without a fault plan neither is constructed, keeping the
+            // fast path byte-identical to a pre-fault-model system.
+            mesh.enable_reliable(cfg.network.link.clone());
+            mesh.set_fault(Some(FaultEngine::new(plan.clone(), cfg.seed)));
         }
         let chaos_wants_signal = mesh.chaos_wants_signal();
         System {
@@ -320,10 +328,12 @@ impl System {
             && self.mesh.is_idle()
     }
 
-    /// Run until [`System::done`], a wedge, or `max_cycles`, with the
-    /// default 200k-cycle stall window.
+    /// Run until [`System::done`], a wedge, or `max_cycles`. The stall
+    /// window comes from [`WatchdogConfig`](wb_kernel::config::WatchdogConfig)
+    /// and is automatically widened while a fault plan is active, so
+    /// retransmission delays are not misread as wedges.
     pub fn run(&mut self, max_cycles: u64) -> RunOutcome {
-        self.run_watchdog(max_cycles, 200_000)
+        self.run_watchdog(max_cycles, self.cfg.effective_stall_window())
     }
 
     /// Run with an explicit per-core stall window.
@@ -472,6 +482,10 @@ impl System {
             Some(p) => s.push_str(&format!(" chaos={p}")),
             None => s.push_str(" chaos=off"),
         }
+        match &c.fault {
+            Some(p) => s.push_str(&format!(" fault={p}")),
+            None => s.push_str(" fault=off"),
+        }
         s
     }
 
@@ -495,9 +509,11 @@ impl System {
         retries_in_window: u64,
         error: Option<ProtocolError>,
     ) -> WedgeReport {
-        /// Retries accumulating over the stall window that indicate the
-        /// machine is spinning (livelock), not stuck (deadlock).
-        const LIVELOCK_RETRIES: u64 = 16;
+        // Retries accumulating over the stall window that indicate the
+        // machine is spinning (livelock), not stuck (deadlock). Scaled
+        // up under a fault plan: retransmission-driven Nack chatter is
+        // expected there, not evidence of spinning.
+        let livelock_retries = self.cfg.effective_livelock_retries();
         let mut edges: Vec<WaitEdge> = Vec::new();
         for (i, core) in self.cores.iter().enumerate() {
             if let Some(s) = core.stall_info() {
@@ -567,7 +583,7 @@ impl System {
         let cycle = wedge::find_cycle(&edges);
         let class = if error.is_some() {
             WedgeClass::ProtocolFault
-        } else if retries_in_window >= LIVELOCK_RETRIES {
+        } else if retries_in_window >= livelock_retries {
             WedgeClass::Livelock
         } else if cycle.is_some() {
             WedgeClass::Deadlock
@@ -608,6 +624,17 @@ impl System {
         if self.cfg.chaos.is_some() {
             let (touched, injected) = self.mesh.chaos_injected();
             notes.push(format!("chaos delayed {touched} messages by {injected} cycles total"));
+        }
+        if self.cfg.fault.is_some() {
+            let (dropped, duplicated, corrupted) = self.mesh.fault_injected();
+            let st = self.mesh.stats();
+            notes.push(format!(
+                "link faults: {dropped} dropped, {duplicated} duplicated, {corrupted} corrupted; \
+                 {} retransmissions, {} standalone acks, {} backpressured sends",
+                st.get("link_retx"),
+                st.get("link_acks"),
+                st.get("link_backpressure_msgs"),
+            ));
         }
 
         let mut report = WedgeReport {
@@ -650,6 +677,12 @@ impl System {
         for line in text.lines() {
             self.sink.emit(line);
         }
+    }
+
+    /// `(dropped, duplicated, corrupted)` frames injected by the link
+    /// fault engine so far — `(0, 0, 0)` without a fault plan.
+    pub fn fault_injected(&self) -> (u64, u64, u64) {
+        self.mesh.fault_injected()
     }
 
     /// Total instructions retired across all cores.

@@ -22,6 +22,7 @@
 //! byte-identical runs.
 
 use crate::rng::SimRng;
+use crate::stats::Stats;
 use crate::Cycle;
 use std::fmt;
 
@@ -387,13 +388,20 @@ impl ChaosEngine {
     }
 
     /// Extra injection delay for a message entering the mesh now.
-    pub fn delay(&mut self, now: Cycle, src: u16, dst: u16, vnet: u8) -> u64 {
+    ///
+    /// Besides the engine's own `touched`/`injected` counters, every
+    /// perturbation is recorded into `stats` — the total under
+    /// `mesh_chaos_msgs`/`mesh_chaos_cycles` and a per-effect
+    /// breakdown under `mesh_chaos_<effect>_msgs` — so chaos runs are
+    /// auditable from `BENCH_*.json` and wedge reports, not just via
+    /// [`crate::chaos::ChaosEngine`] accessors.
+    pub fn delay(&mut self, now: Cycle, src: u16, dst: u16, vnet: u8, stats: &mut Stats) -> u64 {
         let mut extra = 0u64;
         for clause in &self.plan.clauses {
             if !clause.flow.matches(src, dst, vnet) {
                 continue;
             }
-            extra += match clause.effect {
+            let contribution = match clause.effect {
                 ChaosEffect::Delay { cycles } => cycles,
                 ChaosEffect::Storm {
                     period,
@@ -432,10 +440,22 @@ impl ChaosEngine {
                     }
                 }
             };
+            if contribution > 0 {
+                stats.inc(match clause.effect {
+                    ChaosEffect::Delay { .. } => "mesh_chaos_delay_msgs",
+                    ChaosEffect::Storm { .. } => "mesh_chaos_storm_msgs",
+                    ChaosEffect::Amplify { .. } => "mesh_chaos_amplify_msgs",
+                    ChaosEffect::Starve { .. } => "mesh_chaos_starve_msgs",
+                    ChaosEffect::StallWhileSignal { .. } => "mesh_chaos_lockstall_msgs",
+                });
+            }
+            extra += contribution;
         }
         if extra > 0 {
             self.touched += 1;
             self.injected += extra;
+            stats.inc("mesh_chaos_msgs");
+            stats.add("mesh_chaos_cycles", extra);
         }
         extra
     }
@@ -466,60 +486,72 @@ mod tests {
         let mk = || ChaosEngine::new(ChaosPlan::reorder_amplify(), 42);
         let mut a = mk();
         let mut b = mk();
+        let (mut sa, mut sb) = (Stats::new(), Stats::new());
         for now in 0..2_000u64 {
-            let d1 = a.delay(now, (now % 16) as u16, ((now * 7) % 16) as u16, (now % 3) as u8);
-            let d2 = b.delay(now, (now % 16) as u16, ((now * 7) % 16) as u16, (now % 3) as u8);
+            let d1 = a.delay(now, (now % 16) as u16, ((now * 7) % 16) as u16, (now % 3) as u8, &mut sa);
+            let d2 = b.delay(now, (now % 16) as u16, ((now * 7) % 16) as u16, (now % 3) as u8, &mut sb);
             assert_eq!(d1, d2, "divergence at {now}");
         }
         assert_eq!(a.touched, b.touched);
         assert_eq!(a.injected, b.injected);
+        assert_eq!(sa, sb);
         assert!(a.touched > 0, "amplify plan never fired in 2000 messages");
     }
 
     #[test]
     fn quiet_plan_injects_nothing() {
         let mut e = ChaosEngine::new(ChaosPlan::quiet(), 1);
+        let mut s = Stats::new();
         for now in 0..500 {
-            assert_eq!(e.delay(now, 0, 1, 0), 0);
+            assert_eq!(e.delay(now, 0, 1, 0, &mut s), 0);
         }
         assert_eq!(e.touched, 0);
+        assert!(s.is_empty(), "quiet plan must leave stats untouched");
     }
 
     #[test]
     fn starve_is_bounded() {
         let mut e = ChaosEngine::new(ChaosPlan::starve_flow(1, 0, 0), 9);
+        let mut s = Stats::new();
         // Mid-freeze: held until the freeze (hold = 800) ends.
-        assert_eq!(e.delay(100, 1, 0, 0), 700);
+        assert_eq!(e.delay(100, 1, 0, 0, &mut s), 700);
         // Open phase: no delay.
-        assert_eq!(e.delay(850, 1, 0, 0), 0);
+        assert_eq!(e.delay(850, 1, 0, 0, &mut s), 0);
         // Other flows untouched even mid-freeze.
-        assert_eq!(e.delay(100, 0, 1, 0), 0);
+        assert_eq!(e.delay(100, 0, 1, 0, &mut s), 0);
         // Bound: delay never exceeds the hold phase.
         for now in 0..5_000 {
-            assert!(e.delay(now, 1, 0, 0) <= 800);
+            assert!(e.delay(now, 1, 0, 0, &mut s) <= 800);
         }
+        assert_eq!(s.get("mesh_chaos_starve_msgs"), s.get("mesh_chaos_msgs"));
     }
 
     #[test]
     fn stall_gated_on_signal() {
         let mut e = ChaosEngine::new(ChaosPlan::lockdown_vnet_stall(2), 3);
+        let mut s = Stats::new();
         assert!(e.wants_signal());
-        assert_eq!(e.delay(10, 0, 1, 2), 0);
+        assert_eq!(e.delay(10, 0, 1, 2, &mut s), 0);
         e.set_signal(true);
-        assert_eq!(e.delay(11, 0, 1, 2), 300);
-        assert_eq!(e.delay(11, 0, 1, 1), 0, "other vnets unaffected");
+        assert_eq!(e.delay(11, 0, 1, 2, &mut s), 300);
+        assert_eq!(e.delay(11, 0, 1, 1, &mut s), 0, "other vnets unaffected");
         e.set_signal(false);
-        assert_eq!(e.delay(12, 0, 1, 2), 0);
+        assert_eq!(e.delay(12, 0, 1, 2, &mut s), 0);
+        assert_eq!(s.get("mesh_chaos_lockstall_msgs"), 1);
     }
 
     #[test]
     fn storm_fires_only_in_burst() {
         let mut e = ChaosEngine::new(ChaosPlan::delay_storm(), 5);
+        let mut s = Stats::new();
         // Outside the burst window (period 2000, burst 400).
-        assert_eq!(e.delay(1_500, 0, 1, 0), 0);
+        assert_eq!(e.delay(1_500, 0, 1, 0, &mut s), 0);
         // Inside it.
-        let d = e.delay(2_100, 0, 1, 0);
+        let d = e.delay(2_100, 0, 1, 0, &mut s);
         assert!((50..=400).contains(&d), "storm delay {d} out of range");
+        assert_eq!(s.get("mesh_chaos_storm_msgs"), 1);
+        assert_eq!(s.get("mesh_chaos_msgs"), 1);
+        assert_eq!(s.get("mesh_chaos_cycles"), d);
     }
 
     #[test]

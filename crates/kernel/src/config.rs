@@ -218,6 +218,34 @@ impl Default for MemoryConfig {
     }
 }
 
+/// Reliable-delivery (link-layer ARQ) parameters. Only consulted when a
+/// fault plan is installed: a fault-free mesh never constructs the
+/// reliable sublayer, keeping the fast path byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Maximum unacknowledged frames per (src, dst, vnet) flow. Further
+    /// sends are parked in a pending queue (backpressure into `send`).
+    pub window: usize,
+    /// Initial retransmission timeout in cycles. Must exceed the worst
+    /// fault-free round trip, or clean traffic retransmits spuriously.
+    pub rto_min: u64,
+    /// Backoff cap: the per-frame timeout doubles on every
+    /// retransmission up to this bound.
+    pub rto_max: u64,
+    /// Cycles a received-but-unacknowledged flow may sit idle before
+    /// the receiver emits a standalone cumulative ACK (no reverse
+    /// traffic to piggyback on).
+    pub ack_idle: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        // rto_min comfortably above the worst fault-free RTT on a 4x4
+        // mesh (6 hops x 6 cycles + serialization + jitter, both ways).
+        LinkConfig { window: 32, rto_min: 256, rto_max: 4096, ack_idle: 64 }
+    }
+}
+
 /// Interconnect parameters (Table 6, bottom block).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkConfig {
@@ -234,6 +262,8 @@ pub struct NetworkConfig {
     /// litmus harness to widen the explored interleaving space. Zero for
     /// performance runs.
     pub jitter: u64,
+    /// Reliable-delivery sublayer tuning (active only under a fault plan).
+    pub link: LinkConfig,
 }
 
 impl Default for NetworkConfig {
@@ -245,7 +275,31 @@ impl Default for NetworkConfig {
             data_flits: 5,
             control_flits: 1,
             jitter: 0,
+            link: LinkConfig::default(),
         }
+    }
+}
+
+/// Wedge-watchdog thresholds. Scaled up automatically while a fault
+/// plan is active, so loss-induced retransmission stalls are not
+/// misclassified as deadlock/livelock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Cycles a core may go without retiring (or the drained memory
+    /// system without going idle) before the watchdog trips.
+    pub stall_window: u64,
+    /// Retry-class events accumulating across one stall window that
+    /// make the diagnosis Livelock rather than Deadlock/Starvation.
+    pub livelock_retries: u64,
+    /// Multiplier applied to both thresholds while a fault plan is
+    /// installed: retransmission round trips (rto_min, doubled per
+    /// retry) legitimately stretch every protocol interaction.
+    pub fault_scale: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig { stall_window: 200_000, livelock_retries: 16, fault_scale: 4 }
     }
 }
 
@@ -271,6 +325,13 @@ pub struct SystemConfig {
     /// starvation, lockdown-directed stalls). `None` leaves the mesh
     /// byte-identical to a chaos-free build.
     pub chaos: Option<crate::chaos::ChaosPlan>,
+    /// Link-level fault schedule (drops, duplicates, corruption).
+    /// Installing a plan — even the empty [`crate::fault::FaultPlan::none`]
+    /// — enables the reliable-delivery sublayer; `None` leaves the mesh
+    /// byte-identical to a fault-free build.
+    pub fault: Option<crate::fault::FaultPlan>,
+    /// Wedge-watchdog thresholds (see [`WatchdogConfig`]).
+    pub watchdog: WatchdogConfig,
 }
 
 impl SystemConfig {
@@ -287,6 +348,8 @@ impl SystemConfig {
             wb_cacheable_reads: false,
             record_events: true,
             chaos: None,
+            fault: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -344,6 +407,35 @@ impl SystemConfig {
         self
     }
 
+    /// Builder-style: install a link-level fault schedule (and thereby
+    /// the reliable-delivery sublayer).
+    pub fn with_fault(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The stall window the watchdog should actually use: the
+    /// configured window, scaled by `fault_scale` while a fault plan is
+    /// installed (retransmission round trips stretch every protocol
+    /// interaction without anything being wedged).
+    pub fn effective_stall_window(&self) -> u64 {
+        if self.fault.is_some() {
+            self.watchdog.stall_window.saturating_mul(self.watchdog.fault_scale)
+        } else {
+            self.watchdog.stall_window
+        }
+    }
+
+    /// The livelock-classification threshold in force (scaled like the
+    /// stall window: retransmissions inflate retry-shaped activity).
+    pub fn effective_livelock_retries(&self) -> u64 {
+        if self.fault.is_some() {
+            self.watchdog.livelock_retries.saturating_mul(self.watchdog.fault_scale)
+        } else {
+            self.watchdog.livelock_retries
+        }
+    }
+
     /// Panics if the configuration is internally inconsistent.
     ///
     /// # Panics
@@ -370,6 +462,14 @@ impl SystemConfig {
         assert!(self.memory.mshrs >= 2, "need at least 2 MSHRs (1 reserved for SoS loads)");
         assert!(self.core.width >= 1);
         assert!(self.memory.line_bytes.is_power_of_two());
+        if let Some(p) = &self.fault {
+            p.validate();
+        }
+        let link = &self.network.link;
+        assert!(link.window >= 1, "reliable link needs a window of at least one frame");
+        assert!(link.rto_min >= 1 && link.rto_max >= link.rto_min, "rto_min..rto_max malformed");
+        assert!(self.watchdog.stall_window >= 1, "zero stall window would trip immediately");
+        assert!(self.watchdog.fault_scale >= 1, "fault_scale shrinking the window is unsound");
     }
 }
 
@@ -455,6 +555,44 @@ mod tests {
         assert!(cfg.network.mesh_width * cfg.network.mesh_height >= 4);
         cfg.validate();
         let cfg = SystemConfig::new(CoreClass::Slm).with_cores(3);
+        cfg.validate();
+    }
+
+    #[test]
+    fn watchdog_scales_only_under_fault() {
+        let cfg = SystemConfig::new(CoreClass::Slm);
+        assert_eq!(cfg.effective_stall_window(), 200_000);
+        assert_eq!(cfg.effective_livelock_retries(), 16);
+        let cfg = cfg.with_fault(crate::fault::FaultPlan::drop_everywhere(1, 10));
+        assert_eq!(cfg.effective_stall_window(), 800_000);
+        assert_eq!(cfg.effective_livelock_retries(), 64);
+        cfg.validate();
+        // Chaos alone does not scale: delays are bounded by the plan.
+        let cfg = SystemConfig::new(CoreClass::Slm).with_chaos(crate::chaos::ChaosPlan::quiet());
+        assert_eq!(cfg.effective_stall_window(), 200_000);
+    }
+
+    #[test]
+    fn link_defaults_are_sane() {
+        let l = LinkConfig::default();
+        assert!(l.rto_min > 70, "rto_min must exceed the worst fault-free RTT");
+        assert!(l.rto_max >= l.rto_min);
+        assert!(l.window >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rto_min..rto_max")]
+    fn validate_rejects_inverted_rto() {
+        let mut cfg = SystemConfig::new(CoreClass::Slm);
+        cfg.network.link.rto_max = 1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probability above 1")]
+    fn validate_checks_fault_plan() {
+        let mut cfg = SystemConfig::new(CoreClass::Slm);
+        cfg.fault = Some(crate::fault::FaultPlan::drop_everywhere(3, 2));
         cfg.validate();
     }
 

@@ -33,6 +33,7 @@
 pub mod chaos;
 pub mod check;
 pub mod config;
+pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod rng;
@@ -41,7 +42,8 @@ pub mod trace;
 pub mod wedge;
 
 pub use chaos::{ChaosClause, ChaosEffect, ChaosEngine, ChaosPlan, FlowMatch};
-pub use config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+pub use config::{CommitMode, CoreClass, LinkConfig, ProtocolKind, SystemConfig, WatchdogConfig};
+pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
 pub use hist::Hist;
 pub use rng::SimRng;
 pub use stats::Stats;

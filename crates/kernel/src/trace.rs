@@ -312,6 +312,45 @@ pub enum TraceEvent {
         /// Virtual network.
         vnet: u8,
     },
+    /// A link-level frame was lost: dropped mid-flight by a fault plan,
+    /// or discarded at the receiver because its checksum failed.
+    LinkDrop {
+        /// Source node index.
+        src: u16,
+        /// Destination node index.
+        dst: u16,
+        /// Virtual network.
+        vnet: u8,
+        /// Per-flow sequence number of the lost frame.
+        seq: u64,
+        /// True when a receiver-side checksum failure (not a plan drop)
+        /// discarded the frame.
+        corrupt: bool,
+    },
+    /// The reliable sublayer retransmitted an unacknowledged frame.
+    LinkRetx {
+        /// Source node index.
+        src: u16,
+        /// Destination node index.
+        dst: u16,
+        /// Virtual network.
+        vnet: u8,
+        /// Per-flow sequence number being retransmitted.
+        seq: u64,
+        /// Retransmission attempt (1 = first retransmit).
+        attempt: u32,
+    },
+    /// The receiver squashed a duplicate frame (dedup window hit).
+    LinkDupSquashed {
+        /// Source node index.
+        src: u16,
+        /// Destination node index.
+        dst: u16,
+        /// Virtual network.
+        vnet: u8,
+        /// Per-flow sequence number of the squashed duplicate.
+        seq: u64,
+    },
 }
 
 impl TraceEvent {
@@ -327,7 +366,10 @@ impl TraceEvent {
                 Category::Lockdown
             }
             TraceEvent::LoadBind { .. } | TraceEvent::LoadCommit { .. } => Category::Lsq,
-            TraceEvent::MeshHop { .. } => Category::Mesh,
+            TraceEvent::MeshHop { .. }
+            | TraceEvent::LinkDrop { .. }
+            | TraceEvent::LinkRetx { .. }
+            | TraceEvent::LinkDupSquashed { .. } => Category::Mesh,
         }
     }
 
@@ -353,7 +395,10 @@ impl TraceEvent {
             | TraceEvent::LockdownEnd { line, .. }
             | TraceEvent::LoadBind { line, .. }
             | TraceEvent::LoadCommit { line, .. } => Some(line),
-            TraceEvent::MeshHop { .. } => None,
+            TraceEvent::MeshHop { .. }
+            | TraceEvent::LinkDrop { .. }
+            | TraceEvent::LinkRetx { .. }
+            | TraceEvent::LinkDupSquashed { .. } => None,
         }
     }
 }
@@ -404,6 +449,19 @@ impl std::fmt::Display for TraceEvent {
             }
             TraceEvent::MeshHop { src, dst, hops_left, vnet } => {
                 write!(f, "hop n{src} -> n{dst} ({hops_left} left) vnet{vnet}")
+            }
+            TraceEvent::LinkDrop { src, dst, vnet, seq, corrupt } => {
+                write!(
+                    f,
+                    "link drop n{src} -> n{dst} vnet{vnet} seq={seq}{}",
+                    if *corrupt { " [checksum]" } else { "" }
+                )
+            }
+            TraceEvent::LinkRetx { src, dst, vnet, seq, attempt } => {
+                write!(f, "link retx n{src} -> n{dst} vnet{vnet} seq={seq} attempt={attempt}")
+            }
+            TraceEvent::LinkDupSquashed { src, dst, vnet, seq } => {
+                write!(f, "link dup-squash n{src} -> n{dst} vnet{vnet} seq={seq}")
             }
         }
     }
@@ -808,6 +866,40 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
                 r.cycle,
                 None,
                 &format!(r#""src":"n{src}","dst":"n{dst}","hops_left":{hops_left},"vnet":{vnet}"#),
+            ),
+            TraceEvent::LinkDrop { src, dst, vnet, seq, corrupt } => push_event(
+                &mut out,
+                'i',
+                "link drop",
+                cat,
+                r.comp,
+                r.cycle,
+                None,
+                &format!(
+                    r#""src":"n{src}","dst":"n{dst}","vnet":{vnet},"seq":{seq},"corrupt":{corrupt}"#
+                ),
+            ),
+            TraceEvent::LinkRetx { src, dst, vnet, seq, attempt } => push_event(
+                &mut out,
+                'i',
+                "link retx",
+                cat,
+                r.comp,
+                r.cycle,
+                None,
+                &format!(
+                    r#""src":"n{src}","dst":"n{dst}","vnet":{vnet},"seq":{seq},"attempt":{attempt}"#
+                ),
+            ),
+            TraceEvent::LinkDupSquashed { src, dst, vnet, seq } => push_event(
+                &mut out,
+                'i',
+                "link dup-squash",
+                cat,
+                r.comp,
+                r.cycle,
+                None,
+                &format!(r#""src":"n{src}","dst":"n{dst}","vnet":{vnet},"seq":{seq}"#),
             ),
         }
     }

@@ -19,11 +19,41 @@
 //! per-virtual-network serialization of flits (one flit per cycle per
 //! link), which yields congestion effects and exact flit counts for the
 //! traffic numbers of Figure 9 without a full five-stage router pipeline.
+//!
+//! # Lossy links and reliable delivery
+//!
+//! By default every injected message arrives (delivery is reliable by
+//! construction, as the paper assumes). Two optional adversarial layers
+//! stress that assumption:
+//!
+//! - a [`ChaosEngine`] perturbs *timing* only (injection-time delays,
+//!   PR 3);
+//! - a [`FaultEngine`](wb_kernel::fault::FaultEngine) makes links
+//!   *lossy*: frames may be dropped, duplicated, or corrupted at each
+//!   hop, per a seeded [`FaultPlan`](wb_kernel::fault::FaultPlan).
+//!
+//! Faults require the [reliable sublayer](crate::reliable) (see
+//! [`Mesh::enable_reliable`]): selective-repeat ARQ with per-frame
+//! checksums, per-flow sequence numbers, cumulative acks piggybacked on
+//! reverse traffic (standalone acks when idle), timeout-driven
+//! retransmission with capped exponential backoff, a bounded retransmit
+//! window with backpressure into [`Mesh::send`], and receiver-side
+//! dedup. The protocol layer above still observes exactly-once,
+//! per-flow-FIFO delivery — it cannot tell a lossy run from a clean one
+//! except through timing. When neither layer is installed the fast path
+//! is byte-identical to a mesh built before they existed.
+
+mod reliable;
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use wb_kernel::chaos::ChaosEngine;
+use wb_kernel::config::LinkConfig;
+use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
 use wb_kernel::{Cycle, NodeId, SimRng, Stats};
+
+use reliable::{frame_check, FlowKey, LinkCtl, Pending, RecvFlow, RecvVerdict, ReliableLink, Unacked};
 
 /// The three virtual networks.
 ///
@@ -66,20 +96,32 @@ pub struct MeshMsg<T> {
     pub payload: T,
 }
 
-#[derive(Debug)]
+/// A frame traversing the network: a protocol message, or (with the
+/// reliable sublayer active) a retransmission or standalone ack.
+#[derive(Debug, Clone)]
 struct Flight<T> {
-    msg: MeshMsg<T>,
+    src: NodeId,
+    dst: NodeId,
+    vnet: VNet,
+    flits: u32,
+    /// `None` only for standalone ack frames, which are consumed at the
+    /// link layer and never surface through [`Mesh::drain_arrived`].
+    payload: Option<T>,
+    /// Link-layer header; present iff the reliable sublayer is enabled.
+    /// Boxed so the fault-free fast path doesn't pay its footprint in
+    /// every in-flight frame.
+    link: Option<Box<LinkCtl>>,
     /// Remaining hops (count of links still to traverse).
     hops_left: u32,
     /// The flight may take its next action at this cycle.
     ready_at: Cycle,
     /// Per-flow sequence for point-to-point FIFO delivery.
     flow_seq: u64,
-    /// Injection cycle, for the end-to-end latency histogram.
+    /// Injection cycle, for the end-to-end latency histogram. A
+    /// retransmission inherits the original injection cycle so the
+    /// histogram reflects true protocol-visible latency.
     sent_at: Cycle,
 }
-
-type FlowKey = (NodeId, NodeId, usize);
 
 /// The mesh network.
 ///
@@ -108,6 +150,12 @@ pub struct Mesh<T> {
     /// per-flow FIFO delivery is unaffected: every plan stays within
     /// legal unordered-network behaviour (no drops, no duplicates).
     chaos: Option<ChaosEngine>,
+    /// Reliable-delivery sublayer (`None` = links lossless by
+    /// construction, zero overhead).
+    reliable: Option<ReliableLink<T>>,
+    /// Link fault injection; requires `reliable` (a lossy link without
+    /// ARQ would simply violate the protocol's delivery contract).
+    fault: Option<FaultEngine>,
 }
 
 impl<T> Mesh<T> {
@@ -132,12 +180,55 @@ impl<T> Mesh<T> {
             stats: Stats::new(),
             tracer: Tracer::new(CompId::Mesh),
             chaos: None,
+            reliable: None,
+            fault: None,
         }
     }
 
     /// Install (or clear) a chaos engine for adversarial timing.
     pub fn set_chaos(&mut self, engine: Option<ChaosEngine>) {
         self.chaos = engine;
+    }
+
+    /// Enable the reliable-delivery sublayer (selective-repeat ARQ).
+    /// Must be called before any traffic is injected: retrofitting
+    /// sequence numbers onto frames already in flight is not supported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if messages were already sent.
+    pub fn enable_reliable(&mut self, cfg: LinkConfig) {
+        assert!(
+            self.in_flight.is_empty() && self.next_flow_seq.is_empty(),
+            "enable_reliable must precede all traffic"
+        );
+        self.reliable = Some(ReliableLink::new(cfg));
+    }
+
+    /// True when the reliable sublayer is active.
+    pub fn reliable_enabled(&self) -> bool {
+        self.reliable.is_some()
+    }
+
+    /// Install (or clear) link fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an engine is installed without the reliable sublayer:
+    /// lossy links with no ARQ would silently break the protocol's
+    /// delivery contract, which is never what a test means to do.
+    pub fn set_fault(&mut self, engine: Option<FaultEngine>) {
+        assert!(
+            engine.is_none() || self.reliable.is_some(),
+            "fault injection requires the reliable link layer (call enable_reliable first)"
+        );
+        self.fault = engine;
+    }
+
+    /// `(dropped, duplicated, corrupted)` frames injected by the fault
+    /// engine so far.
+    pub fn fault_injected(&self) -> (u64, u64, u64) {
+        self.fault.as_ref().map_or((0, 0, 0), FaultEngine::injected)
     }
 
     /// True when the installed plan has signal-gated clauses; the system
@@ -184,82 +275,6 @@ impl<T> Mesh<T> {
         (ax.abs_diff(bx) + ay.abs_diff(by)) as u32
     }
 
-    /// Inject a message at cycle `now`. Delivery happens after routing
-    /// latency; local (src == dst) messages still take one cycle.
-    pub fn send(&mut self, now: Cycle, msg: MeshMsg<T>) {
-        let key: FlowKey = (msg.src, msg.dst, msg.vnet.index());
-        let seq_ref = self.next_flow_seq.entry(key).or_insert(0);
-        let flow_seq = *seq_ref;
-        *seq_ref += 1;
-
-        self.stats.inc("mesh_msgs");
-        self.stats.add("mesh_flits", msg.flits as u64);
-        self.stats.add(
-            match msg.vnet {
-                VNet::Request => "mesh_flits_request",
-                VNet::Forward => "mesh_flits_forward",
-                VNet::Response => "mesh_flits_response",
-            },
-            msg.flits as u64,
-        );
-
-        // Injection-link serialization: one flit/cycle per (node, vnet).
-        let busy = self.link_busy.entry((msg.src, msg.vnet.index())).or_insert(0);
-        let start = now.max(*busy);
-        *busy = start + msg.flits as u64;
-
-        let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
-        let hops = self.hops(msg.src, msg.dst);
-        let mut ready_at = start + 1 + jitter; // one cycle of local latency
-        if let Some(ch) = &mut self.chaos {
-            let extra = ch.delay(now, msg.src.0, msg.dst.0, msg.vnet.index() as u8);
-            if extra > 0 {
-                ready_at += extra;
-                self.stats.inc("mesh_chaos_msgs");
-                self.stats.add("mesh_chaos_cycles", extra);
-            }
-        }
-        self.in_flight.push(Flight { msg, hops_left: hops, ready_at, flow_seq, sent_at: now });
-    }
-
-    /// Advance the network by one cycle: move flights along their route and
-    /// park completed ones in the destination's arrival buffer.
-    pub fn tick(&mut self, now: Cycle) {
-        let hop_cycles = self.hop_cycles;
-        let trace_hops = self.tracer.wants(Category::Mesh);
-        let mut done: Vec<usize> = Vec::new();
-        for (i, f) in self.in_flight.iter_mut().enumerate() {
-            if f.ready_at > now {
-                continue;
-            }
-            if f.hops_left == 0 {
-                done.push(i);
-            } else {
-                // Traverse one switch-to-switch link: head latency plus
-                // tail serialization.
-                f.hops_left -= 1;
-                f.ready_at = now + hop_cycles + (f.msg.flits as u64 - 1);
-                if trace_hops {
-                    self.tracer.record(
-                        now,
-                        TraceEvent::MeshHop {
-                            src: f.msg.src.0,
-                            dst: f.msg.dst.0,
-                            hops_left: f.hops_left,
-                            vnet: f.msg.vnet.index() as u8,
-                        },
-                    );
-                }
-            }
-        }
-        // Remove in reverse index order so indices stay valid.
-        for &i in done.iter().rev() {
-            let f = self.in_flight.swap_remove(i);
-            self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
-            self.arrived[f.msg.dst.index()].push_back(f);
-        }
-    }
-
     /// Collect every message deliverable at `node` this cycle, respecting
     /// per-flow FIFO order.
     pub fn drain_arrived(&mut self, node: NodeId) -> Vec<MeshMsg<T>> {
@@ -274,13 +289,16 @@ impl<T> Mesh<T> {
             let mut progressed = false;
             let mut i = 0;
             while i < buf.len() {
-                let key: FlowKey = (buf[i].msg.src, buf[i].msg.dst, buf[i].msg.vnet.index());
+                let key: FlowKey = (buf[i].src, buf[i].dst, buf[i].vnet.index());
                 let expected = self.next_deliver_seq.entry(key).or_insert(0);
                 if buf[i].flow_seq == *expected {
                     *expected += 1;
-                    let f = buf.remove(i).expect("index in range");
-                    out.push(f.msg);
                     progressed = true;
+                    if let Some(f) = buf.remove(i) {
+                        if let Some(payload) = f.payload {
+                            out.push(MeshMsg { src: f.src, dst: f.dst, vnet: f.vnet, flits: f.flits, payload });
+                        }
+                    }
                 } else {
                     i += 1;
                 }
@@ -304,22 +322,19 @@ impl<T> Mesh<T> {
         let mut v: Vec<(u16, u16, u8, u64)> = self
             .in_flight
             .iter()
-            .map(|f| {
-                (
-                    f.msg.src.0,
-                    f.msg.dst.0,
-                    f.msg.vnet.index() as u8,
-                    now.saturating_sub(f.sent_at),
-                )
-            })
+            .map(|f| (f.src.0, f.dst.0, f.vnet.index() as u8, now.saturating_sub(f.sent_at)))
             .collect();
         v.sort();
         v
     }
 
-    /// True when nothing is in flight and nothing awaits draining.
+    /// True when nothing is in flight, nothing awaits draining, and
+    /// (with the reliable sublayer) no frame awaits an ack and no ack is
+    /// owed — a lossy run is only over once retransmission settles.
     pub fn is_idle(&self) -> bool {
-        self.in_flight.is_empty() && self.arrived.iter().all(|q| q.is_empty())
+        self.in_flight.is_empty()
+            && self.arrived.iter().all(|q| q.is_empty())
+            && self.reliable.as_ref().map_or(true, ReliableLink::is_idle)
     }
 
     /// Traffic statistics (flit and message counts).
@@ -328,294 +343,366 @@ impl<T> Mesh<T> {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+impl<T: Clone + Hash> Mesh<T> {
+    /// Inject a message at cycle `now`. Delivery happens after routing
+    /// latency; local (src == dst) messages still take one cycle. With
+    /// the reliable sublayer enabled and the flow's window full, the
+    /// message queues (backpressure) and transmits as acks free space.
+    pub fn send(&mut self, now: Cycle, msg: MeshMsg<T>) {
+        let MeshMsg { src, dst, vnet, flits, payload } = msg;
+        let key: FlowKey = (src, dst, vnet.index());
+        let seq_ref = self.next_flow_seq.entry(key).or_insert(0);
+        let flow_seq = *seq_ref;
+        *seq_ref += 1;
 
-    fn mk(jitter: u64) -> Mesh<u32> {
-        Mesh::new(4, 4, 16, 6, jitter, 1)
-    }
+        self.stats.inc("mesh_msgs");
+        self.stats.add("mesh_flits", flits as u64);
+        self.stats.add(
+            match vnet {
+                VNet::Request => "mesh_flits_request",
+                VNet::Forward => "mesh_flits_forward",
+                VNet::Response => "mesh_flits_response",
+            },
+            flits as u64,
+        );
 
-    fn run_until_delivered(mesh: &mut Mesh<u32>, dst: NodeId, mut now: Cycle, limit: u64) -> (Vec<MeshMsg<u32>>, Cycle) {
-        let mut out = Vec::new();
-        for _ in 0..limit {
-            mesh.tick(now);
-            out.extend(mesh.drain_arrived(dst));
-            if !out.is_empty() {
-                return (out, now);
+        if let Some(mut rl) = self.reliable.take() {
+            let sf = rl.send_flows.entry(key).or_default();
+            if sf.unacked.len() >= rl.cfg.window || !sf.pending.is_empty() {
+                // Window full (or a queue already formed): backpressure,
+                // never loss. Timing effects (link serialization, jitter,
+                // chaos) apply at actual transmission, not queueing.
+                sf.pending.push_back(Pending { payload, flits, seq: flow_seq, queued_at: now });
+                self.stats.inc("link_backpressure_msgs");
+            } else {
+                self.transmit_data(&mut rl, now, key, payload, flits, flow_seq, now);
             }
-            now += 1;
+            self.reliable = Some(rl);
+            return;
         }
-        (out, now)
-    }
 
-    #[test]
-    fn hops_manhattan() {
-        let m = mk(0);
-        assert_eq!(m.hops(NodeId(0), NodeId(0)), 0);
-        assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
-        assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
-        assert_eq!(m.hops(NodeId(5), NodeId(6)), 1);
-    }
+        // Fast path: no reliable layer, no link header, no checksum.
+        // Injection-link serialization: one flit/cycle per (node, vnet).
+        let busy = self.link_busy.entry((src, vnet.index())).or_insert(0);
+        let start = now.max(*busy);
+        *busy = start + flits as u64;
 
-    #[test]
-    fn delivers_with_expected_latency() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 7 });
-        // 1 cycle local + 1 hop of 6 cycles = ready at cycle 7.
-        let (msgs, when) = run_until_delivered(&mut m, NodeId(1), 0, 100);
-        assert_eq!(msgs.len(), 1);
-        assert_eq!(msgs[0].payload, 7);
-        assert_eq!(when, 7);
-    }
-
-    #[test]
-    fn local_message_one_cycle() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(2), dst: NodeId(2), vnet: VNet::Response, flits: 1, payload: 1 });
-        let (msgs, when) = run_until_delivered(&mut m, NodeId(2), 0, 10);
-        assert_eq!(msgs.len(), 1);
-        assert_eq!(when, 1);
-    }
-
-    #[test]
-    fn data_messages_slower_than_control() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 5, payload: 1 });
-        let (_, t_data) = run_until_delivered(&mut m, NodeId(15), 0, 1000);
-        let mut m2 = mk(0);
-        m2.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 1, payload: 1 });
-        let (_, t_ctrl) = run_until_delivered(&mut m2, NodeId(15), 0, 1000);
-        assert!(t_data > t_ctrl, "data {t_data} should be slower than control {t_ctrl}");
-    }
-
-    #[test]
-    fn per_flow_fifo_preserved() {
-        let mut m = mk(0);
-        for i in 0..10u32 {
-            m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(5), vnet: VNet::Request, flits: 1, payload: i });
+        let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
+        let hops = self.hops(src, dst);
+        let mut ready_at = start + 1 + jitter; // one cycle of local latency
+        if let Some(ch) = &mut self.chaos {
+            ready_at += ch.delay(now, src.0, dst.0, vnet.index() as u8, &mut self.stats);
         }
-        let mut got = Vec::new();
-        for now in 0..200 {
-            m.tick(now);
-            got.extend(m.drain_arrived(NodeId(5)).into_iter().map(|mm| mm.payload));
-        }
-        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        self.in_flight.push(Flight {
+            src,
+            dst,
+            vnet,
+            flits,
+            payload: Some(payload),
+            link: None,
+            hops_left: hops,
+            ready_at,
+            flow_seq,
+            sent_at: now,
+        });
     }
 
-    #[test]
-    fn per_flow_fifo_preserved_under_jitter() {
-        for seed in 0..20u64 {
-            let mut m = Mesh::new(4, 4, 16, 6, 25, seed);
-            for i in 0..10u32 {
-                m.send(0, MeshMsg { src: NodeId(3), dst: NodeId(9), vnet: VNet::Forward, flits: 1, payload: i });
+    /// First transmission of a data frame on flow `key` (either straight
+    /// from [`Mesh::send`] or a backpressured message leaving `pending`).
+    /// `origin` is the protocol's injection cycle, preserved through
+    /// queueing and retransmission for honest latency accounting.
+    fn transmit_data(
+        &mut self,
+        rl: &mut ReliableLink<T>,
+        now: Cycle,
+        key: FlowKey,
+        payload: T,
+        flits: u32,
+        seq: u64,
+        origin: Cycle,
+    ) {
+        let (src, dst, vi) = key;
+        let ack = rl.take_piggyback_ack((dst, src, vi));
+        let check = frame_check(src, dst, vi, flits, Some(seq), ack, Some(&payload));
+        let rto = rl.cfg.rto_min;
+        let sf = rl.send_flows.entry(key).or_default();
+        sf.unacked.push_back(Unacked {
+            payload: payload.clone(),
+            flits,
+            seq,
+            first_sent: origin,
+            last_sent: now,
+            rto,
+            retx: 0,
+        });
+
+        let busy = self.link_busy.entry((src, vi)).or_insert(0);
+        let start = now.max(*busy);
+        *busy = start + flits as u64;
+        let jitter = if self.jitter > 0 { self.rng.below(self.jitter + 1) } else { 0 };
+        let mut ready_at = start + 1 + jitter;
+        if let Some(ch) = &mut self.chaos {
+            ready_at += ch.delay(now, src.0, dst.0, vi as u8, &mut self.stats);
+        }
+        let hops = self.hops(src, dst);
+        self.in_flight.push(Flight {
+            src,
+            dst,
+            vnet: VNet::ALL[vi],
+            flits,
+            payload: Some(payload),
+            link: Some(Box::new(LinkCtl::Data { seq, ack, check })),
+            hops_left: hops,
+            ready_at,
+            flow_seq: seq,
+            sent_at: origin,
+        });
+    }
+
+    /// Advance the network by one cycle: move flights along their route,
+    /// apply link faults at hop granularity, park completed frames in the
+    /// destination's arrival buffer (through link-layer receive when the
+    /// reliable sublayer is active), then run retransmission/ack
+    /// maintenance.
+    pub fn tick(&mut self, now: Cycle) {
+        let hop_cycles = self.hop_cycles;
+        let trace_hops = self.tracer.wants(Category::Mesh);
+        // (index, was_dropped) in ascending index order.
+        let mut removals: Vec<(usize, bool)> = Vec::new();
+        let mut dups: Vec<Flight<T>> = Vec::new();
+        for (i, f) in self.in_flight.iter_mut().enumerate() {
+            if f.ready_at > now {
+                continue;
             }
-            let mut got = Vec::new();
-            for now in 0..500 {
-                m.tick(now);
-                got.extend(m.drain_arrived(NodeId(9)).into_iter().map(|mm| mm.payload));
+            if f.hops_left == 0 {
+                removals.push((i, false));
+                continue;
             }
-            assert_eq!(got, (0..10).collect::<Vec<_>>(), "seed {seed}");
-        }
-    }
-
-    #[test]
-    fn different_flows_can_reorder() {
-        // A long route with a big message vs. a short route with a small
-        // one injected later: the later one arrives first.
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 5, payload: 100 });
-        m.send(1, MeshMsg { src: NodeId(14), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 200 });
-        let mut order = Vec::new();
-        for now in 0..500 {
-            m.tick(now);
-            order.extend(m.drain_arrived(NodeId(15)).into_iter().map(|mm| mm.payload));
-        }
-        assert_eq!(order, vec![200, 100]);
-    }
-
-    #[test]
-    fn flit_stats_accumulate() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 5, payload: 0 });
-        assert_eq!(m.stats().get("mesh_flits"), 6);
-        assert_eq!(m.stats().get("mesh_msgs"), 2);
-        assert_eq!(m.stats().get("mesh_flits_response"), 5);
-    }
-
-    #[test]
-    fn latency_histogram_records_deliveries() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
-        let _ = run_until_delivered(&mut m, NodeId(1), 0, 100);
-        let h = m.stats().hist("mesh_msg_cycles").expect("latency hist");
-        assert_eq!(h.count(), 1);
-        // 1 cycle local + 1 hop of 6 = delivered at cycle 7.
-        assert_eq!(h.max(), 7);
-    }
-
-    #[test]
-    fn hop_tracing_records_each_link() {
-        let mut m = mk(0);
-        m.set_trace(wb_kernel::TraceFilter::all());
-        // Node 0 -> node 15 is 6 hops on the 4x4 mesh.
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 0 });
-        let _ = run_until_delivered(&mut m, NodeId(15), 0, 1000);
-        let hops = m.tracer().records().count();
-        assert_eq!(hops, 6);
-        // Disabled by default: a fresh mesh records nothing.
-        let mut quiet = mk(0);
-        quiet.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: 0 });
-        let _ = run_until_delivered(&mut quiet, NodeId(15), 0, 1000);
-        assert!(quiet.tracer().is_empty());
-    }
-
-    #[test]
-    fn idle_detection() {
-        let mut m = mk(0);
-        assert!(m.is_idle());
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 0 });
-        assert!(!m.is_idle());
-        for now in 0..100 {
-            m.tick(now);
-            m.drain_arrived(NodeId(1));
-        }
-        assert!(m.is_idle());
-    }
-
-    #[test]
-    #[should_panic(expected = "too small")]
-    fn too_small_mesh_panics() {
-        let _ = Mesh::<u32>::new(2, 2, 16, 6, 0, 0);
-    }
-
-    #[test]
-    fn injection_serialization_delays_second_message() {
-        let mut m = mk(0);
-        // Two 5-flit messages back to back on the same vnet from node 0.
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 5, payload: 1 });
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(2), vnet: VNet::Response, flits: 5, payload: 2 });
-        let mut t1 = None;
-        let mut t2 = None;
-        for now in 0..200 {
-            m.tick(now);
-            if !m.drain_arrived(NodeId(1)).is_empty() {
-                t1.get_or_insert(now);
+            // Traverse one switch-to-switch link: head latency plus
+            // tail serialization.
+            f.hops_left -= 1;
+            f.ready_at = now + hop_cycles + (f.flits as u64 - 1);
+            if trace_hops {
+                self.tracer.record(
+                    now,
+                    TraceEvent::MeshHop {
+                        src: f.src.0,
+                        dst: f.dst.0,
+                        hops_left: f.hops_left,
+                        vnet: f.vnet.index() as u8,
+                    },
+                );
             }
-            if !m.drain_arrived(NodeId(2)).is_empty() {
-                t2.get_or_insert(now);
-            }
-        }
-        let (t1, t2) = (t1.unwrap(), t2.unwrap());
-        // Node 2 is 2 hops from node 0, node 1 is 1 hop; even accounting
-        // for the extra hop, the second message is further delayed by
-        // serialization of the first's 5 flits.
-        assert!(t2 >= t1 + 5, "t1={t1} t2={t2}");
-    }
-
-    use wb_kernel::chaos::{ChaosEngine, ChaosPlan};
-
-    #[test]
-    fn chaos_delays_but_delivers() {
-        let mut m = mk(0);
-        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::hotspot(0), 1)));
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 7 });
-        let (msgs, when) = run_until_delivered(&mut m, NodeId(1), 0, 1_000);
-        assert_eq!(msgs.len(), 1);
-        // Baseline is cycle 7 (1 local + 1 hop of 6); hotspot adds 150.
-        assert_eq!(when, 157);
-        assert_eq!(m.stats().get("mesh_chaos_msgs"), 1);
-        assert_eq!(m.stats().get("mesh_chaos_cycles"), 150);
-    }
-
-    #[test]
-    fn chaos_preserves_per_flow_fifo() {
-        let mut m = mk(0);
-        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::reorder_amplify(), 3)));
-        for p in 0..20u32 {
-            m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(5), vnet: VNet::Request, flits: 1, payload: p });
-        }
-        let mut got = Vec::new();
-        for now in 0..10_000 {
-            m.tick(now);
-            got.extend(m.drain_arrived(NodeId(5)).into_iter().map(|ms| ms.payload));
-            if got.len() == 20 {
-                break;
-            }
-        }
-        assert_eq!(got, (0..20).collect::<Vec<_>>(), "same-flow order must survive chaos");
-    }
-
-    #[test]
-    fn chaos_is_deterministic() {
-        let deliveries = |seed: u64| {
-            let mut m = Mesh::<u32>::new(4, 4, 16, 6, 0, seed);
-            m.set_chaos(Some(ChaosEngine::new(ChaosPlan::wb_entry_squeeze(), seed)));
-            let mut log = Vec::new();
-            for p in 0..30u32 {
-                let vnet = [VNet::Request, VNet::Forward, VNet::Response][(p % 3) as usize];
-                m.send(p as u64, MeshMsg { src: NodeId(p as u16 % 16), dst: NodeId((p as u16 * 5) % 16), vnet, flits: 1, payload: p });
-            }
-            for now in 0..20_000u64 {
-                m.tick(now);
-                for n in 0..16 {
-                    for ms in m.drain_arrived(NodeId(n)) {
-                        log.push((now, ms.payload));
+            if let Some(eng) = &mut self.fault {
+                let fate = eng.at_hop(f.src.0, f.dst.0, f.vnet.index() as u8);
+                if fate.drop {
+                    self.stats.inc("link_drops");
+                    self.tracer.record(
+                        now,
+                        TraceEvent::LinkDrop {
+                            src: f.src.0,
+                            dst: f.dst.0,
+                            vnet: f.vnet.index() as u8,
+                            seq: f.link.as_deref().map_or(f.flow_seq, LinkCtl::trace_seq),
+                            corrupt: false,
+                        },
+                    );
+                    removals.push((i, true));
+                    continue;
+                }
+                if fate.duplicate {
+                    // The clone continues from this hop independently
+                    // (and may itself be faulted downstream).
+                    self.stats.inc("link_dups");
+                    dups.push(f.clone());
+                }
+                if let Some(mask) = fate.corrupt {
+                    if let Some(link) = &mut f.link {
+                        link.corrupt(mask);
+                        self.stats.inc("link_corrupt_injected");
                     }
                 }
             }
-            assert!(m.is_idle(), "all chaos-delayed messages must drain");
-            log
-        };
-        assert_eq!(deliveries(7), deliveries(7), "same seed, same schedule");
-    }
-
-    #[test]
-    fn chaos_none_is_byte_identical() {
-        // Installing no chaos must not perturb the rng-driven schedule.
-        let run = |with_none_install: bool| {
-            let mut m = Mesh::<u32>::new(4, 4, 16, 6, 20, 9);
-            if with_none_install {
-                m.set_chaos(None);
-            }
-            let mut log = Vec::new();
-            for p in 0..20u32 {
-                m.send(p as u64, MeshMsg { src: NodeId(p as u16 % 16), dst: NodeId(3), vnet: VNet::Request, flits: 1, payload: p });
-            }
-            for now in 0..2_000u64 {
-                m.tick(now);
-                for ms in m.drain_arrived(NodeId(3)) {
-                    log.push((now, ms.payload));
+        }
+        // Remove in reverse index order so indices stay valid; duplicates
+        // are appended only afterwards for the same reason.
+        if let Some(mut rl) = self.reliable.take() {
+            for &(i, was_dropped) in removals.iter().rev() {
+                let f = self.in_flight.swap_remove(i);
+                if !was_dropped {
+                    self.receive_frame(&mut rl, now, f);
                 }
             }
-            log
+            self.in_flight.extend(dups);
+            self.link_maintenance(&mut rl, now);
+            self.reliable = Some(rl);
+        } else {
+            for &(i, _) in removals.iter().rev() {
+                let f = self.in_flight.swap_remove(i);
+                self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
+                self.arrived[f.dst.index()].push_back(f);
+            }
+            self.in_flight.extend(dups);
+        }
+    }
+
+    /// Link-layer receive: checksum verification, ack application, dedup.
+    /// Runs at arrival time (not drain time) so acks are consumed even
+    /// when the destination node never drains this cycle.
+    fn receive_frame(&mut self, rl: &mut ReliableLink<T>, now: Cycle, mut f: Flight<T>) {
+        let vi = f.vnet.index();
+        let Some(link) = f.link.take() else {
+            // Unreachable in practice: the sublayer is enabled before any
+            // traffic, so every frame carries a header. Deliver as-is.
+            self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
+            self.arrived[f.dst.index()].push_back(f);
+            return;
         };
-        assert_eq!(run(false), run(true));
+        match *link {
+            LinkCtl::Ack { ack, check } => {
+                if frame_check::<T>(f.src, f.dst, vi, f.flits, None, ack, None) != check {
+                    self.discard_corrupt(now, f.src, f.dst, vi, ack);
+                    return;
+                }
+                // The ack acknowledges the reverse flow (dst -> src data).
+                self.apply_ack(rl, now, (f.dst, f.src, vi), ack);
+            }
+            LinkCtl::Data { seq, ack, check } => {
+                if frame_check(f.src, f.dst, vi, f.flits, Some(seq), ack, f.payload.as_ref()) != check {
+                    // Corrupted in transit: discard; the sender's timeout
+                    // will retransmit.
+                    self.discard_corrupt(now, f.src, f.dst, vi, seq);
+                    return;
+                }
+                if ack > 0 {
+                    self.apply_ack(rl, now, (f.dst, f.src, vi), ack);
+                }
+                let key: FlowKey = (f.src, f.dst, vi);
+                let verdict = rl.recv_flows.entry(key).or_insert_with(RecvFlow::new).on_data(seq);
+                // Fresh or duplicate, an ack is owed: a duplicate usually
+                // means the sender missed our previous ack.
+                rl.mark_owed(key, now);
+                match verdict {
+                    RecvVerdict::Duplicate => {
+                        self.stats.inc("link_dup_squashed");
+                        self.tracer.record(
+                            now,
+                            TraceEvent::LinkDupSquashed { src: f.src.0, dst: f.dst.0, vnet: vi as u8, seq },
+                        );
+                    }
+                    RecvVerdict::Fresh => {
+                        self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
+                        self.arrived[f.dst.index()].push_back(f);
+                    }
+                }
+            }
+        }
     }
 
-    #[test]
-    fn chaos_signal_gates_directed_stall() {
-        let mut m = mk(0);
-        m.set_chaos(Some(ChaosEngine::new(ChaosPlan::lockdown_vnet_stall(2), 1)));
-        assert!(m.chaos_wants_signal());
-        // Signal low: normal latency.
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 1, payload: 1 });
-        let (_, when) = run_until_delivered(&mut m, NodeId(1), 0, 1_000);
-        assert_eq!(when, 7);
-        // Signal high: +300 on the response vnet.
-        m.set_chaos_signal(true);
-        m.send(100, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Response, flits: 1, payload: 2 });
-        let (_, when) = run_until_delivered(&mut m, NodeId(1), 100, 1_000);
-        assert_eq!(when, 407);
+    fn discard_corrupt(&mut self, now: Cycle, src: NodeId, dst: NodeId, vi: usize, seq: u64) {
+        self.stats.inc("link_corrupt_dropped");
+        self.tracer.record(
+            now,
+            TraceEvent::LinkDrop { src: src.0, dst: dst.0, vnet: vi as u8, seq, corrupt: true },
+        );
     }
 
-    #[test]
-    fn in_flight_summary_reports_traversing_messages() {
-        let mut m = mk(0);
-        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Forward, flits: 1, payload: 1 });
-        m.tick(0);
-        let s = m.in_flight_summary(10);
-        assert_eq!(s, vec![(0, 15, 1, 10)]);
+    /// Apply a cumulative ack and refill the freed window from `pending`.
+    fn apply_ack(&mut self, rl: &mut ReliableLink<T>, now: Cycle, key: FlowKey, ack: u64) {
+        for retx in rl.apply_ack(key, ack) {
+            if retx > 0 {
+                self.stats.record("link_retx_count", retx as u64);
+            }
+        }
+        loop {
+            let Some(sf) = rl.send_flows.get_mut(&key) else { return };
+            if sf.unacked.len() >= rl.cfg.window {
+                return;
+            }
+            let Some(p) = sf.pending.pop_front() else { return };
+            self.transmit_data(rl, now, key, p.payload, p.flits, p.seq, p.queued_at);
+        }
+    }
+
+    /// Once-per-tick ARQ upkeep: retransmit timed-out window heads and
+    /// emit standalone acks for flows whose reverse direction went idle.
+    fn link_maintenance(&mut self, rl: &mut ReliableLink<T>, now: Cycle) {
+        // Retransmission: only the oldest unacked frame per flow (its
+        // loss is what blocks the cumulative frontier), with exponential
+        // backoff capped at rto_max. Retransmits ride a sideband (no
+        // link_busy/jitter/chaos interaction) so a fault-free run's rng
+        // stream and schedule stay untouched by the sublayer's existence.
+        let rto_max = rl.cfg.rto_max;
+        let keys: Vec<FlowKey> = rl.send_flows.keys().copied().collect();
+        for key in keys {
+            let Some(sf) = rl.send_flows.get_mut(&key) else { continue };
+            let Some(head) = sf.unacked.front_mut() else { continue };
+            if now.saturating_sub(head.last_sent) < head.rto {
+                continue;
+            }
+            head.last_sent = now;
+            head.rto = head.rto.saturating_mul(2).min(rto_max);
+            head.retx += 1;
+            let (payload, flits, seq, first_sent, attempt) =
+                (head.payload.clone(), head.flits, head.seq, head.first_sent, head.retx);
+            let (src, dst, vi) = key;
+            self.stats.inc("link_retx");
+            self.stats.record("link_retx_cycles", now.saturating_sub(first_sent));
+            self.tracer.record(
+                now,
+                TraceEvent::LinkRetx { src: src.0, dst: dst.0, vnet: vi as u8, seq, attempt },
+            );
+            let ack = rl.take_piggyback_ack((dst, src, vi));
+            let check = frame_check(src, dst, vi, flits, Some(seq), ack, Some(&payload));
+            let hops = self.hops(src, dst);
+            self.in_flight.push(Flight {
+                src,
+                dst,
+                vnet: VNet::ALL[vi],
+                flits,
+                payload: Some(payload),
+                link: Some(Box::new(LinkCtl::Data { seq, ack, check })),
+                hops_left: hops,
+                ready_at: now + 1,
+                flow_seq: seq,
+                sent_at: first_sent,
+            });
+        }
+
+        // Standalone acks: when the reverse direction has been silent for
+        // ack_idle cycles, pay one control flit to unblock the sender.
+        if rl.owed_count == 0 {
+            return;
+        }
+        let ack_idle = rl.cfg.ack_idle;
+        let mut due: Vec<(FlowKey, u64)> = Vec::new();
+        let ReliableLink { recv_flows, owed_count, .. } = rl;
+        for (key, r) in recv_flows.iter_mut() {
+            if let Some(since) = r.owed_since {
+                if now.saturating_sub(since) >= ack_idle {
+                    r.owed_since = None;
+                    *owed_count -= 1;
+                    due.push((*key, r.next_expected));
+                }
+            }
+        }
+        for ((src, dst, vi), ack) in due {
+            // The ack travels the reverse direction of the data flow.
+            self.stats.inc("link_acks");
+            let check = frame_check::<T>(dst, src, vi, 1, None, ack, None);
+            let hops = self.hops(dst, src);
+            self.in_flight.push(Flight {
+                src: dst,
+                dst: src,
+                vnet: VNet::ALL[vi],
+                flits: 1,
+                payload: None,
+                link: Some(Box::new(LinkCtl::Ack { ack, check })),
+                hops_left: hops,
+                ready_at: now + 1,
+                flow_seq: 0,
+                sent_at: now,
+            });
+        }
     }
 }

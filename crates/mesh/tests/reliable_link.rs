@@ -1,0 +1,195 @@
+//! Reliable-delivery sublayer under injected link faults: drops are
+//! retransmitted, duplicates squashed, corruptions detected, and the
+//! protocol-visible contract (exactly-once, per-flow FIFO) holds.
+
+use wb_kernel::config::LinkConfig;
+use wb_kernel::fault::{FaultEffect, FaultEngine, FaultPlan, HopFate};
+use wb_kernel::chaos::FlowMatch;
+use wb_kernel::{NodeId, TraceEvent};
+use wb_mesh::{Mesh, MeshMsg, VNet};
+
+fn reliable_mesh(seed: u64, plan: FaultPlan) -> Mesh<u32> {
+    let mut m = Mesh::new(4, 4, 16, 6, 0, seed);
+    m.enable_reliable(LinkConfig::default());
+    m.set_fault(Some(FaultEngine::new(plan, seed)));
+    m
+}
+
+/// Drive until idle (or the cycle limit), draining every node each
+/// cycle; returns the delivered payloads per destination in drain order.
+fn run_to_idle(m: &mut Mesh<u32>, limit: u64) -> Vec<Vec<u32>> {
+    let mut got: Vec<Vec<u32>> = (0..16).map(|_| Vec::new()).collect();
+    for now in 0..limit {
+        m.tick(now);
+        for n in 0..16u16 {
+            got[n as usize].extend(m.drain_arrived(NodeId(n)).into_iter().map(|ms| ms.payload));
+        }
+        if m.is_idle() {
+            return got;
+        }
+    }
+    panic!("mesh failed to go idle within {limit} cycles: {} in flight", m.in_flight());
+}
+
+#[test]
+fn no_fault_reliable_run_delivers_in_order_and_settles() {
+    let mut m = reliable_mesh(3, FaultPlan::none());
+    for p in 0..25u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(1), dst: NodeId(14), vnet: VNet::Request, flits: 1, payload: p });
+    }
+    let got = run_to_idle(&mut m, 50_000);
+    assert_eq!(got[14], (0..25).collect::<Vec<_>>());
+    assert_eq!(m.fault_injected(), (0, 0, 0));
+    assert_eq!(m.stats().get("link_retx"), 0, "nothing lost, nothing to retransmit");
+    assert!(m.stats().get("link_acks") > 0, "flows must still be acked to settle");
+}
+
+#[test]
+fn drops_are_retransmitted_exactly_once_fifo() {
+    let mut m = reliable_mesh(7, FaultPlan::drop_everywhere(1, 10));
+    for p in 0..40u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 5, payload: p });
+    }
+    let got = run_to_idle(&mut m, 2_000_000);
+    assert_eq!(got[15], (0..40).collect::<Vec<_>>(), "exactly once, in order");
+    let (dropped, _, _) = m.fault_injected();
+    assert!(dropped > 0, "1/10 drop never fired over 40 x 6-hop messages");
+    // Not every drop forces its own retransmission (a dropped standalone
+    // ack can be covered by a later cumulative ack), but recovery from
+    // data loss always needs at least one.
+    assert!(m.stats().get("link_retx") > 0, "lost data frames must be retransmitted");
+    let retx_hist = m.stats().hist("link_retx_cycles").expect("retx latency hist");
+    assert!(retx_hist.count() > 0);
+    let count_hist = m.stats().hist("link_retx_count").expect("retx count hist");
+    assert!(count_hist.count() > 0);
+}
+
+#[test]
+fn duplicates_are_squashed() {
+    let mut m = reliable_mesh(11, FaultPlan::duplicate_storm());
+    for p in 0..30u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(2), dst: NodeId(13), vnet: VNet::Forward, flits: 1, payload: p });
+    }
+    let got = run_to_idle(&mut m, 2_000_000);
+    assert_eq!(got[13], (0..30).collect::<Vec<_>>(), "duplicates must not surface");
+    let (_, duplicated, _) = m.fault_injected();
+    assert!(duplicated > 0, "1/5 duplication never fired");
+    assert!(m.stats().get("link_dup_squashed") > 0);
+}
+
+#[test]
+fn corruption_is_detected_and_recovered() {
+    let mut m = reliable_mesh(5, FaultPlan::corrupt_everywhere());
+    for p in 0..30u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(3), dst: NodeId(12), vnet: VNet::Response, flits: 5, payload: p });
+    }
+    let got = run_to_idle(&mut m, 2_000_000);
+    assert_eq!(got[12], (0..30).collect::<Vec<_>>());
+    let (_, _, corrupted) = m.fault_injected();
+    assert!(corrupted > 0, "1/10 corruption never fired");
+    // Injection counts per-hop events; a frame corrupted at two hops is
+    // discarded once. Every corrupted frame must be caught, never more.
+    assert!(m.stats().get("link_corrupt_dropped") > 0, "no corruption was ever caught");
+    assert!(
+        m.stats().get("link_corrupt_dropped") <= m.stats().get("link_corrupt_injected"),
+        "more discards than injected corruptions"
+    );
+}
+
+#[test]
+fn window_backpressure_queues_and_eventually_delivers() {
+    let mut m = Mesh::new(4, 4, 16, 6, 0, 9);
+    m.enable_reliable(LinkConfig { window: 4, rto_min: 64, rto_max: 1024, ack_idle: 8 });
+    m.set_fault(Some(FaultEngine::new(FaultPlan::drop_everywhere(1, 5), 9)));
+    // Burst far beyond the 4-frame window in one cycle.
+    for p in 0..50u32 {
+        m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
+    }
+    assert!(m.stats().get("link_backpressure_msgs") >= 46, "window 4 must queue the rest");
+    let got = run_to_idle(&mut m, 2_000_000);
+    assert_eq!(got[15], (0..50).collect::<Vec<_>>());
+}
+
+#[test]
+fn mixed_misery_across_all_pairs_stays_exactly_once() {
+    let mut m = reliable_mesh(21, FaultPlan::mixed_misery());
+    let mut expected: Vec<Vec<u32>> = (0..16).map(|_| Vec::new()).collect();
+    for p in 0..120u32 {
+        let src = NodeId((p % 16) as u16);
+        let dst = NodeId((p.wrapping_mul(7) % 16) as u16);
+        let vnet = VNet::ALL[(p % 3) as usize];
+        m.send(p as u64, MeshMsg { src, dst, vnet, flits: 1 + 4 * (p % 2), payload: p });
+        expected[dst.index()].push(p);
+    }
+    let got = run_to_idle(&mut m, 4_000_000);
+    for n in 0..16 {
+        let mut g = got[n].clone();
+        let mut e = expected[n].clone();
+        g.sort_unstable();
+        e.sort_unstable();
+        assert_eq!(g, e, "node {n}: lost or duplicated messages");
+    }
+}
+
+#[test]
+fn link_trace_events_are_recorded() {
+    let mut m = reliable_mesh(13, FaultPlan::mixed_misery());
+    m.set_trace(wb_kernel::TraceFilter::all());
+    for p in 0..60u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
+    }
+    let _ = run_to_idle(&mut m, 2_000_000);
+    let (mut drops, mut retxs, mut squashes) = (0, 0, 0);
+    for r in m.tracer().records() {
+        match r.event {
+            TraceEvent::LinkDrop { .. } => drops += 1,
+            TraceEvent::LinkRetx { .. } => retxs += 1,
+            TraceEvent::LinkDupSquashed { .. } => squashes += 1,
+            _ => {}
+        }
+    }
+    assert!(drops > 0, "LinkDrop events missing");
+    assert!(retxs > 0, "LinkRetx events missing");
+    assert!(squashes > 0, "LinkDupSquashed events missing");
+}
+
+#[test]
+fn lossy_single_link_only_hits_that_flow() {
+    let mut m = reliable_mesh(17, FaultPlan::lossy_link(0, 15));
+    for p in 0..20u32 {
+        m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
+        m.send(p as u64, MeshMsg { src: NodeId(5), dst: NodeId(6), vnet: VNet::Request, flits: 1, payload: 1000 + p });
+    }
+    let got = run_to_idle(&mut m, 2_000_000);
+    assert_eq!(got[15], (0..20).collect::<Vec<_>>());
+    assert_eq!(got[6], (1000..1020).collect::<Vec<_>>());
+    let (dropped, _, _) = m.fault_injected();
+    assert!(dropped > 0);
+}
+
+#[test]
+fn hop_fate_clean_for_unmatched_plan() {
+    // FaultPlan matchers are exercised end-to-end above; sanity-check
+    // the plan surface the mesh consumes.
+    let mut e = FaultEngine::new(
+        FaultPlan::one("req-only", FlowMatch { src: None, dst: None, touching: None, vnet: Some(1) }, FaultEffect::Drop { num: 1, den: 1 }),
+        1,
+    );
+    assert_eq!(e.at_hop(0, 1, 0), HopFate::CLEAN);
+    assert!(e.at_hop(0, 1, 1).drop);
+}
+
+#[test]
+#[should_panic(expected = "requires the reliable link layer")]
+fn fault_without_reliable_panics() {
+    let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
+    m.set_fault(Some(FaultEngine::new(FaultPlan::mixed_misery(), 1)));
+}
+
+#[test]
+#[should_panic(expected = "must precede all traffic")]
+fn enable_reliable_after_traffic_panics() {
+    let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
+    m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 1 });
+    m.enable_reliable(LinkConfig::default());
+}

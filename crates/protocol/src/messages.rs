@@ -41,7 +41,8 @@ impl Dest {
 }
 
 /// Why a read was issued — governs whether the reply may be cached.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` so the mesh's reliable sublayer can checksum frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReadKind {
     /// Normal cacheable read (GetS).
     Cacheable,
@@ -53,7 +54,8 @@ pub enum ReadKind {
 }
 
 /// A coherence protocol message.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `Hash` so the mesh's reliable sublayer can checksum frames.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum ProtoMsg {
     // ------------------------------------------------------ requests (vnet0)
     /// Read request for a line.

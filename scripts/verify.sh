@@ -28,6 +28,14 @@ if grep -rn --include='*.rs' -E '\b(panic|unreachable)!' crates/protocol/src \
     exit 1
 fi
 
+# Lossy-interconnect discipline: the mesh sits under a fault injector,
+# so unwrap/expect there turns an injected fault into a process abort.
+# All mesh error paths must be explicit (discard + stat + trace).
+if grep -rn --include='*.rs' -E '\.unwrap\(\)|\.expect\(' crates/mesh/src; then
+    echo "ERROR: unwrap()/expect() in crates/mesh/src (mesh code must degrade gracefully under injected faults)" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -58,4 +66,11 @@ test -s "$tracedir/trace.json"
 cargo run -q --release --offline -p wb-examples --bin chaos_lab \
     | grep -q 'chaos lab: all scenarios OK'
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos smoke tests)"
+# Fault smoke test: the full fault matrix (drops, dups, corruption,
+# mixed misery), combined chaos+fault cells, and the loss-rate sweep up
+# to 10% drop must all drain TSO-green (fault_lab asserts all of this
+# internally and prints one OK line per scenario).
+cargo run -q --release --offline -p wb-examples --bin fault_lab \
+    | grep -q 'fault lab: all scenarios OK'
+
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault smoke tests)"
