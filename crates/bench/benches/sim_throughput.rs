@@ -1,0 +1,177 @@
+//! Simulator throughput: dense ticking vs the event-driven
+//! cycle-skipping engine, and serial vs parallel sweep execution.
+//!
+//! Emits `BENCH_sim_throughput.json`. Three families of entries:
+//!
+//! - `engine/<cell>/<dense|skip>` — wall-clock per full run of one
+//!   cell under each engine, with the run's merged counters (including
+//!   a synthetic `sim_cycles` = final cycle) attached, so simulated
+//!   cycles per wall-second and the dense/skip speedup fall out of the
+//!   JSON. Both engines are cycle-exact (pinned by the
+//!   `engine_equivalence` integration suite), so the speedup is free.
+//! - `sweep/fault_matrix/<n>threads` — the fault-torture matrix (every
+//!   standard fault plan on the paper's WritersBlock OoO configuration)
+//!   on 1 vs 4 worker threads through `wb_bench::sweep`.
+//!
+//! The quiescence-heavy cells are RTO-bound fault runs: lossy links
+//! with a 12000-cycle retransmission timeout park the whole machine on
+//! future deadlines, exactly the shape dense ticking wastes cycles on.
+//! `fft16` is the busy-dominated control (barrier spins hit in cache
+//! every cycle — nothing to skip, so it measures probe overhead).
+
+use wb_bench::{sweep, BenchGroup, RUN_BUDGET};
+use wb_isa::{AluOp, Program, Reg, Workload};
+use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
+use wb_kernel::fault::FaultPlan;
+use wb_kernel::{SimRng, Stats};
+use wb_workloads::{splash, Scale};
+use writersblock::System;
+
+/// The torture random-program recipe (globally unique store values).
+fn random_program(core: usize, rng: &mut SimRng, ops: usize, lines: &[u64]) -> Program {
+    let mut p = Program::builder();
+    let (addr_reg, val_reg, dst) = (Reg(1), Reg(2), Reg(3));
+    let mut k: u64 = 1;
+    for _ in 0..ops {
+        let a = *rng.choose(lines).expect("non-empty");
+        let word = rng.below(8) * 8;
+        p.imm(addr_reg, a + word);
+        match rng.below(10) {
+            0..=4 => {
+                p.load(dst, addr_reg, 0);
+            }
+            5..=8 => {
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.store(val_reg, addr_reg, 0);
+            }
+            _ => {
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.amo_swap(dst, addr_reg, 0, val_reg);
+            }
+        }
+        if rng.chance(1, 4) {
+            p.alui(AluOp::Add, Reg(4), Reg(4), 1);
+        }
+    }
+    p.halt();
+    p.build()
+}
+
+fn torture_workload(cores: usize, seed: u64, ops: usize) -> Workload {
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    let mut rng = SimRng::new(seed);
+    let programs = (0..cores).map(|c| random_program(c, &mut rng, ops, &lines)).collect();
+    Workload::new(format!("torture-{seed}"), programs)
+}
+
+/// Run `w` on `cfg` under `engine`; returns merged counters plus two
+/// synthetic ones for throughput math: `sim_cycles` (final cycle) and
+/// `engine_skipped_cycles` (cycles fast-forwarded, 0 under dense).
+fn run_engine(engine: EngineMode, cfg: &SystemConfig, w: &Workload) -> Stats {
+    let mut sys = System::new(cfg.clone().with_engine(engine), w);
+    let out = sys.run(RUN_BUDGET);
+    assert!(out.is_done(), "{}: {out}", w.name);
+    let mut stats = sys.report().stats;
+    stats.add("sim_cycles", sys.now());
+    stats.add("engine_skipped_cycles", sys.skipped_cycles());
+    stats
+}
+
+/// An RTO-bound cell: lossy links with a long fixed retransmission
+/// timeout, so most of the simulated time is the machine parked on a
+/// retransmission deadline. Cycle-exactness of exactly these cells is
+/// pinned by `engine_equivalence::rto_bound_bench_cells_are_cycle_exact`.
+fn rto_bound_cfg(protocol: ProtocolKind, mode: CommitMode, drop_1_in: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(4)
+        .with_commit(mode)
+        .with_protocol(protocol)
+        .with_seed(7)
+        .with_jitter(25)
+        .with_fault(FaultPlan::drop_everywhere(1, drop_1_in))
+        .without_event_log();
+    cfg.network.link.rto_min = 12_000;
+    cfg.network.link.rto_max = 12_000;
+    cfg
+}
+
+fn bench_engines(g: &mut BenchGroup) {
+    g.sample_size(10);
+    let torture = torture_workload(4, 7, 30);
+    let fft16 = splash::fft(16, Scale::Test);
+    let cells: Vec<(&str, SystemConfig, &Workload)> = vec![
+        // Headline: nothing polls while parked, so nearly every parked
+        // cycle is skippable.
+        ("rto_bound_mesi", rto_bound_cfg(ProtocolKind::BaseMesi, CommitMode::InOrder, 6), &torture),
+        // The paper configuration under the same faults: SoS retry
+        // polling keeps cores active through part of each RTO window,
+        // so the win is smaller — skipping never skips observable work.
+        (
+            "rto_bound_wb",
+            rto_bound_cfg(ProtocolKind::WritersBlock, CommitMode::OutOfOrderWb, 10),
+            &torture,
+        ),
+        // Busy-dominated control: barrier spins hit in cache every
+        // cycle, so there is almost nothing to skip and the probe
+        // throttle must hold overhead near zero.
+        (
+            "fft16",
+            SystemConfig::new(CoreClass::Hsw).with_commit(CommitMode::OutOfOrderWb).without_event_log(),
+            &fft16,
+        ),
+    ];
+    for (name, cfg, w) in &cells {
+        for (label, engine) in [("dense", EngineMode::Dense), ("skip", EngineMode::Skip)] {
+            g.bench_with_stats(&format!("engine/{name}/{label}"), || run_engine(engine, cfg, w));
+        }
+    }
+}
+
+/// The full fault-plan matrix on the paper's configuration, as one
+/// sweep: serial baseline vs 4 worker threads. Results are asserted
+/// identical, so the scaling number comes with a determinism proof.
+fn bench_sweep_scaling(g: &mut BenchGroup) {
+    g.sample_size(5);
+    let jobs: Vec<(FaultPlan, u64)> = FaultPlan::matrix()
+        .into_iter()
+        .flat_map(|p| (0..4u64).map(move |s| (p.clone(), s)))
+        .collect();
+    let run_cell = |(plan, seed): (FaultPlan, u64)| -> u64 {
+        let w = torture_workload(4, 7 + seed, 20);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_protocol(ProtocolKind::WritersBlock)
+            .with_seed(7 + seed)
+            .with_jitter(25)
+            .with_fault(plan)
+            .with_engine(EngineMode::Skip)
+            .without_event_log();
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(RUN_BUDGET);
+        assert!(out.is_done(), "{out}");
+        sys.now()
+    };
+    let mut outputs: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 4] {
+        g.bench(&format!("sweep/fault_matrix/{threads}threads"), || {
+            let r = sweep::run_on(threads, jobs.clone(), run_cell);
+            outputs.push(r.clone());
+            r
+        });
+    }
+    let first = &outputs[0];
+    assert!(
+        outputs.iter().all(|o| o == first),
+        "sweep output depends on thread count — determinism broken"
+    );
+}
+
+fn main() {
+    let mut g = BenchGroup::new("sim_throughput");
+    bench_engines(&mut g);
+    bench_sweep_scaling(&mut g);
+    g.finish();
+}

@@ -6,7 +6,7 @@
 //! and HSW-class cores (bigger LQs hold more lockdowns, so rates grow
 //! with core aggressiveness — but stay well below 1 per kilo-op).
 
-use wb_bench::{eval_config, render_table, run_one};
+use wb_bench::{eval_config, render_table, run_one, sweep};
 use wb_kernel::config::{CommitMode, CoreClass};
 use wb_workloads::{suite, Scale};
 
@@ -23,7 +23,7 @@ fn main() {
         .flat_map(|w| CoreClass::ALL.into_iter().map(move |c| (w.clone(), c)))
         .collect();
     let results =
-        wb_bench::par_map(jobs, |(w, class)| run_one(&w, eval_config(class, CommitMode::OutOfOrderWb, false)));
+        sweep::run(jobs, |(w, class)| run_one(&w, eval_config(class, CommitMode::OutOfOrderWb, false)));
     for chunk in results.chunks(CoreClass::ALL.len()) {
         let mut blocked = Vec::new();
         let mut tearoff = Vec::new();

@@ -5,10 +5,11 @@
 //! text-rendering machinery they share. See DESIGN.md for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod sweep;
 pub mod timing;
 
 use wb_isa::Workload;
-use wb_kernel::config::{CommitMode, CoreClass, ProtocolKind, SystemConfig};
+use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
 use writersblock::{Report, RunOutcome, System};
 
 pub use timing::{BenchGroup, BenchResult};
@@ -30,7 +31,13 @@ pub struct RunResult {
 /// given commit mode (protocol inferred: WritersBlock for the relaxed
 /// mode and for in-order/OoO when `wb_protocol` is set).
 pub fn eval_config(class: CoreClass, commit: CommitMode, wb_protocol: bool) -> SystemConfig {
-    let mut cfg = SystemConfig::new(class).with_commit(commit).without_event_log();
+    // Evaluation sweeps run on the cycle-skipping engine: cycle-exact
+    // by construction (see DESIGN.md "Performance engineering") and
+    // much faster through barriers and other quiescent phases.
+    let mut cfg = SystemConfig::new(class)
+        .with_commit(commit)
+        .with_engine(EngineMode::Skip)
+        .without_event_log();
     if wb_protocol {
         cfg = cfg.with_protocol(ProtocolKind::WritersBlock);
     }
@@ -83,26 +90,9 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[(String, Vec<String>)
 }
 
 /// Run `f` over `items` on all available cores, preserving order.
-/// Each simulation is single-threaded and deterministic, so sweeps are
-/// embarrassingly parallel.
+/// Thin alias for [`sweep::run`], kept for existing call sites.
 pub fn par_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
-    let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let work: std::sync::Mutex<std::collections::VecDeque<(usize, T)>> =
-        std::sync::Mutex::new(items.into_iter().enumerate().collect());
-    let results: std::sync::Mutex<Vec<(usize, R)>> = std::sync::Mutex::new(Vec::new());
-    std::thread::scope(|scope| {
-        for _ in 0..n {
-            scope.spawn(|| loop {
-                let job = work.lock().expect("work queue").pop_front();
-                let Some((i, item)) = job else { break };
-                let r = f(item);
-                results.lock().expect("results").push((i, r));
-            });
-        }
-    });
-    let mut out = results.into_inner().expect("results");
-    out.sort_by_key(|(i, _)| *i);
-    out.into_iter().map(|(_, r)| r).collect()
+    sweep::run(items, f)
 }
 
 /// Geometric mean of a slice (1.0 for empty input).

@@ -5,11 +5,11 @@ use std::collections::VecDeque;
 use wb_cpu::Core;
 use wb_isa::{Reg, Workload};
 use wb_kernel::chaos::ChaosEngine;
-use wb_kernel::config::SystemConfig;
+use wb_kernel::config::{EngineMode, SystemConfig};
 use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
-use wb_kernel::{Cycle, NodeId};
+use wb_kernel::{Cycle, NodeId, Stats};
 use wb_mem::Addr;
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
@@ -86,6 +86,22 @@ pub struct System {
     /// The installed chaos plan has a directed `StallWhileSignal`
     /// clause, so `tick` must push the lockdown-live signal each cycle.
     chaos_wants_signal: bool,
+    /// Scratch buffers reused across `tick` calls so the per-cycle hot
+    /// path performs no allocation once warm.
+    scratch_arrivals: Vec<MeshMsg<(Dest, ProtoMsg)>>,
+    scratch_outbox: Vec<(Dest, ProtoMsg)>,
+    /// Cycles fast-forwarded and windows taken by the skip engine.
+    /// Engine diagnostics only — deliberately NOT part of [`Report`]
+    /// stats, which must be byte-identical across engine modes.
+    skipped_cycles: u64,
+    skip_windows: u64,
+    /// Adaptive probe throttle: after a failed quiescence probe the
+    /// next one waits `probe_stride` cycles (doubling up to
+    /// [`Self::MAX_PROBE_STRIDE`]), so busy phases pay almost nothing
+    /// for the skip engine. Not probing a cycle just means ticking it
+    /// densely — exactness never depends on the throttle.
+    probe_stride: u64,
+    next_probe_at: Cycle,
 }
 
 impl std::fmt::Debug for System {
@@ -155,8 +171,31 @@ impl System {
             tracer: Tracer::new(CompId::System),
             sink: TraceSink::default(),
             chaos_wants_signal,
+            scratch_arrivals: Vec::new(),
+            scratch_outbox: Vec::new(),
+            skipped_cycles: 0,
+            skip_windows: 0,
+            probe_stride: 1,
+            next_probe_at: 0,
             cfg,
         }
+    }
+
+    /// Ceiling for the adaptive probe throttle. Worst case a quiescent
+    /// window starts this many cycles late — negligible against the
+    /// multi-thousand-cycle windows skipping exists for.
+    const MAX_PROBE_STRIDE: u64 = 32;
+
+    /// Cycles the engine fast-forwarded instead of ticking (0 in dense
+    /// mode). Diagnostic: not part of [`Report`] stats, which stay
+    /// byte-identical across engine modes.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Number of quiescent windows the engine jumped over.
+    pub fn skip_windows(&self) -> u64 {
+        self.skip_windows
     }
 
     /// Emit every delivered protocol message touching `line` through the
@@ -200,12 +239,18 @@ impl System {
     /// cores, caches, directories, mesh), so the result is
     /// deterministic for a deterministic simulation.
     pub fn collect_trace(&self) -> Vec<Record> {
+        trace::merge_records(self.trace_sources())
+    }
+
+    /// Every component's tracer in the fixed merge order (system glue,
+    /// cores, caches, directories, mesh).
+    fn trace_sources(&self) -> Vec<&Tracer> {
         let mut sources: Vec<&Tracer> = vec![&self.tracer];
         sources.extend(self.cores.iter().map(|c| c.tracer()));
         sources.extend(self.caches.iter().map(|c| c.tracer()));
         sources.extend(self.dirs.iter().map(|d| d.tracer()));
         sources.push(self.mesh.tracer());
-        trace::merge_records(sources)
+        sources
     }
 
     /// Chrome trace-event JSON of everything recorded so far — loads
@@ -217,11 +262,12 @@ impl System {
     /// Emit the last `n` recorded events touching cache line `line`
     /// (every event when `line` is `None`) through the trace sink.
     pub fn dump_trace_for_line(&mut self, line: Option<u64>, n: usize) {
-        let all = self.collect_trace();
-        let matching: Vec<&Record> = all
-            .iter()
-            .filter(|r| line.is_none() || r.event.line() == line)
-            .collect();
+        // Filter while merging: re-sorting every recorded event just to
+        // print the last few matching ones is wasted work on big traces.
+        let matching =
+            trace::merge_records_where(self.trace_sources(), |r| {
+                line.is_none() || r.event.line() == line
+            });
         for r in &matching[matching.len().saturating_sub(n)..] {
             self.sink.emit(&r.to_string());
         }
@@ -246,7 +292,9 @@ impl System {
         }
         // 1. Deliver mesh arrivals to caches / directory banks.
         for i in 0..n {
-            for m in self.mesh.drain_arrived(NodeId(i as u16)) {
+            self.scratch_arrivals.clear();
+            self.mesh.drain_arrived_into(NodeId(i as u16), &mut self.scratch_arrivals);
+            for m in self.scratch_arrivals.drain(..) {
                 let (dest, msg) = m.payload;
                 if self.trace_line == Some(msg.line()) {
                     self.sink.emit(&format!(
@@ -286,15 +334,16 @@ impl System {
             (self.cfg.network.data_flits, self.cfg.network.control_flits);
         for i in 0..n {
             let from = NodeId(i as u16);
-            // Cache and directory outboxes are kept apart so the trace
-            // records which component sent each message.
-            let cache_out = self.caches[i].drain_outbox();
-            let dir_out = self.dirs[i].drain_outbox();
-            let out = cache_out
-                .into_iter()
-                .map(|m| (CompId::Cache(i as u16), m))
-                .chain(dir_out.into_iter().map(|m| (CompId::Dir(i as u16), m)));
-            for (sender, (dest, msg)) in out {
+            // Cache messages precede directory messages so the trace
+            // records which component sent each message (the first
+            // `cache_n` entries of the scratch buffer are the cache's).
+            self.scratch_outbox.clear();
+            self.caches[i].drain_outbox_into(&mut self.scratch_outbox);
+            let cache_n = self.scratch_outbox.len();
+            self.dirs[i].drain_outbox_into(&mut self.scratch_outbox);
+            for (k, (dest, msg)) in self.scratch_outbox.drain(..).enumerate() {
+                let sender =
+                    if k < cache_n { CompId::Cache(i as u16) } else { CompId::Dir(i as u16) };
                 let flits = msg.flits(data_flits, ctrl_flits);
                 if self.tracer.wants(Category::Protocol) {
                     self.tracer.record(
@@ -354,10 +403,25 @@ impl System {
         let mut drained_since: Option<Cycle> = None;
         let mut snaps: VecDeque<(Cycle, u64)> = VecDeque::with_capacity(SNAPS_KEPT + 1);
         snaps.push_back((self.now, self.retry_activity()));
-        let deadline = self.now + max_cycles;
+        let deadline = self.now.saturating_add(max_cycles);
+        let skipping = self.cfg.engine != EngineMode::Dense;
         while self.now < deadline {
             if self.done() {
                 return RunOutcome::Done;
+            }
+            if skipping {
+                self.try_skip(
+                    &progress,
+                    &mut drained_since,
+                    stall_window,
+                    deadline,
+                    &mut snaps,
+                    SNAP_EVERY_MASK,
+                    SNAPS_KEPT,
+                );
+                if self.now >= deadline {
+                    break;
+                }
             }
             self.tick();
             if let Some(e) = self.protocol_fault() {
@@ -412,6 +476,202 @@ impl System {
             RunOutcome::Done
         } else {
             RunOutcome::Budget
+        }
+    }
+
+    /// The earliest cycle at which any component can act: `Some(now)`
+    /// when something is actionable this cycle, the minimum future
+    /// event otherwise, `None` when the whole machine is quiescent.
+    /// Between `now` and the returned cycle every `tick` is a no-op
+    /// except for idle-cycle counter upkeep on the cores.
+    fn quiescent_until(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next: Option<Cycle> = None;
+        // Returns true (busy this cycle) to short-circuit the scan:
+        // during active phases the probe must stay cheap, so the
+        // inexpensive checks run first.
+        let mut merge = |e: Option<Cycle>| -> bool {
+            match e {
+                Some(c) if c <= now => true,
+                Some(c) => {
+                    next = Some(next.map_or(c, |n| n.min(c)));
+                    false
+                }
+                None => false,
+            }
+        };
+        for c in &self.caches {
+            if merge(c.next_event(now)) {
+                return Some(now);
+            }
+        }
+        if merge(self.mesh.next_event(now)) {
+            return Some(now);
+        }
+        for d in &self.dirs {
+            if merge(d.next_event(now)) {
+                return Some(now);
+            }
+        }
+        for (c, cache) in self.cores.iter().zip(&self.caches) {
+            if merge(c.next_event(now, cache)) {
+                return Some(now);
+            }
+        }
+        next
+    }
+
+    /// Cycle-skipping fast-forward (`EngineMode::Skip` / `SkipVerify`):
+    /// when no component can act this cycle, jump `now` to the earliest
+    /// next event, bulk-accounting the cores' idle cycles and
+    /// synthesizing the watchdog snapshots dense ticking would have
+    /// taken. The jump is capped at the cycle of the last tick dense
+    /// mode would execute before the watchdog trips (and at `deadline`),
+    /// so wedge and budget outcomes land on exactly the dense cycle.
+    /// `SkipVerify` instead ticks the window densely and asserts the
+    /// inertness claim cycle by cycle.
+    #[allow(clippy::too_many_arguments)]
+    fn try_skip(
+        &mut self,
+        progress: &[(u64, Cycle)],
+        drained_since: &mut Option<Cycle>,
+        stall_window: u64,
+        deadline: Cycle,
+        snaps: &mut VecDeque<(Cycle, u64)>,
+        snap_mask: u64,
+        snaps_kept: usize,
+    ) {
+        if self.now < self.next_probe_at {
+            return;
+        }
+        let wake = self.quiescent_until();
+        if wake == Some(self.now) {
+            // Busy: back off the next probe so active phases pay a
+            // vanishing fraction of a tick for the skip engine.
+            self.probe_stride = (self.probe_stride * 2).min(Self::MAX_PROBE_STRIDE);
+            self.next_probe_at = self.now + self.probe_stride;
+            return;
+        }
+        // Watchdog cap. Dense mode trips when, after the tick at cycle
+        // `c`, `c + 1 - base > stall_window` — so the last tick it runs
+        // is at `base + stall_window`. `base` is the oldest progress
+        // cycle of a non-drained core or, once every core has drained,
+        // the cycle the post-tick check first observed that (which,
+        // during an inert window, is one past the current cycle).
+        let cap_base = if self.cores.iter().all(Core::drained) {
+            *drained_since.get_or_insert(self.now + 1)
+        } else {
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.drained())
+                .map(|(i, _)| progress[i].1)
+                .min()
+                .expect("a non-drained core exists")
+        };
+        let cap = cap_base.saturating_add(stall_window);
+        let target = wake.unwrap_or(Cycle::MAX).min(cap).min(deadline);
+        if target <= self.now {
+            // Quiescent but capped (watchdog / deadline): nothing will
+            // change until progress does, so back off as when busy.
+            self.probe_stride = (self.probe_stride * 2).min(Self::MAX_PROBE_STRIDE);
+            self.next_probe_at = self.now + self.probe_stride;
+            return;
+        }
+        // Additive-increase/multiplicative-decrease in reverse: halve
+        // the stride on success rather than resetting it, so workloads
+        // whose quiescent windows are only a few cycles long (mesh-hop
+        // gaps between busy phases) don't buy them with a full-system
+        // probe every cycle.
+        self.probe_stride = (self.probe_stride / 2).max(1);
+        self.next_probe_at = 0;
+        let start = self.now;
+        let k = target - start;
+        self.skipped_cycles += k;
+        self.skip_windows += 1;
+        match self.cfg.engine {
+            EngineMode::Dense => unreachable!("try_skip is not called in dense mode"),
+            EngineMode::Skip => {
+                for c in &mut self.cores {
+                    c.apply_idle_cycles(k);
+                }
+                self.now = target;
+            }
+            EngineMode::SkipVerify => {
+                // Predict the only state the window may change — idle
+                // counters on the cores — then tick densely and compare.
+                let predicted: Vec<Stats> = self
+                    .cores
+                    .iter()
+                    .map(|c| {
+                        let mut s = c.stats().clone();
+                        for (key, n) in c.idle_stat_deltas(k) {
+                            s.add(key, n);
+                        }
+                        s
+                    })
+                    .collect();
+                let pre_retired: Vec<u64> = self.cores.iter().map(Core::retired).collect();
+                let pre_mesh = self.mesh.stats().clone();
+                let pre_caches: Vec<Stats> =
+                    self.caches.iter().map(|c| c.stats().clone()).collect();
+                let pre_dirs: Vec<Stats> = self.dirs.iter().map(|d| d.stats().clone()).collect();
+                for _ in 0..k {
+                    assert!(
+                        self.quiescent_until().map_or(true, |w| w >= target),
+                        "SkipVerify: an event appeared inside a window declared inert \
+                         ({start}..{target}, at cycle {})",
+                        self.now
+                    );
+                    self.tick();
+                }
+                for (i, c) in self.cores.iter().enumerate() {
+                    assert_eq!(
+                        c.retired(),
+                        pre_retired[i],
+                        "SkipVerify: core {i} retired inside an inert window ({start}..{target})"
+                    );
+                    assert_eq!(
+                        c.stats(),
+                        &predicted[i],
+                        "SkipVerify: core {i} diverged from bulk idle accounting \
+                         over ({start}..{target})"
+                    );
+                }
+                assert_eq!(
+                    self.mesh.stats(),
+                    &pre_mesh,
+                    "SkipVerify: the mesh acted inside an inert window ({start}..{target})"
+                );
+                for (i, c) in self.caches.iter().enumerate() {
+                    assert_eq!(
+                        c.stats(),
+                        &pre_caches[i],
+                        "SkipVerify: cache {i} acted inside an inert window ({start}..{target})"
+                    );
+                }
+                for (i, d) in self.dirs.iter().enumerate() {
+                    assert_eq!(
+                        d.stats(),
+                        &pre_dirs[i],
+                        "SkipVerify: directory {i} acted inside an inert window \
+                         ({start}..{target})"
+                    );
+                }
+            }
+        }
+        // Synthesize the snapshots dense ticking would have taken at the
+        // 8192-cycle boundaries inside the window; retry activity is
+        // constant while every component is inert.
+        let step = snap_mask + 1;
+        let activity = self.retry_activity();
+        let mut b = (start / step + 1) * step;
+        while b <= target {
+            snaps.push_back((b, activity));
+            while snaps.len() > snaps_kept {
+                snaps.pop_front();
+            }
+            b += step;
         }
     }
 

@@ -24,7 +24,7 @@ use crate::predictor::Bimodal;
 use wb_isa::{AmoOp, Inst, Program, Reg};
 use wb_kernel::config::{CommitMode, CoreConfig, ProtocolKind};
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{Cycle, NodeId, Stats};
+use wb_kernel::{CounterHandle, Cycle, NodeId, Stats};
 use wb_mem::{Addr, LineAddr};
 use wb_protocol::{Completion, CoreSide, InvalResponse, LoadAccess, PrivateCache, ReadTag};
 use wb_tso::{ExecutionLog, MemEvent, MemOp};
@@ -136,6 +136,12 @@ pub struct Core {
     /// value delivery (seq -> destination register).
     ecl_pending: Vec<(u64, Option<Reg>)>,
     stats: Stats,
+    /// Pre-resolved counter slots for the per-cycle hot path.
+    h_cycles: CounterHandle,
+    h_stall_rob: CounterHandle,
+    h_stall_lq: CounterHandle,
+    h_stall_sq: CounterHandle,
+    h_stall_other: CounterHandle,
     tracer: Tracer,
     log: ExecutionLog,
     record_events: bool,
@@ -175,6 +181,12 @@ impl Core {
                 "relaxed commit requires the WritersBlock protocol"
             );
         }
+        let mut stats = Stats::new();
+        let h_cycles = stats.handle("core_cycles");
+        let h_stall_rob = stats.handle("core_stall_rob");
+        let h_stall_lq = stats.handle("core_stall_lq");
+        let h_stall_sq = stats.handle("core_stall_sq");
+        let h_stall_other = stats.handle("core_stall_other");
         Core {
             id,
             predictor: Bimodal::new(cfg.predictor_entries),
@@ -193,7 +205,12 @@ impl Core {
             rat: [None; Reg::COUNT],
             prefetch_writes: Vec::new(),
             ecl_pending: Vec::new(),
-            stats: Stats::new(),
+            stats,
+            h_cycles,
+            h_stall_rob,
+            h_stall_lq,
+            h_stall_sq,
+            h_stall_other,
             tracer: Tracer::new(CompId::Core(id.0)),
             log: ExecutionLog::new(),
             record_events,
@@ -354,7 +371,246 @@ impl Core {
         self.issue(now);
         self.dispatch(now);
         self.release_lockdowns(now, cache);
-        self.stats.inc("core_cycles");
+        self.stats.inc_h(self.h_cycles);
+    }
+
+    /// Which Figure 10 stall bucket a no-commit cycle charges, given the
+    /// current structural occupancy. Shared by [`Core::commit`],
+    /// [`Core::apply_idle_cycles`] and [`Core::idle_stat_deltas`] so
+    /// dense and skipped accounting can never drift apart.
+    fn idle_stall_key(&self) -> &'static str {
+        if self.rob.len() >= self.cfg.rob_entries {
+            "core_stall_rob"
+        } else if self.lsq.lq_full() {
+            "core_stall_lq"
+        } else if self.lsq.sq_full() {
+            "core_stall_sq"
+        } else {
+            "core_stall_other"
+        }
+    }
+
+    fn idle_stall_handle(&self) -> CounterHandle {
+        match self.idle_stall_key() {
+            "core_stall_rob" => self.h_stall_rob,
+            "core_stall_lq" => self.h_stall_lq,
+            "core_stall_sq" => self.h_stall_sq,
+            _ => self.h_stall_other,
+        }
+    }
+
+    /// The named counter deltas `k` idle cycles produce — exactly what
+    /// [`Core::apply_idle_cycles`] adds. The `SkipVerify` engine applies
+    /// these to a pre-window snapshot and compares against densely
+    /// ticked reality.
+    pub fn idle_stat_deltas(&self, k: u64) -> Vec<(&'static str, u64)> {
+        let mut v = Vec::new();
+        if k == 0 || self.drained() {
+            return v;
+        }
+        v.push(("core_cycles", k));
+        if !self.halted && (!self.rob.is_empty() || !self.fetch_halted) {
+            v.push((self.idle_stall_key(), k));
+        }
+        v
+    }
+
+    /// Bulk-account `k` cycles in which [`Core::tick`] would have run but
+    /// made no progress: the cycle-skipping engine's equivalent of `k`
+    /// idle dense ticks. The caller must have established (via
+    /// [`Core::next_event`]) that the core is inert across the window, so
+    /// the only observable effect of those ticks is counter upkeep:
+    /// `core_cycles` always advances, and `commit` charges exactly one
+    /// stall bucket per cycle unless the core is halted or sits on an
+    /// empty pipeline with fetch stopped.
+    pub fn apply_idle_cycles(&mut self, k: u64) {
+        if k == 0 || self.drained() {
+            return;
+        }
+        self.stats.add_h(self.h_cycles, k);
+        if !self.halted && (!self.rob.is_empty() || !self.fetch_halted) {
+            let h = self.idle_stall_handle();
+            self.stats.add_h(h, k);
+        }
+    }
+
+    /// Earliest future cycle at which [`Core::tick`] could do observable
+    /// work, or `None` when the core is drained. `Some(now)` means the
+    /// core must be ticked densely this cycle. The check mirrors the tick
+    /// phases one by one; where an action's outcome depends on cache
+    /// state it errs towards `Some(now)` (skipping less is always safe).
+    pub fn next_event(&self, now: Cycle, cache: &PrivateCache) -> Option<Cycle> {
+        if self.drained() {
+            return None;
+        }
+        fn merge(next: &mut Option<Cycle>, c: Cycle) {
+            *next = Some(next.map_or(c, |n| n.min(c)));
+        }
+        // process_completions: anything the cache finished is consumed.
+        if cache.has_completions() {
+            return Some(now);
+        }
+        let mut next: Option<Cycle> = None;
+        // writeback / deliver_ecl_values: performed loads wake at
+        // `wake_at`, functional units at `done_at`. issue(): a WaitOps
+        // entry acts as soon as its operands are ready.
+        for &(seq, _) in &self.ecl_pending {
+            if let Some(e) = self.lsq.load(seq) {
+                if e.performed() {
+                    if e.wake_at <= now {
+                        return Some(now);
+                    }
+                    merge(&mut next, e.wake_at);
+                }
+            }
+        }
+        for e in &self.rob {
+            match e.state {
+                EState::WaitMem if e.is_load() || e.is_amo() => {
+                    if let Some(lq) = self.lsq.load(e.seq) {
+                        if lq.performed() {
+                            if lq.wake_at <= now {
+                                return Some(now);
+                            }
+                            merge(&mut next, lq.wake_at);
+                        }
+                    }
+                }
+                EState::Executing { done_at } => {
+                    if done_at <= now {
+                        return Some(now);
+                    }
+                    merge(&mut next, done_at);
+                }
+                EState::WaitOps => {
+                    let acts = match e.inst {
+                        Inst::Store { .. } => {
+                            (e.ops[0].ready && !e.addr_done)
+                                || (e.ops[1].ready && !e.data_done)
+                        }
+                        Inst::Alu { .. }
+                        | Inst::AluImm { .. }
+                        | Inst::Branch { .. }
+                        | Inst::Load { .. }
+                        | Inst::Amo { .. } => e.ops_ready(),
+                        _ => false,
+                    };
+                    if acts {
+                        return Some(now);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // execute_amo: a head atomic with a drained SB either performs
+        // (line writable) or issues/charges a GetX via ensure_writable —
+        // unless a write MSHR is already outstanding (a true no-op).
+        if let Some(head) = self.rob.first() {
+            if head.is_amo()
+                && head.state == EState::WaitMem
+                && self.lsq.sb_empty()
+                && self
+                    .lsq
+                    .load(head.seq)
+                    .is_some_and(|l| !l.performed() && l.addr.is_some())
+            {
+                let line = self.lsq.load(head.seq).unwrap().addr.unwrap().line();
+                if cache.is_writable(line) || !cache.has_write_mshr(line) {
+                    return Some(now);
+                }
+            }
+        }
+        // commit: replicate the scan exactly (in-order modes stop at the
+        // first non-committable entry).
+        if !self.halted {
+            let oldest_unresolved_branch = self
+                .rob
+                .iter()
+                .filter(|e| e.is_branch() && e.state != EState::Done)
+                .map(|e| e.seq)
+                .min();
+            let oldest_unresolved_store = self.lsq.oldest_unresolved_store();
+            let in_order =
+                matches!(self.cfg.commit_mode, CommitMode::InOrder | CommitMode::InOrderEcl);
+            for idx in 0..self.rob.len().min(self.cfg.commit_depth) {
+                if self.can_commit(idx, idx == 0, oldest_unresolved_branch, oldest_unresolved_store)
+                {
+                    return Some(now);
+                }
+                if in_order {
+                    break;
+                }
+            }
+        }
+        // drain_store_buffer: pending prefetches always act; every SB
+        // line gets an ensure_writable (a no-op only when writable or
+        // already requested); a writable head store performs.
+        if !self.prefetch_writes.is_empty() {
+            return Some(now);
+        }
+        for e in self.lsq.sb_entries() {
+            let line = e.addr.line();
+            if !cache.is_writable(line) && !cache.has_write_mshr(line) {
+                return Some(now);
+            }
+        }
+        if let Some(head) = self.lsq.sb_head() {
+            if cache.is_writable(head.addr.line()) {
+                return Some(now);
+            }
+        }
+        // issue_loads: a Ready load acts unless suppressed (SoS-retry or
+        // owed-ack gating) or store-forwarding says Wait; even a blocked
+        // cache access charges a counter, so any other outcome acts.
+        for e in self.lsq.loads() {
+            if e.is_amo || e.state != LoadState::Ready {
+                continue;
+            }
+            let Some(addr) = e.addr else { continue };
+            let sos = self.lsq.is_sos(e.seq);
+            if e.retry_when_sos && !sos {
+                continue;
+            }
+            if !sos && self.lsq.owes_ack(addr.line()) {
+                continue;
+            }
+            if self.lsq.forward(e.seq, addr) != ForwardResult::Wait {
+                return Some(now);
+            }
+        }
+        // SoS tear-off bypass retries every cycle while the write MSHR
+        // carries a blocked hint.
+        if let Some(sos) = self.lsq.sos_seq() {
+            if let Some(e) = self.lsq.load(sos) {
+                if !e.is_amo && e.state == LoadState::Requested {
+                    if let Some(addr) = e.addr {
+                        if cache.write_blocked(addr.line()) {
+                            return Some(now);
+                        }
+                    }
+                }
+            }
+        }
+        // dispatch: fetches whenever structures have room, possibly
+        // gated by a squash-penalty timer.
+        if !self.fetch_halted && !self.halted {
+            let inst = self.program.fetch(self.pc).unwrap_or(Inst::Halt);
+            let lsq_room = match inst {
+                Inst::Load { .. } | Inst::Amo { .. } => !self.lsq.lq_full(),
+                Inst::Store { .. } => !self.lsq.sq_full(),
+                _ => true,
+            };
+            if self.rob.len() < self.cfg.rob_entries
+                && self.waitops_count() < self.cfg.iq_entries
+                && lsq_room
+            {
+                if now >= self.fetch_stall_until {
+                    return Some(now);
+                }
+                merge(&mut next, self.fetch_stall_until);
+            }
+        }
+        next
     }
 
     // ------------------------------------------------------------------
@@ -684,15 +940,8 @@ impl Core {
         // Figure 10 stall accounting: a cycle in which nothing committed,
         // attributed to the full structure that caused it.
         if committed == 0 && !self.halted && (!self.rob.is_empty() || !self.fetch_halted) {
-            if self.rob.len() >= self.cfg.rob_entries {
-                self.stats.inc("core_stall_rob");
-            } else if self.lsq.lq_full() {
-                self.stats.inc("core_stall_lq");
-            } else if self.lsq.sq_full() {
-                self.stats.inc("core_stall_sq");
-            } else {
-                self.stats.inc("core_stall_other");
-            }
+            let h = self.idle_stall_handle();
+            self.stats.inc_h(h);
         }
     }
 

@@ -303,6 +303,28 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Which simulation engine drives `System::run`.
+///
+/// All three modes are cycle-exact with each other: `Skip` leaps `now`
+/// over provably-inert windows (no component has an event due before
+/// the target cycle) while applying the idle-cycle accounting dense
+/// ticking would have produced, so `RunOutcome`, final `Stats` and the
+/// merged trace are identical. `SkipVerify` takes every skip the skip
+/// engine would take but then *densely ticks through the window
+/// anyway*, asserting that nothing observable happened — the
+/// self-checking mode the equivalence suite leans on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Tick every component on every cycle (the reference engine).
+    #[default]
+    Dense,
+    /// Event-driven: jump `now` to the minimum next-event cycle when no
+    /// component can make progress.
+    Skip,
+    /// Compute each skip, then cross-check it against dense ticking.
+    SkipVerify,
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemConfig {
@@ -332,6 +354,9 @@ pub struct SystemConfig {
     pub fault: Option<crate::fault::FaultPlan>,
     /// Wedge-watchdog thresholds (see [`WatchdogConfig`]).
     pub watchdog: WatchdogConfig,
+    /// Simulation engine (dense reference, event-driven skip, or
+    /// skip-with-dense-cross-check). Cycle-exact either way.
+    pub engine: EngineMode,
 }
 
 impl SystemConfig {
@@ -350,6 +375,7 @@ impl SystemConfig {
             chaos: None,
             fault: None,
             watchdog: WatchdogConfig::default(),
+            engine: EngineMode::Dense,
         }
     }
 
@@ -411,6 +437,12 @@ impl SystemConfig {
     /// the reliable-delivery sublayer).
     pub fn with_fault(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Builder-style: select the simulation engine.
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 

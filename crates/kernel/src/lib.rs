@@ -46,7 +46,7 @@ pub use config::{CommitMode, CoreClass, LinkConfig, ProtocolKind, SystemConfig, 
 pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
 pub use hist::Hist;
 pub use rng::SimRng;
-pub use stats::Stats;
+pub use stats::{CounterHandle, Stats};
 pub use trace::{Category, CompId, Level, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 pub use wedge::{WaitEdge, WaitParty, WedgeClass, WedgeReport};
 

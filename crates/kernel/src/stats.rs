@@ -4,9 +4,22 @@
 //! reads, stall cycles by reason, flits by class, squashes, ...) is
 //! accumulated in a [`Stats`] owned by each component and merged into a
 //! run-level report at the end of simulation.
+//!
+//! Counters live in a flat `Vec<u64>` of slots with a name→slot index
+//! on the side: name-based [`Stats::inc`]/[`Stats::add`] pay one map
+//! probe, while hot paths pre-resolve a [`CounterHandle`] once (at
+//! component construction) and bump the slot directly with
+//! [`Stats::inc_h`]/[`Stats::add_h`] — no probe per event.
 
 use crate::hist::Hist;
 use std::collections::BTreeMap;
+
+/// A pre-resolved counter slot: index into a specific [`Stats`]'
+/// counter vector. Obtain one with [`Stats::handle`] and bump it with
+/// [`Stats::inc_h`]/[`Stats::add_h`]. Handles are only meaningful for
+/// the `Stats` that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
 
 /// Accumulating counters, keyed by a static name.
 ///
@@ -28,9 +41,10 @@ use std::collections::BTreeMap;
 /// s.record("miss_cycles", 120);
 /// assert_eq!(s.hist("miss_cycles").unwrap().count(), 1);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct Stats {
-    counters: BTreeMap<&'static str, u64>,
+    slots: Vec<u64>,
+    index: BTreeMap<&'static str, usize>,
     hists: BTreeMap<&'static str, Hist>,
 }
 
@@ -40,10 +54,35 @@ impl Stats {
         Stats::default()
     }
 
+    /// Resolve `key` to a reusable slot handle, materialising the
+    /// counter at zero if absent. Resolve once, bump many times.
+    pub fn handle(&mut self, key: &'static str) -> CounterHandle {
+        if let Some(&i) = self.index.get(key) {
+            return CounterHandle(i);
+        }
+        let i = self.slots.len();
+        self.slots.push(0);
+        self.index.insert(key, i);
+        CounterHandle(i)
+    }
+
+    /// Add `n` to the counter behind a pre-resolved handle.
+    #[inline]
+    pub fn add_h(&mut self, h: CounterHandle, n: u64) {
+        self.slots[h.0] += n;
+    }
+
+    /// Increment the counter behind a pre-resolved handle by one.
+    #[inline]
+    pub fn inc_h(&mut self, h: CounterHandle) {
+        self.slots[h.0] += 1;
+    }
+
     /// Add `n` to counter `key`, creating it at zero if absent.
     #[inline]
     pub fn add(&mut self, key: &'static str, n: u64) {
-        *self.counters.entry(key).or_insert(0) += n;
+        let h = self.handle(key);
+        self.slots[h.0] += n;
     }
 
     /// Increment counter `key` by one.
@@ -54,12 +93,13 @@ impl Stats {
 
     /// Current value of `key` (0 if never touched).
     pub fn get(&self, key: &str) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.index.get(key).map(|&i| self.slots[i]).unwrap_or(0)
     }
 
     /// Overwrite `key` with an absolute value (for gauges like "cycles").
     pub fn set(&mut self, key: &'static str, v: u64) {
-        self.counters.insert(key, v);
+        let h = self.handle(key);
+        self.slots[h.0] = v;
     }
 
     /// Record a sample into histogram `key`, creating it if absent.
@@ -81,8 +121,8 @@ impl Stats {
     /// Merge another registry into this one (summing matching counters,
     /// folding matching histograms).
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        for (k, &i) in &other.index {
+            self.add(k, other.slots[i]);
         }
         for (k, h) in &other.hists {
             self.hists.entry(k).or_default().merge(h);
@@ -91,7 +131,7 @@ impl Stats {
 
     /// Iterate over `(name, value)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        self.index.iter().map(|(k, &i)| (*k, self.slots[i]))
     }
 
     /// Ratio of two counters, `None` when the denominator is zero.
@@ -112,12 +152,12 @@ impl Stats {
 
     /// Number of distinct counters.
     pub fn len(&self) -> usize {
-        self.counters.len()
+        self.index.len()
     }
 
     /// True when no counter has been touched.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty()
+        self.index.is_empty()
     }
 
     /// Render counters and histograms as one JSON object, keys in name
@@ -138,9 +178,8 @@ impl Stats {
     /// ```
     pub fn to_json(&self) -> String {
         let mut fields: Vec<(&str, String)> = self
-            .counters
             .iter()
-            .map(|(k, v)| (*k, v.to_string()))
+            .map(|(k, v)| (k, v.to_string()))
             .chain(self.hists.iter().map(|(k, h)| (*k, h.to_json())))
             .collect();
         fields.sort_by_key(|(k, _)| *k);
@@ -159,9 +198,22 @@ impl Stats {
     }
 }
 
+/// Equality is logical: same name→value counter map (regardless of the
+/// order handles were resolved in, i.e. of slot layout) and same
+/// histograms.
+impl PartialEq for Stats {
+    fn eq(&self, other: &Self) -> bool {
+        self.index.len() == other.index.len()
+            && self.iter().eq(other.iter())
+            && self.hists == other.hists
+    }
+}
+
+impl Eq for Stats {}
+
 impl std::fmt::Display for Stats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        for (k, v) in &self.counters {
+        for (k, v) in self.iter() {
             writeln!(f, "{k:<40} {v}")?;
         }
         for (k, h) in &self.hists {
@@ -215,6 +267,34 @@ mod tests {
         s.add("c", 10);
         s.set("c", 3);
         assert_eq!(s.get("c"), 3);
+    }
+
+    #[test]
+    fn handles_bump_the_named_counter() {
+        let mut s = Stats::new();
+        let h = s.handle("hot");
+        assert_eq!(s.len(), 1, "handle materialises the counter at zero");
+        s.inc_h(h);
+        s.add_h(h, 4);
+        assert_eq!(s.get("hot"), 5);
+        // Re-resolving the same name yields the same slot.
+        let h2 = s.handle("hot");
+        assert_eq!(h, h2);
+        s.inc("hot");
+        assert_eq!(s.get("hot"), 6);
+    }
+
+    #[test]
+    fn equality_ignores_slot_order() {
+        let mut a = Stats::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Stats::new();
+        b.add("y", 2);
+        b.add("x", 1);
+        assert_eq!(a, b);
+        b.inc("x");
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -913,9 +913,22 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
 /// of `sources` — pass components in a fixed order and the output is
 /// deterministic for a deterministic simulation.
 pub fn merge_records<'a>(sources: impl IntoIterator<Item = &'a Tracer>) -> Vec<Record> {
+    merge_records_where(sources, |_| true)
+}
+
+/// [`merge_records`], filtering *during* the merge: records failing
+/// `keep` are never cloned. Because the same stable sort runs over the
+/// surviving records in the same source order, the result is exactly
+/// `merge_records(sources)` post-filtered with `keep` — without first
+/// materialising every ring buffer (the win when one line's events are
+/// wanted out of 49 full rings).
+pub fn merge_records_where<'a>(
+    sources: impl IntoIterator<Item = &'a Tracer>,
+    keep: impl Fn(&Record) -> bool,
+) -> Vec<Record> {
     let mut all: Vec<Record> = Vec::new();
     for t in sources {
-        all.extend(t.records().cloned());
+        all.extend(t.records().filter(|r| keep(r)).cloned());
     }
     all.sort_by_key(|r| r.cycle);
     all

@@ -51,7 +51,7 @@ use wb_kernel::chaos::ChaosEngine;
 use wb_kernel::config::LinkConfig;
 use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{Cycle, NodeId, SimRng, Stats};
+use wb_kernel::{CounterHandle, Cycle, NodeId, SimRng, Stats};
 
 use reliable::{frame_check, FlowKey, LinkCtl, Pending, RecvFlow, RecvVerdict, ReliableLink, Unacked};
 
@@ -156,6 +156,19 @@ pub struct Mesh<T> {
     /// Link fault injection; requires `reliable` (a lossy link without
     /// ARQ would simply violate the protocol's delivery contract).
     fault: Option<FaultEngine>,
+    /// Pre-resolved handles for the per-send counters — `send` is the
+    /// hottest stats site in the mesh and skips the name probe.
+    h_msgs: CounterHandle,
+    h_flits: CounterHandle,
+    /// Indexed by `VNet::index()`.
+    h_flits_vnet: [CounterHandle; 3],
+    /// Scratch buffers reused across `tick` calls so the per-cycle hot
+    /// path performs no allocation once warm (see scripts/verify.sh's
+    /// grep guard).
+    scratch_removals: Vec<(usize, bool)>,
+    scratch_dups: Vec<Flight<T>>,
+    scratch_flow_keys: Vec<FlowKey>,
+    scratch_acks_due: Vec<(FlowKey, u64)>,
 }
 
 impl<T> Mesh<T> {
@@ -166,6 +179,14 @@ impl<T> Mesh<T> {
     /// Panics if the mesh cannot host the node count.
     pub fn new(width: usize, height: usize, nodes: usize, hop_cycles: u64, jitter: u64, seed: u64) -> Self {
         assert!(width * height >= nodes, "mesh {width}x{height} too small for {nodes} nodes");
+        let mut stats = Stats::new();
+        let h_msgs = stats.handle("mesh_msgs");
+        let h_flits = stats.handle("mesh_flits");
+        let h_flits_vnet = [
+            stats.handle("mesh_flits_request"),
+            stats.handle("mesh_flits_forward"),
+            stats.handle("mesh_flits_response"),
+        ];
         Mesh {
             width,
             height,
@@ -177,11 +198,18 @@ impl<T> Mesh<T> {
             arrived: (0..nodes).map(|_| VecDeque::new()).collect(),
             next_flow_seq: HashMap::new(),
             next_deliver_seq: HashMap::new(),
-            stats: Stats::new(),
+            stats,
             tracer: Tracer::new(CompId::Mesh),
             chaos: None,
             reliable: None,
             fault: None,
+            h_msgs,
+            h_flits,
+            h_flits_vnet,
+            scratch_removals: Vec::new(),
+            scratch_dups: Vec::new(),
+            scratch_flow_keys: Vec::new(),
+            scratch_acks_due: Vec::new(),
         }
     }
 
@@ -278,11 +306,18 @@ impl<T> Mesh<T> {
     /// Collect every message deliverable at `node` this cycle, respecting
     /// per-flow FIFO order.
     pub fn drain_arrived(&mut self, node: NodeId) -> Vec<MeshMsg<T>> {
+        let mut out = Vec::new();
+        self.drain_arrived_into(node, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Mesh::drain_arrived`]: append deliverable
+    /// messages to `out` (which the caller clears and reuses).
+    pub fn drain_arrived_into(&mut self, node: NodeId, out: &mut Vec<MeshMsg<T>>) {
         let buf = &mut self.arrived[node.index()];
         if buf.is_empty() {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         // Repeatedly release the next-in-flow messages until a pass makes
         // no progress (handles out-of-order arrivals within a flow).
         loop {
@@ -307,7 +342,6 @@ impl<T> Mesh<T> {
                 break;
             }
         }
-        out
     }
 
     /// Messages currently traversing the network (excludes arrived-but-
@@ -341,6 +375,40 @@ impl<T> Mesh<T> {
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
+
+    /// The earliest cycle at which ticking this mesh can change state:
+    /// `Some(now)` when something is actionable this cycle (arrivals
+    /// waiting to be drained, or a flight whose `ready_at` has passed),
+    /// the minimum future deadline otherwise (next flight hop, next ARQ
+    /// retransmission timeout, next standalone-ack deadline), or `None`
+    /// when the network is fully quiescent. Between `now` and the
+    /// returned cycle, `tick` is a provable no-op.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(now);
+            next = Some(next.map_or(c, |n| n.min(c)));
+        };
+        if self.arrived.iter().any(|q| !q.is_empty()) {
+            consider(now);
+        }
+        for f in &self.in_flight {
+            consider(f.ready_at);
+        }
+        if let Some(rl) = &self.reliable {
+            for sf in rl.send_flows.values() {
+                if let Some(head) = sf.unacked.front() {
+                    consider(head.last_sent + head.rto);
+                }
+            }
+            for r in rl.recv_flows.values() {
+                if let Some(since) = r.owed_since {
+                    consider(since + rl.cfg.ack_idle);
+                }
+            }
+        }
+        next
+    }
 }
 
 impl<T: Clone + Hash> Mesh<T> {
@@ -355,16 +423,9 @@ impl<T: Clone + Hash> Mesh<T> {
         let flow_seq = *seq_ref;
         *seq_ref += 1;
 
-        self.stats.inc("mesh_msgs");
-        self.stats.add("mesh_flits", flits as u64);
-        self.stats.add(
-            match vnet {
-                VNet::Request => "mesh_flits_request",
-                VNet::Forward => "mesh_flits_forward",
-                VNet::Response => "mesh_flits_response",
-            },
-            flits as u64,
-        );
+        self.stats.inc_h(self.h_msgs);
+        self.stats.add_h(self.h_flits, flits as u64);
+        self.stats.add_h(self.h_flits_vnet[vnet.index()], flits as u64);
 
         if let Some(mut rl) = self.reliable.take() {
             let sf = rl.send_flows.entry(key).or_default();
@@ -467,9 +528,13 @@ impl<T: Clone + Hash> Mesh<T> {
     pub fn tick(&mut self, now: Cycle) {
         let hop_cycles = self.hop_cycles;
         let trace_hops = self.tracer.wants(Category::Mesh);
-        // (index, was_dropped) in ascending index order.
-        let mut removals: Vec<(usize, bool)> = Vec::new();
-        let mut dups: Vec<Flight<T>> = Vec::new();
+        // (index, was_dropped) in ascending index order. Both buffers
+        // are owned scratch space (taken/restored around the borrow of
+        // `in_flight`) so steady-state ticking never allocates.
+        let mut removals = std::mem::take(&mut self.scratch_removals);
+        let mut dups = std::mem::take(&mut self.scratch_dups);
+        removals.clear();
+        dups.clear();
         for (i, f) in self.in_flight.iter_mut().enumerate() {
             if f.ready_at > now {
                 continue;
@@ -533,7 +598,7 @@ impl<T: Clone + Hash> Mesh<T> {
                     self.receive_frame(&mut rl, now, f);
                 }
             }
-            self.in_flight.extend(dups);
+            self.in_flight.append(&mut dups);
             self.link_maintenance(&mut rl, now);
             self.reliable = Some(rl);
         } else {
@@ -542,8 +607,10 @@ impl<T: Clone + Hash> Mesh<T> {
                 self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
                 self.arrived[f.dst.index()].push_back(f);
             }
-            self.in_flight.extend(dups);
+            self.in_flight.append(&mut dups);
         }
+        self.scratch_removals = removals;
+        self.scratch_dups = dups;
     }
 
     /// Link-layer receive: checksum verification, ack application, dedup.
@@ -633,8 +700,10 @@ impl<T: Clone + Hash> Mesh<T> {
         // link_busy/jitter/chaos interaction) so a fault-free run's rng
         // stream and schedule stay untouched by the sublayer's existence.
         let rto_max = rl.cfg.rto_max;
-        let keys: Vec<FlowKey> = rl.send_flows.keys().copied().collect();
-        for key in keys {
+        let mut keys = std::mem::take(&mut self.scratch_flow_keys);
+        keys.clear();
+        keys.extend(rl.send_flows.keys().copied());
+        for key in keys.drain(..) {
             let Some(sf) = rl.send_flows.get_mut(&key) else { continue };
             let Some(head) = sf.unacked.front_mut() else { continue };
             if now.saturating_sub(head.last_sent) < head.rto {
@@ -669,13 +738,16 @@ impl<T: Clone + Hash> Mesh<T> {
             });
         }
 
+        self.scratch_flow_keys = keys;
+
         // Standalone acks: when the reverse direction has been silent for
         // ack_idle cycles, pay one control flit to unblock the sender.
         if rl.owed_count == 0 {
             return;
         }
         let ack_idle = rl.cfg.ack_idle;
-        let mut due: Vec<(FlowKey, u64)> = Vec::new();
+        let mut due = std::mem::take(&mut self.scratch_acks_due);
+        due.clear();
         let ReliableLink { recv_flows, owed_count, .. } = rl;
         for (key, r) in recv_flows.iter_mut() {
             if let Some(since) = r.owed_since {
@@ -686,7 +758,7 @@ impl<T: Clone + Hash> Mesh<T> {
                 }
             }
         }
-        for ((src, dst, vi), ack) in due {
+        for ((src, dst, vi), ack) in due.drain(..) {
             // The ack travels the reverse direction of the data flow.
             self.stats.inc("link_acks");
             let check = frame_check::<T>(dst, src, vi, 1, None, ack, None);
@@ -704,5 +776,6 @@ impl<T: Clone + Hash> Mesh<T> {
                 sent_at: now,
             });
         }
+        self.scratch_acks_due = due;
     }
 }

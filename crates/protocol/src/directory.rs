@@ -347,6 +347,30 @@ impl Directory {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Allocation-free [`Directory::drain_outbox`]: append queued
+    /// messages to `out` (which the caller clears and reuses).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<(Dest, ProtoMsg)>) {
+        out.append(&mut self.outbox);
+    }
+
+    /// The earliest cycle at which ticking this bank can change state:
+    /// `Some(now)` when the outbox has messages to inject or an event is
+    /// already due, the minimum future event due-time otherwise, `None`
+    /// when the event queue is empty. Parked evictions and queued
+    /// requests only advance on *incoming* messages (tracked by the
+    /// mesh's own `next_event`), so they carry no deadline here.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        if !self.outbox.is_empty() {
+            next = Some(now);
+        }
+        for &(due, _) in &self.events {
+            let due = due.max(now);
+            next = Some(next.map_or(due, |n| n.min(due)));
+        }
+        next
+    }
+
     /// Counter access for reports.
     pub fn stats(&self) -> &Stats {
         &self.stats

@@ -278,9 +278,41 @@ impl PrivateCache {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Allocation-free [`PrivateCache::drain_outbox`]: append queued
+    /// messages to `out` (which the caller clears and reuses).
+    pub fn drain_outbox_into(&mut self, out: &mut Vec<(Dest, ProtoMsg)>) {
+        out.append(&mut self.outbox);
+    }
+
     /// Drain core-facing completion events.
     pub fn take_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// True when core-facing completion events await `take_completions`.
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
+    }
+
+    /// True when a write MSHR for `line` is outstanding (a `GetX` is in
+    /// flight, so `ensure_writable` would be a no-op this cycle).
+    pub fn has_write_mshr(&self, line: LineAddr) -> bool {
+        self.mshrs.find(line, MshrKind::Write).is_some()
+    }
+
+    /// The earliest cycle at which ticking this cache can change state:
+    /// `Some(now)` when something is actionable (outbox messages to
+    /// inject, completions for the core, or a deferred fill retrying
+    /// every cycle), `None` otherwise. MSHRs and parked evictions only
+    /// advance on incoming messages, which the mesh's own `next_event`
+    /// tracks.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.outbox.is_empty() || !self.completions.is_empty() || !self.pending_fills.is_empty()
+        {
+            Some(now)
+        } else {
+            None
+        }
     }
 
     /// Counter access for reports.

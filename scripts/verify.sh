@@ -36,6 +36,16 @@ if grep -rn --include='*.rs' -E '\.unwrap\(\)|\.expect\(' crates/mesh/src; then
     exit 1
 fi
 
+# Hot-path de-allocation discipline (DESIGN.md "Performance
+# engineering"): Mesh::tick and drain_arrived_into run every simulated
+# cycle and must not allocate — scratch buffers only. (The allocating
+# drain_arrived convenience wrapper is test-only, off the hot path.)
+if awk '/pub fn tick\(|pub fn drain_arrived_into/{hot=1} hot && /^    }$/{hot=0} hot' \
+    crates/mesh/src/lib.rs | grep -nE 'Vec::new\(\)|vec!\['; then
+    echo "ERROR: allocation in the Mesh::tick/drain_arrived_into hot path (reuse a scratch buffer)" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -73,4 +83,12 @@ cargo run -q --release --offline -p wb-examples --bin chaos_lab \
 cargo run -q --release --offline -p wb-examples --bin fault_lab \
     | grep -q 'fault lab: all scenarios OK'
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault smoke tests)"
+# Engine-equivalence smoke: the cycle-skipping engine must stay
+# cycle-exact against dense ticking — one litmus cell and one RTO-bound
+# fault cell (the quiescence-heavy shape skipping exists for), in
+# release mode, including the self-checking SkipVerify pass.
+cargo test -q --release --offline -p wb-integration --test engine_equivalence -- \
+    litmus_runs_are_cycle_exact rto_bound_bench_cells_are_cycle_exact \
+    | grep -q 'test result: ok'
+
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence smoke tests)"

@@ -95,23 +95,29 @@ fn run_cell(
 fn fault_torture_matrix() {
     let plans = FaultPlan::matrix();
     assert!(plans.len() >= 6, "matrix shrank to {} plans", plans.len());
+    // Cells are independent single-threaded simulations; fan the matrix
+    // out over the deterministic sweep runner and assert on the ordered
+    // results (run_cell panics inside a worker still fail the test —
+    // the scoped thread's panic propagates on join).
+    let jobs: Vec<(FaultPlan, ProtocolKind, CommitMode)> = plans
+        .iter()
+        .flat_map(|p| COMBOS.into_iter().map(move |(pr, m)| (p.clone(), pr, m)))
+        .collect();
+    let results = wb_bench::sweep::run(jobs.clone(), |(plan, protocol, mode)| {
+        run_cell(&plan, None, protocol, mode, 25)
+    });
     let mut retx_seen = 0u64;
     let mut retx_hist_cells = 0usize;
-    for plan in &plans {
-        for (protocol, mode) in COMBOS {
-            let stats = run_cell(plan, None, protocol, mode, 25);
-            retx_seen += stats.get("link_retx");
-            let cycles_populated =
-                stats.hist("link_retx_cycles").map_or(false, |h| h.count() > 0);
-            let count_populated =
-                stats.hist("link_retx_count").map_or(false, |h| h.count() > 0);
-            assert_eq!(
-                cycles_populated, count_populated,
-                "plan {plan} {protocol:?} {mode:?}: retx histograms out of sync"
-            );
-            if cycles_populated {
-                retx_hist_cells += 1;
-            }
+    for ((plan, protocol, mode), stats) in jobs.iter().zip(&results) {
+        retx_seen += stats.get("link_retx");
+        let cycles_populated = stats.hist("link_retx_cycles").map_or(false, |h| h.count() > 0);
+        let count_populated = stats.hist("link_retx_count").map_or(false, |h| h.count() > 0);
+        assert_eq!(
+            cycles_populated, count_populated,
+            "plan {plan} {protocol:?} {mode:?}: retx histograms out of sync"
+        );
+        if cycles_populated {
+            retx_hist_cells += 1;
         }
     }
     assert!(retx_seen > 0, "no plan in the matrix ever forced a retransmission");

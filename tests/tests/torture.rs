@@ -189,27 +189,30 @@ fn torture_chaos_matrix() {
     ];
     let plans = ChaosPlan::matrix();
     assert!(plans.len() >= 8, "matrix shrank to {} plans", plans.len());
-    for plan in plans {
-        for (protocol, mode) in combos {
-            let seed = 7u64;
-            let mut rng = SimRng::new(seed);
-            let programs =
-                (0..4).map(|c| random_program(c, &mut rng, 25, &lines)).collect::<Vec<_>>();
-            let w = Workload::new(format!("chaos-{plan}"), programs);
-            let cfg = SystemConfig::new(CoreClass::Slm)
-                .with_cores(4)
-                .with_commit(mode)
-                .with_protocol(protocol)
-                .with_seed(seed)
-                .with_jitter(25)
-                .with_chaos(plan.clone());
-            let mut sys = System::new(cfg, &w);
-            let out = sys.run(8_000_000);
-            assert!(out.is_done(), "plan {plan} {protocol:?} {mode:?}:\n{out}");
-            sys.check_tso()
-                .unwrap_or_else(|e| panic!("plan {plan} {protocol:?} {mode:?}: {e}"));
-        }
-    }
+    // Independent cells: fan out over the deterministic sweep runner
+    // (a panicking cell propagates when its scoped worker joins).
+    let jobs: Vec<(ChaosPlan, ProtocolKind, CommitMode)> = plans
+        .iter()
+        .flat_map(|p| combos.into_iter().map(move |(pr, m)| (p.clone(), pr, m)))
+        .collect();
+    wb_bench::sweep::run(jobs, |(plan, protocol, mode)| {
+        let seed = 7u64;
+        let mut rng = SimRng::new(seed);
+        let programs =
+            (0..4).map(|c| random_program(c, &mut rng, 25, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("chaos-{plan}"), programs);
+        let cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(4)
+            .with_commit(mode)
+            .with_protocol(protocol)
+            .with_seed(seed)
+            .with_jitter(25)
+            .with_chaos(plan.clone());
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(8_000_000);
+        assert!(out.is_done(), "plan {plan} {protocol:?} {mode:?}:\n{out}");
+        sys.check_tso().unwrap_or_else(|e| panic!("plan {plan} {protocol:?} {mode:?}: {e}"));
+    });
 }
 
 /// The ECL (early-commit-of-loads) mode — the paper's stall-on-use use
