@@ -10,7 +10,7 @@ use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
 use wb_kernel::{Cycle, NodeId, Stats};
-use wb_mem::Addr;
+use wb_mem::{Addr, HomeMap};
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
 use wb_protocol::{Directory, PrivateCache, ProtoMsg, ProtocolError};
@@ -73,7 +73,11 @@ pub struct System {
     mesh: Mesh<(Dest, ProtoMsg)>,
     cores: Vec<Core>,
     caches: Vec<PrivateCache>,
+    /// All directory banks, indexed by global bank id; bank `b` is
+    /// hosted at node `home.node_of(b)`.
     dirs: Vec<Directory>,
+    /// Line-to-bank-to-node home mapping shared with every cache.
+    home: HomeMap,
     init_mem: Vec<(Addr, u64)>,
     workload_name: String,
     /// When set, every delivered protocol message for this line is
@@ -139,11 +143,14 @@ impl System {
                 Core::with_event_log(NodeId(i as u16), cfg.core.clone(), cfg.protocol, prog, cfg.record_events)
             })
             .collect();
-        let caches =
-            (0..n).map(|i| PrivateCache::new(NodeId(i as u16), n, &cfg.memory, cfg.protocol)).collect();
-        let mut dirs: Vec<Directory> = (0..n).map(|i| Directory::new(NodeId(i as u16), &cfg)).collect();
+        let home = HomeMap::new(n, cfg.memory.dir_banks_per_node);
+        let caches = (0..n)
+            .map(|i| PrivateCache::new(NodeId(i as u16), home, &cfg.memory, cfg.protocol))
+            .collect();
+        let mut dirs: Vec<Directory> =
+            (0..home.total_banks()).map(|b| Directory::new(b, &home, &cfg)).collect();
         for (addr, value) in &workload.init_mem {
-            dirs[addr.line().bank(n)].init_word(*addr, *value);
+            dirs[home.bank_of(addr.line())].init_word(*addr, *value);
         }
         let net = &cfg.network;
         let mut mesh =
@@ -165,6 +172,7 @@ impl System {
             cores,
             caches,
             dirs,
+            home,
             init_mem: workload.init_mem.clone(),
             workload_name: workload.name.clone(),
             trace_line: None,
@@ -315,13 +323,19 @@ impl System {
                 }
                 match dest {
                     Dest::Cache(_) => self.caches[i].handle_msg(self.now, msg, &mut self.cores[i]),
-                    Dest::Dir(_) => self.dirs[i].receive(self.now, msg),
+                    // Routing delivers by node; the hosting tile
+                    // dispatches to whichever of its banks owns the line.
+                    Dest::Dir(_) => {
+                        self.dirs[self.home.bank_of(msg.line())].receive(self.now, msg)
+                    }
                 }
             }
         }
         // 2. Directory banks and deferred cache work.
+        for d in &mut self.dirs {
+            d.tick(self.now);
+        }
         for i in 0..n {
-            self.dirs[i].tick(self.now);
             let (cache, core) = (&mut self.caches[i], &mut self.cores[i]);
             cache.tick(self.now, core);
         }
@@ -336,14 +350,21 @@ impl System {
             let from = NodeId(i as u16);
             // Cache messages precede directory messages so the trace
             // records which component sent each message (the first
-            // `cache_n` entries of the scratch buffer are the cache's).
+            // `cache_n` entries of the scratch buffer are the cache's;
+            // a directory message's sending bank is recomputed from its
+            // line, since only the home bank ever speaks for a line).
             self.scratch_outbox.clear();
             self.caches[i].drain_outbox_into(&mut self.scratch_outbox);
             let cache_n = self.scratch_outbox.len();
-            self.dirs[i].drain_outbox_into(&mut self.scratch_outbox);
+            for b in self.home.banks_at(i) {
+                self.dirs[b].drain_outbox_into(&mut self.scratch_outbox);
+            }
             for (k, (dest, msg)) in self.scratch_outbox.drain(..).enumerate() {
-                let sender =
-                    if k < cache_n { CompId::Cache(i as u16) } else { CompId::Dir(i as u16) };
+                let sender = if k < cache_n {
+                    CompId::Cache(i as u16)
+                } else {
+                    CompId::Dir(self.home.bank_of(msg.line()) as u16)
+                };
                 let flits = msg.flits(data_flits, ctrl_flits);
                 if self.tracer.wants(Category::Protocol) {
                     self.tracer.record(
@@ -830,7 +851,7 @@ impl System {
                 }
                 if w.state.starts_with("Evicting") {
                     edges.push(WaitEdge {
-                        from: WaitParty::Dir(d.node().0),
+                        from: WaitParty::Dir(d.bank() as u16),
                         to: WaitParty::Line(w.line),
                         why: "eviction-buffer slot held".to_string(),
                     });
@@ -964,7 +985,7 @@ impl System {
                 return v;
             }
         }
-        self.dirs[addr.line().bank(self.dirs.len())].memory_value(addr)
+        self.dirs[self.home.bank_of(addr.line())].memory_value(addr)
     }
 
     /// Collect the merged memory-event log (consumes the cores' logs).
@@ -1025,13 +1046,23 @@ impl System {
     /// Debug: protocol state of `line` at every cache and its home bank.
     pub fn debug_line(&self, line: wb_mem::LineAddr) -> String {
         let mut out: Vec<String> = self.caches.iter().map(|c| c.debug_line(line)).collect();
-        out.push(self.dirs[line.bank(self.dirs.len())].debug_line(line));
+        out.push(self.dirs[self.home.bank_of(line)].debug_line(line));
         out.join("\n")
     }
 
     /// Multi-line debug snapshot of every core (for stuck simulations).
     pub fn debug_snapshot(&self) -> String {
         self.cores.iter().map(|c| c.debug_snapshot()).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Per-bank directory statistics, `(global bank index, stats)`.
+    ///
+    /// [`System::report`] merges every bank into one [`Stats`], which is
+    /// what correctness checks compare; scaling studies need the
+    /// unmerged view to see whether traffic actually spreads across
+    /// banks or piles onto a hot one.
+    pub fn dir_stats(&self) -> impl Iterator<Item = (usize, &Stats)> {
+        self.dirs.iter().map(|d| (d.bank(), d.stats()))
     }
 
     /// Aggregate statistics report.

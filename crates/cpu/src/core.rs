@@ -142,6 +142,12 @@ pub struct Core {
     h_stall_lq: CounterHandle,
     h_stall_sq: CounterHandle,
     h_stall_other: CounterHandle,
+    /// Pre-resolved counter slots for the per-instruction hot path.
+    h_dispatched: CounterHandle,
+    h_loads_committed: CounterHandle,
+    h_stores_committed: CounterHandle,
+    h_stores_performed: CounterHandle,
+    h_loads_forwarded: CounterHandle,
     tracer: Tracer,
     log: ExecutionLog,
     record_events: bool,
@@ -187,6 +193,11 @@ impl Core {
         let h_stall_lq = stats.handle("core_stall_lq");
         let h_stall_sq = stats.handle("core_stall_sq");
         let h_stall_other = stats.handle("core_stall_other");
+        let h_dispatched = stats.handle("core_dispatched");
+        let h_loads_committed = stats.handle("core_loads_committed");
+        let h_stores_committed = stats.handle("core_stores_committed");
+        let h_stores_performed = stats.handle("core_stores_performed");
+        let h_loads_forwarded = stats.handle("core_loads_forwarded");
         Core {
             id,
             predictor: Bimodal::new(cfg.predictor_entries),
@@ -211,6 +222,11 @@ impl Core {
             h_stall_lq,
             h_stall_sq,
             h_stall_other,
+            h_dispatched,
+            h_loads_committed,
+            h_stores_committed,
+            h_stores_performed,
+            h_loads_forwarded,
             tracer: Tracer::new(CompId::Core(id.0)),
             log: ExecutionLog::new(),
             record_events,
@@ -1088,7 +1104,7 @@ impl Core {
                     }
                     self.ecl_pending.push((e.seq, e.inst.dest()));
                     self.stats.inc("core_ecl_loads_committed");
-                    self.stats.inc("core_loads_committed");
+                    self.stats.inc_h(self.h_loads_committed);
                     self.retired += 1;
                     return;
                 }
@@ -1134,7 +1150,7 @@ impl Core {
                         op: MemOp::Load { value: lq.value },
                     });
                 }
-                self.stats.inc("core_loads_committed");
+                self.stats.inc_h(self.h_loads_committed);
                 self.tracer.record(
                     now,
                     TraceEvent::LoadCommit { seq: e.seq, line: addr.line().0, reordered: mspec },
@@ -1151,7 +1167,7 @@ impl Core {
             }
             Inst::Store { .. } => {
                 self.lsq.commit_store(e.seq);
-                self.stats.inc("core_stores_committed");
+                self.stats.inc_h(self.h_stores_committed);
             }
             Inst::Amo { .. } => {
                 self.lsq.commit_load(e.seq);
@@ -1197,7 +1213,7 @@ impl Core {
                     });
                 }
                 self.lsq.sb_pop();
-                self.stats.inc("core_stores_performed");
+                self.stats.inc_h(self.h_stores_performed);
             }
         }
     }
@@ -1237,7 +1253,7 @@ impl Core {
                     e.state = LoadState::Performed;
                     e.wake_at = now + 1;
                     e.forwarded = true;
-                    self.stats.inc("core_loads_forwarded");
+                    self.stats.inc_h(self.h_loads_forwarded);
                     slots -= 1;
                 }
                 ForwardResult::Wait => {}
@@ -1478,7 +1494,7 @@ impl Core {
                 self.rat[r.index()] = Some(seq);
             }
             self.rob.push(entry);
-            self.stats.inc("core_dispatched");
+            self.stats.inc_h(self.h_dispatched);
             if matches!(inst, Inst::Halt) {
                 break;
             }

@@ -31,7 +31,7 @@ impl Tile {
         Tile {
             now: 0,
             core: Core::new(NodeId(0), cfg, protocol, program),
-            cache: PrivateCache::new(NodeId(0), 1, &mem, protocol),
+            cache: PrivateCache::new(NodeId(0), wb_mem::HomeMap::new(1, 1), &mem, protocol),
             dir: Directory::with_memory_config(NodeId(0), &mem, false),
         }
     }

@@ -191,6 +191,15 @@ pub struct MemoryConfig {
     /// Entries in the directory eviction buffer that parks WritersBlock
     /// entries under eviction (Section 3.5.1).
     pub dir_evict_buffer: usize,
+    /// Directory banks hosted per home node. Lines interleave across
+    /// `num_cores * dir_banks_per_node` banks; each bank has its own
+    /// request ports, occupancy queue and `next_event` hook, so
+    /// directory bandwidth scales independently of core count.
+    pub dir_banks_per_node: usize,
+    /// Requests one directory bank accepts per cycle. Arrivals beyond
+    /// this wait in the bank's occupancy queue — contention is modeled
+    /// rather than infinite-bandwidth.
+    pub dir_bank_ports: usize,
     /// Evict shared lines silently (the paper's chosen baseline, Section
     /// 3.8). When false, shared-line evictions notify the directory, and in
     /// the base protocol squash M-speculative loads.
@@ -213,6 +222,8 @@ impl Default for MemoryConfig {
             mem_cycles: 160,
             mshrs: 16,
             dir_evict_buffer: 8,
+            dir_banks_per_node: 1,
+            dir_bank_ports: 4,
             silent_shared_evictions: true,
         }
     }
@@ -295,11 +306,22 @@ pub struct WatchdogConfig {
     /// installed: retransmission round trips (rto_min, doubled per
     /// retry) legitimately stretch every protocol interaction.
     pub fault_scale: u64,
+    /// Scale both thresholds with the mesh diameter as well: the
+    /// configured windows are tuned for a 4x4/6-cycle-hop machine, and
+    /// every protocol interaction stretches with the diameter in hop
+    /// cycles. Without this a legal 16x16 barrier run trips the
+    /// watchdog. Disable only to pin the false-positive in a test.
+    pub scale_with_topology: bool,
 }
 
 impl Default for WatchdogConfig {
     fn default() -> Self {
-        WatchdogConfig { stall_window: 200_000, livelock_retries: 16, fault_scale: 4 }
+        WatchdogConfig {
+            stall_window: 200_000,
+            livelock_retries: 16,
+            fault_scale: 4,
+            scale_with_topology: true,
+        }
     }
 }
 
@@ -385,17 +407,23 @@ impl SystemConfig {
         self
     }
 
-    /// Builder-style: set the number of cores (mesh is resized to the
-    /// smallest rectangle that fits).
+    /// Builder-style: set the number of cores. The mesh is resized to
+    /// the most-square *exact* rectangle (`width * height == n`), so no
+    /// mesh node is ever left without a core mapped to it — `validate`
+    /// rejects over-provisioned meshes. Prime counts degrade to `n x 1`.
     pub fn with_cores(mut self, n: usize) -> Self {
         assert!(n > 0, "need at least one core");
         self.num_cores = n;
-        let mut w = 1;
-        while w * w < n {
-            w += 1;
+        let mut h = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n % d == 0 {
+                h = d;
+            }
+            d += 1;
         }
-        self.network.mesh_width = w;
-        self.network.mesh_height = n.div_ceil(w);
+        self.network.mesh_width = n / h;
+        self.network.mesh_height = h;
         self
     }
 
@@ -446,25 +474,44 @@ impl SystemConfig {
         self
     }
 
+    /// Watchdog multiplier derived from the mesh diameter in hop
+    /// cycles, normalised to the 4x4/6-cycle machine the absolute
+    /// windows were tuned on (diameter 6 hops x 6 cycles = 36). A
+    /// 16x16 mesh at the same hop latency yields 5: serialized line
+    /// transfers behind a hot barrier line legitimately take that much
+    /// longer end to end.
+    pub fn topology_scale(&self) -> u64 {
+        if !self.watchdog.scale_with_topology {
+            return 1;
+        }
+        const REF_DIAMETER_CYCLES: u64 = 36;
+        let hops = (self.network.mesh_width - 1 + self.network.mesh_height - 1) as u64;
+        (hops.saturating_mul(self.network.hop_cycles) / REF_DIAMETER_CYCLES).max(1)
+    }
+
     /// The stall window the watchdog should actually use: the
-    /// configured window, scaled by `fault_scale` while a fault plan is
-    /// installed (retransmission round trips stretch every protocol
-    /// interaction without anything being wedged).
+    /// configured window, scaled by the mesh diameter (see
+    /// [`SystemConfig::topology_scale`]) and by `fault_scale` while a
+    /// fault plan is installed (retransmission round trips stretch
+    /// every protocol interaction without anything being wedged).
     pub fn effective_stall_window(&self) -> u64 {
+        let w = self.watchdog.stall_window.saturating_mul(self.topology_scale());
         if self.fault.is_some() {
-            self.watchdog.stall_window.saturating_mul(self.watchdog.fault_scale)
+            w.saturating_mul(self.watchdog.fault_scale)
         } else {
-            self.watchdog.stall_window
+            w
         }
     }
 
     /// The livelock-classification threshold in force (scaled like the
-    /// stall window: retransmissions inflate retry-shaped activity).
+    /// stall window: retransmissions and longer flight times inflate
+    /// retry-shaped activity).
     pub fn effective_livelock_retries(&self) -> u64 {
+        let r = self.watchdog.livelock_retries.saturating_mul(self.topology_scale());
         if self.fault.is_some() {
-            self.watchdog.livelock_retries.saturating_mul(self.watchdog.fault_scale)
+            r.saturating_mul(self.watchdog.fault_scale)
         } else {
-            self.watchdog.livelock_retries
+            r
         }
     }
 
@@ -474,7 +521,11 @@ impl SystemConfig {
     ///
     /// - commit mode `OutOfOrderWb` combined with the base MESI protocol
     ///   (irrevocably bound reordered loads would be unsound);
-    /// - a mesh too small for the node count;
+    /// - a mesh too small for the node count, or one with nodes left
+    ///   unmapped (`mesh_width * mesh_height != num_cores`);
+    /// - more than [`crate::MAX_NODES`] cores (sharer bitsets are
+    ///   fixed-width);
+    /// - zero directory banks per node or zero bank ports;
     /// - fewer than two MSHRs (one must stay reserved for SoS loads).
     pub fn validate(&self) {
         if matches!(self.core.commit_mode, CommitMode::OutOfOrderWb | CommitMode::InOrderEcl) {
@@ -491,6 +542,22 @@ impl SystemConfig {
             self.network.mesh_height,
             self.num_cores
         );
+        assert!(
+            self.network.mesh_width * self.network.mesh_height == self.num_cores,
+            "mesh {}x{} leaves {} nodes unmapped (no home bank routes to them); \
+             size the mesh exactly, e.g. via with_cores",
+            self.network.mesh_width,
+            self.network.mesh_height,
+            self.network.mesh_width * self.network.mesh_height - self.num_cores
+        );
+        assert!(
+            self.num_cores <= crate::MAX_NODES,
+            "{} cores exceed MAX_NODES = {} (directory sharer bitsets are fixed-width)",
+            self.num_cores,
+            crate::MAX_NODES
+        );
+        assert!(self.memory.dir_banks_per_node >= 1, "need at least one directory bank per node");
+        assert!(self.memory.dir_bank_ports >= 1, "a directory bank needs at least one port");
         assert!(self.memory.mshrs >= 2, "need at least 2 MSHRs (1 reserved for SoS loads)");
         assert!(self.core.width >= 1);
         assert!(self.memory.line_bytes.is_power_of_two());
@@ -582,11 +649,34 @@ mod tests {
     }
 
     #[test]
-    fn with_cores_resizes_mesh() {
-        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(4);
-        assert!(cfg.network.mesh_width * cfg.network.mesh_height >= 4);
+    fn with_cores_resizes_mesh_exactly() {
+        for n in [1, 2, 3, 4, 6, 12, 16, 64, 100, 256] {
+            let cfg = SystemConfig::new(CoreClass::Slm).with_cores(n);
+            assert_eq!(cfg.network.mesh_width * cfg.network.mesh_height, n, "exact for {n}");
+            assert!(cfg.network.mesh_width >= cfg.network.mesh_height);
+            cfg.validate();
+        }
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(64);
+        assert_eq!((cfg.network.mesh_width, cfg.network.mesh_height), (8, 8));
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(256);
+        assert_eq!((cfg.network.mesh_width, cfg.network.mesh_height), (16, 16));
+        // Primes degrade to a 1-high chain rather than wasting nodes.
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(7);
+        assert_eq!((cfg.network.mesh_width, cfg.network.mesh_height), (7, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn validate_rejects_unmapped_mesh_nodes() {
+        let mut cfg = SystemConfig::new(CoreClass::Slm);
+        cfg.num_cores = 14; // 4x4 mesh, 2 nodes without a home
         cfg.validate();
-        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_NODES")]
+    fn validate_rejects_oversized_machines() {
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(512);
         cfg.validate();
     }
 
@@ -602,6 +692,32 @@ mod tests {
         // Chaos alone does not scale: delays are bounded by the plan.
         let cfg = SystemConfig::new(CoreClass::Slm).with_chaos(crate::chaos::ChaosPlan::quiet());
         assert_eq!(cfg.effective_stall_window(), 200_000);
+    }
+
+    #[test]
+    fn watchdog_scales_with_mesh_diameter() {
+        // The 4x4 tuning point is the identity.
+        assert_eq!(SystemConfig::new(CoreClass::Slm).topology_scale(), 1);
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(64);
+        assert_eq!(cfg.topology_scale(), 2); // 14 hops x 6 cycles / 36
+        let cfg = SystemConfig::new(CoreClass::Slm).with_cores(256);
+        assert_eq!(cfg.topology_scale(), 5); // 30 hops x 6 cycles / 36
+        assert_eq!(cfg.effective_stall_window(), 1_000_000);
+        assert_eq!(cfg.effective_livelock_retries(), 80);
+        // Fault and topology scaling compose.
+        let cfg = cfg.with_fault(crate::fault::FaultPlan::drop_everywhere(1, 10));
+        assert_eq!(cfg.effective_stall_window(), 4_000_000);
+        // The test escape hatch pins the unscaled window.
+        let mut cfg = SystemConfig::new(CoreClass::Slm).with_cores(256);
+        cfg.watchdog.scale_with_topology = false;
+        assert_eq!(cfg.effective_stall_window(), 200_000);
+    }
+
+    #[test]
+    fn bank_knobs_default_sane() {
+        let m = MemoryConfig::default();
+        assert_eq!(m.dir_banks_per_node, 1);
+        assert!(m.dir_bank_ports >= 1);
     }
 
     #[test]

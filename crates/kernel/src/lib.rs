@@ -56,6 +56,12 @@ pub use wedge::{WaitEdge, WaitParty, WedgeClass, WedgeReport};
 /// domain, as in the paper's GEMS-based setup.
 pub type Cycle = u64;
 
+/// Hard ceiling on the number of nodes a system may have. Sharer sets in
+/// the directory are fixed-width bitsets sized from this constant (no
+/// per-message heap allocation), so `SystemConfig::validate` rejects
+/// larger machines instead of silently truncating sharer tracking.
+pub const MAX_NODES: usize = 256;
+
 /// Identifier of a node (tile) in the system: one core + private cache +
 /// LLC/directory bank per tile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]

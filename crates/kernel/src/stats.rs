@@ -113,6 +113,14 @@ impl Stats {
         self.hists.get(key)
     }
 
+    /// Fold a whole histogram into `key`, creating it if absent. Lets a
+    /// report re-key a component-local histogram (e.g. publish one
+    /// directory bank's `dir_bank_occupancy` as `dir_bank7_occupancy`)
+    /// without replaying its samples.
+    pub fn merge_hist(&mut self, key: &'static str, h: &Hist) {
+        self.hists.entry(key).or_default().merge(h);
+    }
+
     /// Iterate over `(name, histogram)` pairs in name order.
     pub fn hists(&self) -> impl Iterator<Item = (&str, &Hist)> {
         self.hists.iter().map(|(k, v)| (*k, v))

@@ -70,11 +70,25 @@ impl LineAddr {
         Addr(self.0 * LINE_BYTES + i as u64 * WORD_BYTES)
     }
 
-    /// Which LLC/directory bank this line maps to, for `banks` banks
-    /// (line-interleaved, as in the paper's tiled system).
+    /// Which LLC/directory bank this line maps to, for `banks` banks.
+    ///
+    /// Power-of-two bank counts use plain line interleaving (low line
+    /// bits), as in the paper's tiled system. Non-power-of-two counts
+    /// would suffer modulo bias under the strided address patterns the
+    /// workload generators emit (e.g. one-lock-per-line arrays stride
+    /// the line number by 1, per-core private regions by 0x400), so
+    /// those first diffuse the line number through a multiplicative
+    /// mix and then range-reduce with a widening multiply instead of
+    /// `%`.
     #[inline]
     pub fn bank(self, banks: usize) -> usize {
-        (self.0 % banks as u64) as usize
+        debug_assert!(banks > 0, "bank count must be positive");
+        if banks.is_power_of_two() {
+            (self.0 & (banks as u64 - 1)) as usize
+        } else {
+            let mix = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+            ((mix as u128 * banks as u128) >> 64) as usize
+        }
     }
 }
 
@@ -116,9 +130,37 @@ mod tests {
     }
 
     #[test]
-    fn banking_is_modular() {
+    fn banking_is_modular_for_pow2_counts() {
+        // Power-of-two counts keep plain line interleaving: these pins
+        // freeze home placement for every 16/64/256-bank topology.
         assert_eq!(LineAddr(17).bank(16), 1);
         assert_eq!(LineAddr(16).bank(16), 0);
+        assert_eq!(LineAddr(0x123).bank(64), 0x23);
+        assert_eq!(LineAddr(0x1ff).bank(256), 0xff);
+    }
+
+    #[test]
+    fn banking_spreads_strided_lines_over_non_pow2_counts() {
+        // A plain `line % banks` map sends stride-`banks` sequences
+        // (lock arrays, per-core private regions) all to one bank. The
+        // mixed map must keep every bank's share of such a sequence
+        // within 2x of fair for a handful of adversarial strides.
+        for banks in [3usize, 6, 12, 24, 48] {
+            for stride in [1u64, banks as u64, 2 * banks as u64, 0x400] {
+                let mut load = vec![0u32; banks];
+                let n = 4096u64;
+                for i in 0..n {
+                    load[LineAddr(i * stride).bank(banks)] += 1;
+                }
+                let fair = n as u32 / banks as u32;
+                for (b, &c) in load.iter().enumerate() {
+                    assert!(
+                        c < 2 * fair,
+                        "bank {b} of {banks} got {c}/{n} lines at stride {stride:#x} (fair {fair})"
+                    );
+                }
+            }
+        }
     }
 
     wb_proptest! {
@@ -131,9 +173,14 @@ mod tests {
         }
 
         #[test]
-        fn same_line_same_bank(line in 0u64..100_000, i in 0usize..8, j in 0usize..8) {
+        fn same_line_same_bank(line in 0u64..100_000, i in 0usize..8, j in 0usize..8, banks in 1usize..40) {
             let l = LineAddr(line);
-            prop_assert_eq!(l.word(i).line().bank(16), l.word(j).line().bank(16));
+            prop_assert_eq!(l.word(i).line().bank(banks), l.word(j).line().bank(banks));
+        }
+
+        #[test]
+        fn bank_always_in_range(line in 0u64..u64::MAX, banks in 1usize..400) {
+            prop_assert!(LineAddr(line).bank(banks) < banks);
         }
     }
 }

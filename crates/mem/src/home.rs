@@ -1,0 +1,147 @@
+//! Home mapping: which directory bank, hosted at which node, owns a line.
+//!
+//! Up to PR 5 the machine had exactly one directory bank per tile, so
+//! "home bank" and "home node" were the same number and
+//! [`LineAddr::bank`] answered both questions. Scaling the machine up
+//! decouples them: a node may host several address-interleaved banks
+//! (`dir_banks_per_node` in `MemoryConfig`), and protocol messages
+//! still route by *node* while the receiving tile dispatches by
+//! *bank*. [`HomeMap`] is the one place that arithmetic lives.
+//!
+//! Banks are numbered globally in `0..total_banks()` and distributed
+//! round-robin across nodes: bank `b` lives at node `b % nodes`, so
+//! node `i` hosts banks `i, i + nodes, i + 2*nodes, ...`. With one
+//! bank per node this degenerates to the identity map the 4x4 machine
+//! always used.
+
+use crate::addr::LineAddr;
+
+/// The line-to-bank-to-node home mapping of a tiled system.
+///
+/// # Example
+///
+/// ```
+/// use wb_mem::{HomeMap, LineAddr};
+/// let map = HomeMap::new(16, 2);
+/// assert_eq!(map.total_banks(), 32);
+/// let line = LineAddr(0x11);
+/// let bank = map.bank_of(line);
+/// assert_eq!(map.node_of(bank), map.home_node(line));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HomeMap {
+    nodes: usize,
+    banks_per_node: usize,
+}
+
+impl HomeMap {
+    /// A map for `nodes` tiles, each hosting `banks_per_node` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(nodes: usize, banks_per_node: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(banks_per_node > 0, "need at least one bank per node");
+        HomeMap { nodes, banks_per_node }
+    }
+
+    /// Number of tiles in the system.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Banks hosted per tile.
+    #[inline]
+    pub fn banks_per_node(&self) -> usize {
+        self.banks_per_node
+    }
+
+    /// Total directory banks in the system.
+    #[inline]
+    pub fn total_banks(&self) -> usize {
+        self.nodes * self.banks_per_node
+    }
+
+    /// Global index of the bank owning `line`.
+    #[inline]
+    pub fn bank_of(&self, line: LineAddr) -> usize {
+        line.bank(self.total_banks())
+    }
+
+    /// The node hosting global bank `bank`.
+    #[inline]
+    pub fn node_of(&self, bank: usize) -> usize {
+        debug_assert!(bank < self.total_banks(), "bank {bank} out of range");
+        bank % self.nodes
+    }
+
+    /// The node hosting the bank owning `line` — the routing target of
+    /// a directory-bound protocol message.
+    #[inline]
+    pub fn home_node(&self, line: LineAddr) -> usize {
+        self.node_of(self.bank_of(line))
+    }
+
+    /// Global indices of the banks hosted at `node`, ascending.
+    pub fn banks_at(&self, node: usize) -> impl Iterator<Item = usize> + use<> {
+        debug_assert!(node < self.nodes, "node {node} out of range");
+        (node..self.total_banks()).step_by(self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wb_kernel::check::prelude::*;
+
+    #[test]
+    fn single_bank_per_node_is_the_identity_map() {
+        // The 4x4 machine's historical behavior: bank index == node
+        // index == line.bank(16).
+        let map = HomeMap::new(16, 1);
+        assert_eq!(map.total_banks(), 16);
+        for line in 0..200u64 {
+            let l = LineAddr(line);
+            assert_eq!(map.bank_of(l), l.bank(16));
+            assert_eq!(map.home_node(l), map.bank_of(l));
+        }
+    }
+
+    #[test]
+    fn banks_at_partitions_all_banks() {
+        let map = HomeMap::new(6, 3);
+        let mut seen = vec![false; map.total_banks()];
+        for node in 0..map.nodes() {
+            for bank in map.banks_at(node) {
+                assert_eq!(map.node_of(bank), node);
+                assert!(!seen[bank], "bank {bank} hosted twice");
+                seen[bank] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every bank is hosted somewhere");
+    }
+
+    #[test]
+    fn sharded_map_keeps_pow2_interleave_per_node() {
+        // 16 nodes x 2 banks: 32 banks, pow-2, so bank_of is plain
+        // line interleave and consecutive lines round-robin the nodes.
+        let map = HomeMap::new(16, 2);
+        assert_eq!(map.bank_of(LineAddr(0)), 0);
+        assert_eq!(map.bank_of(LineAddr(17)), 17);
+        assert_eq!(map.node_of(17), 1);
+        assert_eq!(map.home_node(LineAddr(16)), 0);
+    }
+
+    wb_proptest! {
+        #[test]
+        fn home_node_consistent(line in 0u64..1_000_000, nodes in 1usize..64, bpn in 1usize..4) {
+            let map = HomeMap::new(nodes, bpn);
+            let bank = map.bank_of(LineAddr(line));
+            prop_assert!(bank < map.total_banks());
+            prop_assert_eq!(map.node_of(bank), map.home_node(LineAddr(line)));
+            prop_assert!(map.home_node(LineAddr(line)) < nodes);
+        }
+    }
+}

@@ -6,9 +6,11 @@
 //! words while coherence *reads and writes* operate on cache lines.
 
 pub mod addr;
+pub mod home;
 pub mod line;
 pub mod memory;
 
 pub use addr::{Addr, LineAddr, WORDS_PER_LINE, WORD_BYTES};
+pub use home::HomeMap;
 pub use line::LineData;
 pub use memory::MainMemory;

@@ -1,0 +1,45 @@
+//! Shared topology handling for the mesh test suites.
+//!
+//! Every suite used to hardcode `Mesh::new(4, 4, 16, 6, ...)`, which
+//! quietly baked the 4x4 machine into tests that are supposed to hold
+//! at any size. Suites construct meshes through [`Topo`] instead, and
+//! the ARQ/fault contracts run at 8x8 as well as the historical 4x4.
+
+// Each test binary compiles its own copy and uses a different subset.
+#![allow(dead_code)]
+
+use wb_mesh::Mesh;
+
+/// Hop latency every suite was tuned against.
+pub const HOP_CYCLES: u64 = 6;
+
+/// A square-ish mesh topology under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topo {
+    pub width: usize,
+    pub height: usize,
+}
+
+/// The historical 4x4 (16-node) machine; latency pins assume it.
+pub const X4: Topo = Topo { width: 4, height: 4 };
+/// 8x8 (64 nodes): first size where `u16`/bitmask shortcuts still fit
+/// but small-topology assumptions (corner IDs, `% 16`) break.
+pub const X8: Topo = Topo { width: 8, height: 8 };
+
+/// Topologies the reliability/fault contracts must hold on.
+pub const CONTRACT_TOPOS: [Topo; 2] = [X4, X8];
+
+impl Topo {
+    pub fn nodes(self) -> usize {
+        self.width * self.height
+    }
+
+    /// Node ID of the corner farthest from node 0 (the worst route).
+    pub fn far_corner(self) -> u16 {
+        (self.nodes() - 1) as u16
+    }
+
+    pub fn mesh<T>(self, jitter: u64, seed: u64) -> Mesh<T> {
+        Mesh::new(self.width, self.height, self.nodes(), HOP_CYCLES, jitter, seed)
+    }
+}

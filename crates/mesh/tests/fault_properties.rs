@@ -7,6 +7,10 @@
 //!    never surface; traffic still completes);
 //! 3. a `FaultPlan::none()` run is byte-identical (same delivery
 //!    schedule) to a mesh without the sublayer at the same seed.
+//!
+//! Each case also samples its topology from `common::CONTRACT_TOPOS`,
+//! so the contracts are exercised at 8x8 as well as 4x4; generated node
+//! indices are reduced modulo the sampled node count.
 
 use wb_kernel::chaos::FlowMatch;
 use wb_kernel::check::prelude::*;
@@ -15,11 +19,21 @@ use wb_kernel::fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan};
 use wb_kernel::NodeId;
 use wb_mesh::{Mesh, MeshMsg, VNet};
 
+mod common;
+use common::{Topo, CONTRACT_TOPOS};
+
 /// (src, dst, vnet ordinal, big-message flag) of one injected message.
+/// Node indices range over the largest contract topology and are taken
+/// modulo the actual node count at injection time.
 type MsgSpec = (u16, u16, usize, u32);
 
 fn msg_spec() -> Gen<MsgSpec> {
-    (0u16..16, 0u16..16, 0usize..3, 0u32..2).into_gen()
+    (0u16..64, 0u16..64, 0usize..3, 0u32..2).into_gen()
+}
+
+fn resolve(spec: MsgSpec, topo: Topo) -> (NodeId, NodeId, VNet, u64) {
+    let n = topo.nodes() as u16;
+    (NodeId(spec.0 % n), NodeId(spec.1 % n), VNet::ALL[spec.2], if spec.3 == 1 { 5 } else { 1 })
 }
 
 /// One random clause with probability ≤ 2/10 and a random matcher.
@@ -39,26 +53,17 @@ fn fault_clause() -> Gen<FaultClause> {
     (flow, effect).prop_map(|(flow, effect)| FaultClause { flow, effect })
 }
 
-/// Inject `specs`, run to idle, and return per-(src,dst,vnet) delivered
-/// payload sequences keyed in spec order.
-fn drive(mut m: Mesh<u32>, specs: &[MsgSpec]) -> Result<Vec<Vec<u32>>, String> {
+/// Inject `specs`, run to idle, and return delivered payloads per node.
+fn drive(mut m: Mesh<u32>, topo: Topo, specs: &[MsgSpec]) -> Result<Vec<Vec<u32>>, String> {
     // payload = index into specs, so deliveries map back to flows.
-    for (i, &(src, dst, vnet, _big)) in specs.iter().enumerate() {
-        m.send(
-            i as u64,
-            MeshMsg {
-                src: NodeId(src),
-                dst: NodeId(dst),
-                vnet: VNet::ALL[vnet],
-                flits: if specs[i].3 == 1 { 5 } else { 1 },
-                payload: i as u32,
-            },
-        );
+    for (i, &spec) in specs.iter().enumerate() {
+        let (src, dst, vnet, flits) = resolve(spec, topo);
+        m.send(i as u64, MeshMsg { src, dst, vnet, flits: flits as u32, payload: i as u32 });
     }
-    let mut got: Vec<Vec<u32>> = (0..16).map(|_| Vec::new()).collect();
+    let mut got: Vec<Vec<u32>> = (0..topo.nodes()).map(|_| Vec::new()).collect();
     for now in 0..4_000_000u64 {
         m.tick(now);
-        for n in 0..16u16 {
+        for n in 0..topo.nodes() as u16 {
             got[n as usize].extend(m.drain_arrived(NodeId(n)).into_iter().map(|ms| ms.payload));
         }
         if m.is_idle() {
@@ -78,12 +83,14 @@ wb_proptest! {
         clauses in vec_of(fault_clause(), 1..4),
         specs in vec_of(msg_spec(), 1..60),
         seed in 0u64..10_000,
+        which_topo in 0usize..2,
     ) {
+        let topo = CONTRACT_TOPOS[which_topo];
         let plan = FaultPlan { name: "prop_random", clauses };
-        let mut m = Mesh::new(4, 4, 16, 6, 0, seed);
+        let mut m = topo.mesh(0, seed);
         m.enable_reliable(LinkConfig { window: 8, rto_min: 128, rto_max: 2048, ack_idle: 32 });
         m.set_fault(Some(FaultEngine::new(plan, seed)));
-        let got = match drive(m, &specs) {
+        let got = match drive(m, topo, &specs) {
             Ok(g) => g,
             Err(e) => return Err(CaseError::new(e)),
         };
@@ -91,17 +98,18 @@ wb_proptest! {
         // injection order (that IS the per-flow FIFO contract).
         let mut expected: std::collections::BTreeMap<(u16, u16, usize), Vec<u32>> =
             std::collections::BTreeMap::new();
-        for (i, &(src, dst, vnet, _)) in specs.iter().enumerate() {
-            expected.entry((src, dst, vnet)).or_default().push(i as u32);
+        for (i, &spec) in specs.iter().enumerate() {
+            let (src, dst, _, _) = resolve(spec, topo);
+            expected.entry((src.0, dst.0, spec.2)).or_default().push(i as u32);
         }
         // Delivered order per flow, reconstructed from per-node drains.
         let mut delivered: std::collections::BTreeMap<(u16, u16, usize), Vec<u32>> =
             std::collections::BTreeMap::new();
-        for node in 0..16usize {
+        for node in 0..topo.nodes() {
             for &p in &got[node] {
-                let (src, dst, vnet, _) = specs[p as usize];
-                prop_assert_eq!(dst as usize, node, "delivered to the wrong node");
-                delivered.entry((src, dst, vnet)).or_default().push(p);
+                let (src, dst, _, _) = resolve(specs[p as usize], topo);
+                prop_assert_eq!(dst.index(), node, "delivered to the wrong node");
+                delivered.entry((src.0, dst.0, specs[p as usize].2)).or_default().push(p);
             }
         }
         prop_assert_eq!(delivered, expected, "lost, duplicated, or reordered within a flow");
@@ -114,16 +122,18 @@ wb_proptest! {
         num in 1u64..3,
         specs in vec_of(msg_spec(), 1..50),
         seed in 0u64..10_000,
+        which_topo in 0usize..2,
     ) {
+        let topo = CONTRACT_TOPOS[which_topo];
         let plan = FaultPlan::one(
             "prop_corrupt",
             FlowMatch::ANY,
             FaultEffect::CorruptPayload { num, den: 10 },
         );
-        let mut m = Mesh::new(4, 4, 16, 6, 0, seed);
+        let mut m = topo.mesh(0, seed);
         m.enable_reliable(LinkConfig { window: 8, rto_min: 128, rto_max: 2048, ack_idle: 32 });
         m.set_fault(Some(FaultEngine::new(plan, seed)));
-        let got = match drive(m, &specs) {
+        let got = match drive(m, topo, &specs) {
             Ok(g) => g,
             Err(e) => return Err(CaseError::new(e)),
         };
@@ -140,29 +150,23 @@ wb_proptest! {
         specs in vec_of(msg_spec(), 1..60),
         seed in 0u64..10_000,
         jitter in 0u64..30,
+        which_topo in 0usize..2,
     ) {
+        let topo = CONTRACT_TOPOS[which_topo];
         let log = |reliable: bool| {
-            let mut m = Mesh::new(4, 4, 16, 6, jitter, seed);
+            let mut m = topo.mesh(jitter, seed);
             if reliable {
                 m.enable_reliable(LinkConfig::default());
                 m.set_fault(Some(FaultEngine::new(FaultPlan::none(), seed)));
             }
-            for (i, &(src, dst, vnet, big)) in specs.iter().enumerate() {
-                m.send(
-                    i as u64,
-                    MeshMsg {
-                        src: NodeId(src),
-                        dst: NodeId(dst),
-                        vnet: VNet::ALL[vnet],
-                        flits: if big == 1 { 5 } else { 1 },
-                        payload: i as u32,
-                    },
-                );
+            for (i, &spec) in specs.iter().enumerate() {
+                let (src, dst, vnet, flits) = resolve(spec, topo);
+                m.send(i as u64, MeshMsg { src, dst, vnet, flits: flits as u32, payload: i as u32 });
             }
             let mut out: Vec<(u64, u16, u32)> = Vec::new();
             for now in 0..200_000u64 {
                 m.tick(now);
-                for n in 0..16u16 {
+                for n in 0..topo.nodes() as u16 {
                     for ms in m.drain_arrived(NodeId(n)) {
                         out.push((now, n, ms.payload));
                     }

@@ -7,8 +7,13 @@ use wb_kernel::chaos::{ChaosEngine, ChaosPlan};
 use wb_kernel::{Cycle, NodeId};
 use wb_mesh::{Mesh, MeshMsg, VNet};
 
+mod common;
+
+/// Latency pins below (cycle 7, 6 hops to node 15, ...) are tuned to
+/// the 4x4 topology; they stay there. Topology-independent contracts
+/// also get an 8x8 run.
 fn mk(jitter: u64) -> Mesh<u32> {
-    Mesh::new(4, 4, 16, 6, jitter, 1)
+    common::X4.mesh(jitter, 1)
 }
 
 fn run_until_delivered(
@@ -36,6 +41,14 @@ fn hops_manhattan() {
     assert_eq!(m.hops(NodeId(0), NodeId(3)), 3);
     assert_eq!(m.hops(NodeId(0), NodeId(15)), 6);
     assert_eq!(m.hops(NodeId(5), NodeId(6)), 1);
+}
+
+#[test]
+fn hops_manhattan_at_8x8() {
+    let m: Mesh<u32> = common::X8.mesh(0, 1);
+    assert_eq!(m.hops(NodeId(0), NodeId(7)), 7);
+    assert_eq!(m.hops(NodeId(0), NodeId(63)), 14); // full diameter
+    assert_eq!(m.hops(NodeId(8), NodeId(16)), 1); // vertical neighbours
 }
 
 #[test]
@@ -85,17 +98,20 @@ fn per_flow_fifo_preserved() {
 
 #[test]
 fn per_flow_fifo_preserved_under_jitter() {
-    for seed in 0..20u64 {
-        let mut m = Mesh::new(4, 4, 16, 6, 25, seed);
-        for i in 0..10u32 {
-            m.send(0, MeshMsg { src: NodeId(3), dst: NodeId(9), vnet: VNet::Forward, flits: 1, payload: i });
+    for topo in common::CONTRACT_TOPOS {
+        for seed in 0..20u64 {
+            let mut m: Mesh<u32> = topo.mesh(25, seed);
+            let dst = NodeId(topo.far_corner() - 6);
+            for i in 0..10u32 {
+                m.send(0, MeshMsg { src: NodeId(3), dst, vnet: VNet::Forward, flits: 1, payload: i });
+            }
+            let mut got = Vec::new();
+            for now in 0..2_000 {
+                m.tick(now);
+                got.extend(m.drain_arrived(dst).into_iter().map(|mm| mm.payload));
+            }
+            assert_eq!(got, (0..10).collect::<Vec<_>>(), "{topo:?} seed {seed}");
         }
-        let mut got = Vec::new();
-        for now in 0..500 {
-            m.tick(now);
-            got.extend(m.drain_arrived(NodeId(9)).into_iter().map(|mm| mm.payload));
-        }
-        assert_eq!(got, (0..10).collect::<Vec<_>>(), "seed {seed}");
     }
 }
 
@@ -230,7 +246,7 @@ fn chaos_preserves_per_flow_fifo() {
 #[test]
 fn chaos_is_deterministic() {
     let deliveries = |seed: u64| {
-        let mut m = Mesh::<u32>::new(4, 4, 16, 6, 0, seed);
+        let mut m: Mesh<u32> = common::X4.mesh(0, seed);
         m.set_chaos(Some(ChaosEngine::new(ChaosPlan::wb_entry_squeeze(), seed)));
         let mut log = Vec::new();
         for p in 0..30u32 {
@@ -255,7 +271,7 @@ fn chaos_is_deterministic() {
 fn chaos_none_is_byte_identical() {
     // Installing no chaos must not perturb the rng-driven schedule.
     let run = |with_none_install: bool| {
-        let mut m = Mesh::<u32>::new(4, 4, 16, 6, 20, 9);
+        let mut m: Mesh<u32> = common::X4.mesh(20, 9);
         if with_none_install {
             m.set_chaos(None);
         }

@@ -1,6 +1,7 @@
 //! Reliable-delivery sublayer under injected link faults: drops are
 //! retransmitted, duplicates squashed, corruptions detected, and the
-//! protocol-visible contract (exactly-once, per-flow FIFO) holds.
+//! protocol-visible contract (exactly-once, per-flow FIFO) holds — at
+//! the historical 4x4 and at 8x8 (`common::CONTRACT_TOPOS`).
 
 use wb_kernel::config::LinkConfig;
 use wb_kernel::fault::{FaultEffect, FaultEngine, FaultPlan, HopFate};
@@ -8,8 +9,11 @@ use wb_kernel::chaos::FlowMatch;
 use wb_kernel::{NodeId, TraceEvent};
 use wb_mesh::{Mesh, MeshMsg, VNet};
 
-fn reliable_mesh(seed: u64, plan: FaultPlan) -> Mesh<u32> {
-    let mut m = Mesh::new(4, 4, 16, 6, 0, seed);
+mod common;
+use common::{Topo, CONTRACT_TOPOS, X4};
+
+fn reliable_mesh(topo: Topo, seed: u64, plan: FaultPlan) -> Mesh<u32> {
+    let mut m = topo.mesh(0, seed);
     m.enable_reliable(LinkConfig::default());
     m.set_fault(Some(FaultEngine::new(plan, seed)));
     m
@@ -17,11 +21,11 @@ fn reliable_mesh(seed: u64, plan: FaultPlan) -> Mesh<u32> {
 
 /// Drive until idle (or the cycle limit), draining every node each
 /// cycle; returns the delivered payloads per destination in drain order.
-fn run_to_idle(m: &mut Mesh<u32>, limit: u64) -> Vec<Vec<u32>> {
-    let mut got: Vec<Vec<u32>> = (0..16).map(|_| Vec::new()).collect();
+fn run_to_idle(m: &mut Mesh<u32>, nodes: usize, limit: u64) -> Vec<Vec<u32>> {
+    let mut got: Vec<Vec<u32>> = (0..nodes).map(|_| Vec::new()).collect();
     for now in 0..limit {
         m.tick(now);
-        for n in 0..16u16 {
+        for n in 0..nodes as u16 {
             got[n as usize].extend(m.drain_arrived(NodeId(n)).into_iter().map(|ms| ms.payload));
         }
         if m.is_idle() {
@@ -33,72 +37,84 @@ fn run_to_idle(m: &mut Mesh<u32>, limit: u64) -> Vec<Vec<u32>> {
 
 #[test]
 fn no_fault_reliable_run_delivers_in_order_and_settles() {
-    let mut m = reliable_mesh(3, FaultPlan::none());
-    for p in 0..25u32 {
-        m.send(p as u64, MeshMsg { src: NodeId(1), dst: NodeId(14), vnet: VNet::Request, flits: 1, payload: p });
+    for topo in CONTRACT_TOPOS {
+        let far = topo.far_corner();
+        let mut m = reliable_mesh(topo, 3, FaultPlan::none());
+        for p in 0..25u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(1), dst: NodeId(far - 1), vnet: VNet::Request, flits: 1, payload: p });
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 50_000);
+        assert_eq!(got[(far - 1) as usize], (0..25).collect::<Vec<_>>(), "{topo:?}");
+        assert_eq!(m.fault_injected(), (0, 0, 0));
+        assert_eq!(m.stats().get("link_retx"), 0, "nothing lost, nothing to retransmit");
+        assert!(m.stats().get("link_acks") > 0, "flows must still be acked to settle");
     }
-    let got = run_to_idle(&mut m, 50_000);
-    assert_eq!(got[14], (0..25).collect::<Vec<_>>());
-    assert_eq!(m.fault_injected(), (0, 0, 0));
-    assert_eq!(m.stats().get("link_retx"), 0, "nothing lost, nothing to retransmit");
-    assert!(m.stats().get("link_acks") > 0, "flows must still be acked to settle");
 }
 
 #[test]
 fn drops_are_retransmitted_exactly_once_fifo() {
-    let mut m = reliable_mesh(7, FaultPlan::drop_everywhere(1, 10));
-    for p in 0..40u32 {
-        m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Response, flits: 5, payload: p });
+    for topo in CONTRACT_TOPOS {
+        let far = topo.far_corner();
+        let mut m = reliable_mesh(topo, 7, FaultPlan::drop_everywhere(1, 10));
+        for p in 0..40u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(far), vnet: VNet::Response, flits: 5, payload: p });
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 2_000_000);
+        assert_eq!(got[far as usize], (0..40).collect::<Vec<_>>(), "{topo:?}: exactly once, in order");
+        let (dropped, _, _) = m.fault_injected();
+        assert!(dropped > 0, "{topo:?}: 1/10 drop never fired over 40 long-route messages");
+        // Not every drop forces its own retransmission (a dropped standalone
+        // ack can be covered by a later cumulative ack), but recovery from
+        // data loss always needs at least one.
+        assert!(m.stats().get("link_retx") > 0, "lost data frames must be retransmitted");
+        let retx_hist = m.stats().hist("link_retx_cycles").expect("retx latency hist");
+        assert!(retx_hist.count() > 0);
+        let count_hist = m.stats().hist("link_retx_count").expect("retx count hist");
+        assert!(count_hist.count() > 0);
     }
-    let got = run_to_idle(&mut m, 2_000_000);
-    assert_eq!(got[15], (0..40).collect::<Vec<_>>(), "exactly once, in order");
-    let (dropped, _, _) = m.fault_injected();
-    assert!(dropped > 0, "1/10 drop never fired over 40 x 6-hop messages");
-    // Not every drop forces its own retransmission (a dropped standalone
-    // ack can be covered by a later cumulative ack), but recovery from
-    // data loss always needs at least one.
-    assert!(m.stats().get("link_retx") > 0, "lost data frames must be retransmitted");
-    let retx_hist = m.stats().hist("link_retx_cycles").expect("retx latency hist");
-    assert!(retx_hist.count() > 0);
-    let count_hist = m.stats().hist("link_retx_count").expect("retx count hist");
-    assert!(count_hist.count() > 0);
 }
 
 #[test]
 fn duplicates_are_squashed() {
-    let mut m = reliable_mesh(11, FaultPlan::duplicate_storm());
-    for p in 0..30u32 {
-        m.send(p as u64, MeshMsg { src: NodeId(2), dst: NodeId(13), vnet: VNet::Forward, flits: 1, payload: p });
+    for topo in CONTRACT_TOPOS {
+        let far = topo.far_corner();
+        let mut m = reliable_mesh(topo, 11, FaultPlan::duplicate_storm());
+        for p in 0..30u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(2), dst: NodeId(far - 2), vnet: VNet::Forward, flits: 1, payload: p });
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 2_000_000);
+        assert_eq!(got[(far - 2) as usize], (0..30).collect::<Vec<_>>(), "{topo:?}: duplicates must not surface");
+        let (_, duplicated, _) = m.fault_injected();
+        assert!(duplicated > 0, "1/5 duplication never fired");
+        assert!(m.stats().get("link_dup_squashed") > 0);
     }
-    let got = run_to_idle(&mut m, 2_000_000);
-    assert_eq!(got[13], (0..30).collect::<Vec<_>>(), "duplicates must not surface");
-    let (_, duplicated, _) = m.fault_injected();
-    assert!(duplicated > 0, "1/5 duplication never fired");
-    assert!(m.stats().get("link_dup_squashed") > 0);
 }
 
 #[test]
 fn corruption_is_detected_and_recovered() {
-    let mut m = reliable_mesh(5, FaultPlan::corrupt_everywhere());
-    for p in 0..30u32 {
-        m.send(p as u64, MeshMsg { src: NodeId(3), dst: NodeId(12), vnet: VNet::Response, flits: 5, payload: p });
+    for topo in CONTRACT_TOPOS {
+        let far = topo.far_corner();
+        let mut m = reliable_mesh(topo, 5, FaultPlan::corrupt_everywhere());
+        for p in 0..30u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(3), dst: NodeId(far - 3), vnet: VNet::Response, flits: 5, payload: p });
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 2_000_000);
+        assert_eq!(got[(far - 3) as usize], (0..30).collect::<Vec<_>>(), "{topo:?}");
+        let (_, _, corrupted) = m.fault_injected();
+        assert!(corrupted > 0, "1/10 corruption never fired");
+        // Injection counts per-hop events; a frame corrupted at two hops is
+        // discarded once. Every corrupted frame must be caught, never more.
+        assert!(m.stats().get("link_corrupt_dropped") > 0, "no corruption was ever caught");
+        assert!(
+            m.stats().get("link_corrupt_dropped") <= m.stats().get("link_corrupt_injected"),
+            "more discards than injected corruptions"
+        );
     }
-    let got = run_to_idle(&mut m, 2_000_000);
-    assert_eq!(got[12], (0..30).collect::<Vec<_>>());
-    let (_, _, corrupted) = m.fault_injected();
-    assert!(corrupted > 0, "1/10 corruption never fired");
-    // Injection counts per-hop events; a frame corrupted at two hops is
-    // discarded once. Every corrupted frame must be caught, never more.
-    assert!(m.stats().get("link_corrupt_dropped") > 0, "no corruption was ever caught");
-    assert!(
-        m.stats().get("link_corrupt_dropped") <= m.stats().get("link_corrupt_injected"),
-        "more discards than injected corruptions"
-    );
 }
 
 #[test]
 fn window_backpressure_queues_and_eventually_delivers() {
-    let mut m = Mesh::new(4, 4, 16, 6, 0, 9);
+    let mut m: Mesh<u32> = X4.mesh(0, 9);
     m.enable_reliable(LinkConfig { window: 4, rto_min: 64, rto_max: 1024, ack_idle: 8 });
     m.set_fault(Some(FaultEngine::new(FaultPlan::drop_everywhere(1, 5), 9)));
     // Burst far beyond the 4-frame window in one cycle.
@@ -106,39 +122,42 @@ fn window_backpressure_queues_and_eventually_delivers() {
         m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
     }
     assert!(m.stats().get("link_backpressure_msgs") >= 46, "window 4 must queue the rest");
-    let got = run_to_idle(&mut m, 2_000_000);
+    let got = run_to_idle(&mut m, 16, 2_000_000);
     assert_eq!(got[15], (0..50).collect::<Vec<_>>());
 }
 
 #[test]
 fn mixed_misery_across_all_pairs_stays_exactly_once() {
-    let mut m = reliable_mesh(21, FaultPlan::mixed_misery());
-    let mut expected: Vec<Vec<u32>> = (0..16).map(|_| Vec::new()).collect();
-    for p in 0..120u32 {
-        let src = NodeId((p % 16) as u16);
-        let dst = NodeId((p.wrapping_mul(7) % 16) as u16);
-        let vnet = VNet::ALL[(p % 3) as usize];
-        m.send(p as u64, MeshMsg { src, dst, vnet, flits: 1 + 4 * (p % 2), payload: p });
-        expected[dst.index()].push(p);
-    }
-    let got = run_to_idle(&mut m, 4_000_000);
-    for n in 0..16 {
-        let mut g = got[n].clone();
-        let mut e = expected[n].clone();
-        g.sort_unstable();
-        e.sort_unstable();
-        assert_eq!(g, e, "node {n}: lost or duplicated messages");
+    for topo in CONTRACT_TOPOS {
+        let n = topo.nodes() as u32;
+        let mut m = reliable_mesh(topo, 21, FaultPlan::mixed_misery());
+        let mut expected: Vec<Vec<u32>> = (0..topo.nodes()).map(|_| Vec::new()).collect();
+        for p in 0..120u32 {
+            let src = NodeId((p % n) as u16);
+            let dst = NodeId((p.wrapping_mul(7) % n) as u16);
+            let vnet = VNet::ALL[(p % 3) as usize];
+            m.send(p as u64, MeshMsg { src, dst, vnet, flits: 1 + 4 * (p % 2), payload: p });
+            expected[dst.index()].push(p);
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 4_000_000);
+        for node in 0..topo.nodes() {
+            let mut g = got[node].clone();
+            let mut e = expected[node].clone();
+            g.sort_unstable();
+            e.sort_unstable();
+            assert_eq!(g, e, "{topo:?} node {node}: lost or duplicated messages");
+        }
     }
 }
 
 #[test]
 fn link_trace_events_are_recorded() {
-    let mut m = reliable_mesh(13, FaultPlan::mixed_misery());
+    let mut m = reliable_mesh(X4, 13, FaultPlan::mixed_misery());
     m.set_trace(wb_kernel::TraceFilter::all());
     for p in 0..60u32 {
         m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
     }
-    let _ = run_to_idle(&mut m, 2_000_000);
+    let _ = run_to_idle(&mut m, 16, 2_000_000);
     let (mut drops, mut retxs, mut squashes) = (0, 0, 0);
     for r in m.tracer().records() {
         match r.event {
@@ -155,16 +174,19 @@ fn link_trace_events_are_recorded() {
 
 #[test]
 fn lossy_single_link_only_hits_that_flow() {
-    let mut m = reliable_mesh(17, FaultPlan::lossy_link(0, 15));
-    for p in 0..20u32 {
-        m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(15), vnet: VNet::Request, flits: 1, payload: p });
-        m.send(p as u64, MeshMsg { src: NodeId(5), dst: NodeId(6), vnet: VNet::Request, flits: 1, payload: 1000 + p });
+    for topo in CONTRACT_TOPOS {
+        let far = topo.far_corner();
+        let mut m = reliable_mesh(topo, 17, FaultPlan::lossy_link(0, far));
+        for p in 0..20u32 {
+            m.send(p as u64, MeshMsg { src: NodeId(0), dst: NodeId(far), vnet: VNet::Request, flits: 1, payload: p });
+            m.send(p as u64, MeshMsg { src: NodeId(5), dst: NodeId(6), vnet: VNet::Request, flits: 1, payload: 1000 + p });
+        }
+        let got = run_to_idle(&mut m, topo.nodes(), 2_000_000);
+        assert_eq!(got[far as usize], (0..20).collect::<Vec<_>>(), "{topo:?}");
+        assert_eq!(got[6], (1000..1020).collect::<Vec<_>>(), "{topo:?}");
+        let (dropped, _, _) = m.fault_injected();
+        assert!(dropped > 0, "{topo:?}");
     }
-    let got = run_to_idle(&mut m, 2_000_000);
-    assert_eq!(got[15], (0..20).collect::<Vec<_>>());
-    assert_eq!(got[6], (1000..1020).collect::<Vec<_>>());
-    let (dropped, _, _) = m.fault_injected();
-    assert!(dropped > 0);
 }
 
 #[test]
@@ -182,14 +204,14 @@ fn hop_fate_clean_for_unmatched_plan() {
 #[test]
 #[should_panic(expected = "requires the reliable link layer")]
 fn fault_without_reliable_panics() {
-    let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
+    let mut m: Mesh<u32> = X4.mesh(0, 1);
     m.set_fault(Some(FaultEngine::new(FaultPlan::mixed_misery(), 1)));
 }
 
 #[test]
 #[should_panic(expected = "must precede all traffic")]
 fn enable_reliable_after_traffic_panics() {
-    let mut m: Mesh<u32> = Mesh::new(4, 4, 16, 6, 0, 1);
+    let mut m: Mesh<u32> = X4.mesh(0, 1);
     m.send(0, MeshMsg { src: NodeId(0), dst: NodeId(1), vnet: VNet::Request, flits: 1, payload: 1 });
     m.enable_reliable(LinkConfig::default());
 }

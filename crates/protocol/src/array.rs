@@ -4,15 +4,22 @@
 //! LLC/directory banks. Payload type is generic; replacement victims can
 //! be filtered by the caller (e.g. lines pinned by pending loads or
 //! transient coherence states are not evictable).
+//!
+//! # Layout
+//!
+//! Storage is struct-of-arrays over flat slot arenas (slot = `set *
+//! ways + way`): a tag plane, an LRU-stamp plane and a payload plane.
+//! Tag scans — the operation every cache access performs — walk `ways`
+//! adjacent `u64`s (one cache line for typical associativities) instead
+//! of chasing a `Vec<Vec<Way<T>>>` through two pointer hops per set and
+//! dragging payload bytes through the scan. At 256 cores the simulator
+//! holds hundreds of these arrays, so tick-loop residency matters.
 
 use wb_mem::LineAddr;
 
-#[derive(Debug, Clone)]
-struct Way<T> {
-    line: LineAddr,
-    last_used: u64,
-    payload: T,
-}
+/// Tag-plane sentinel for a free way. Line numbers are byte addresses
+/// divided by the 64-byte line size, so no real line reaches this value.
+const FREE: u64 = u64::MAX;
 
 /// Result of an [`SetAssocArray::insert`].
 #[derive(Debug, PartialEq, Eq)]
@@ -39,8 +46,15 @@ pub enum Insert<T> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocArray<T> {
-    sets: Vec<Vec<Way<T>>>,
+    /// Line number per slot; [`FREE`] marks an empty way.
+    tags: Vec<u64>,
+    /// LRU stamp per slot, parallel to `tags`.
+    stamps: Vec<u64>,
+    /// Payload per slot; `None` exactly when the tag is [`FREE`].
+    slots: Vec<Option<T>>,
+    num_sets: usize,
     ways: usize,
+    len: usize,
 }
 
 impl<T> SetAssocArray<T> {
@@ -51,7 +65,15 @@ impl<T> SetAssocArray<T> {
     /// Panics if either dimension is zero.
     pub fn new(num_sets: usize, ways: usize) -> Self {
         assert!(num_sets > 0 && ways > 0, "degenerate cache geometry");
-        SetAssocArray { sets: (0..num_sets).map(|_| Vec::with_capacity(ways)).collect(), ways }
+        let n = num_sets * ways;
+        SetAssocArray {
+            tags: vec![FREE; n],
+            stamps: vec![0; n],
+            slots: (0..n).map(|_| None).collect(),
+            num_sets,
+            ways,
+            len: 0,
+        }
     }
 
     /// Geometry helper: sets needed for `capacity_bytes` at `ways`
@@ -61,33 +83,40 @@ impl<T> SetAssocArray<T> {
         (lines / ways).max(1)
     }
 
-    fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+    #[inline]
+    fn base_of(&self, line: LineAddr) -> usize {
+        ((line.0 % self.num_sets as u64) as usize) * self.ways
+    }
+
+    /// Slot index holding `line`, if resident.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.base_of(line);
+        self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == line.0)
+            .map(|w| base + w)
     }
 
     /// Does the array currently hold `line`?
     pub fn contains(&self, line: LineAddr) -> bool {
-        let s = self.set_of(line);
-        self.sets[s].iter().any(|w| w.line == line)
+        self.find(line).is_some()
     }
 
     /// Borrow the payload for `line`.
     pub fn get(&self, line: LineAddr) -> Option<&T> {
-        let s = self.set_of(line);
-        self.sets[s].iter().find(|w| w.line == line).map(|w| &w.payload)
+        self.find(line).and_then(|i| self.slots[i].as_ref())
     }
 
     /// Mutably borrow the payload for `line`.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let s = self.set_of(line);
-        self.sets[s].iter_mut().find(|w| w.line == line).map(|w| &mut w.payload)
+        self.find(line).and_then(|i| self.slots[i].as_mut())
     }
 
     /// Mark `line` as most-recently used at time `now`.
     pub fn touch(&mut self, line: LineAddr, now: u64) {
-        let s = self.set_of(line);
-        if let Some(w) = self.sets[s].iter_mut().find(|w| w.line == line) {
-            w.last_used = now;
+        if let Some(i) = self.find(line) {
+            self.stamps[i] = now;
         }
     }
 
@@ -105,27 +134,33 @@ impl<T> SetAssocArray<T> {
         now: u64,
         evictable: impl Fn(LineAddr, &T) -> bool,
     ) -> Insert<T> {
-        let ways = self.ways;
-        let s = self.set_of(line);
-        debug_assert!(
-            !self.sets[s].iter().any(|w| w.line == line),
-            "inserting duplicate line {line}"
-        );
-        if self.sets[s].len() < ways {
-            self.sets[s].push(Way { line, last_used: now, payload });
-            return Insert::Done;
+        debug_assert!(!self.contains(line), "inserting duplicate line {line}");
+        let base = self.base_of(line);
+        // Free way first; otherwise the LRU evictable way (tag scan
+        // only — payloads are read just for the evictability filter).
+        let mut victim: Option<usize> = None;
+        for i in base..base + self.ways {
+            if self.tags[i] == FREE {
+                self.tags[i] = line.0;
+                self.stamps[i] = now;
+                self.slots[i] = Some(payload);
+                self.len += 1;
+                return Insert::Done;
+            }
+            let older = victim.is_none_or(|v| self.stamps[i] < self.stamps[v]);
+            if older && self.slots[i].as_ref().is_some_and(|p| evictable(LineAddr(self.tags[i]), p)) {
+                victim = Some(i);
+            }
         }
-        // Pick the LRU evictable way.
-        let victim = self.sets[s]
-            .iter()
-            .enumerate()
-            .filter(|(_, w)| evictable(w.line, &w.payload))
-            .min_by_key(|(_, w)| w.last_used)
-            .map(|(i, _)| i);
         match victim {
             Some(i) => {
-                let old = std::mem::replace(&mut self.sets[s][i], Way { line, last_used: now, payload });
-                Insert::Evicted(old.line, old.payload)
+                let old_line = LineAddr(self.tags[i]);
+                self.tags[i] = line.0;
+                self.stamps[i] = now;
+                match self.slots[i].replace(payload) {
+                    Some(old) => Insert::Evicted(old_line, old),
+                    None => Insert::Done,
+                }
             }
             None => Insert::NoVictim,
         }
@@ -133,24 +168,32 @@ impl<T> SetAssocArray<T> {
 
     /// Remove `line`, returning its payload.
     pub fn remove(&mut self, line: LineAddr) -> Option<T> {
-        let s = self.set_of(line);
-        let i = self.sets[s].iter().position(|w| w.line == line)?;
-        Some(self.sets[s].swap_remove(i).payload)
+        let i = self.find(line)?;
+        self.tags[i] = FREE;
+        let old = self.slots[i].take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
     }
 
     /// Iterate over `(line, payload)` for every resident entry.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &T)> {
-        self.sets.iter().flat_map(|s| s.iter().map(|w| (w.line, &w.payload)))
+        self.tags
+            .iter()
+            .zip(&self.slots)
+            .filter(|(&t, _)| t != FREE)
+            .filter_map(|(&t, p)| p.as_ref().map(|p| (LineAddr(t), p)))
     }
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.len
     }
 
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len == 0
     }
 }
 
@@ -224,6 +267,22 @@ mod tests {
         let mut lines: Vec<u64> = a.iter().map(|(l, _)| l.0).collect();
         lines.sort_unstable();
         assert_eq!(lines, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reuse_after_remove_keeps_len_consistent() {
+        // Slot arenas must recycle freed ways without leaking `len`.
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(2, 2);
+        for round in 0..5u64 {
+            for i in 0..4u64 {
+                a.insert(LineAddr(i), (round * 4 + i) as u32, round, |_, _| true);
+            }
+            assert_eq!(a.len(), 4);
+            for i in 0..4u64 {
+                assert_eq!(a.remove(LineAddr(i)), Some((round * 4 + i) as u32));
+            }
+            assert_eq!(a.len(), 0);
+        }
     }
 
     #[test]

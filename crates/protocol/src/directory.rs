@@ -29,16 +29,13 @@
 
 use crate::array::{Insert, SetAssocArray};
 use crate::messages::{Dest, ProtoMsg, ReadKind};
+use crate::sharers::SharerSet;
 use crate::{DirWait, ProtocolError};
 use std::collections::{HashMap, VecDeque};
 use wb_kernel::config::{MemoryConfig, SystemConfig};
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{Cycle, NodeId, Stats};
-use wb_mem::{LineAddr, LineData, MainMemory};
-
-fn bit(n: NodeId) -> u64 {
-    1u64 << n.index()
-}
+use wb_kernel::{CounterHandle, Cycle, NodeId, Stats};
+use wb_mem::{HomeMap, LineAddr, LineData, MainMemory};
 
 /// Directory-entry coherence state.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +55,7 @@ enum DirState {
         wb: bool,
         /// Option-1 ablation bookkeeping: cacheable readers admitted
         /// during WritersBlock that must be re-invalidated.
-        extra_sharers: u64,
+        extra_sharers: SharerSet,
         /// Outstanding acknowledgements from such re-invalidations.
         extra_acks: u32,
         /// LockdownAcks held back while re-invalidation rounds are running.
@@ -71,7 +68,7 @@ enum DirState {
 #[derive(Debug, Clone)]
 struct DirEntry {
     state: DirState,
-    sharers: u64,
+    sharers: SharerSet,
     owner: Option<NodeId>,
     data: LineData,
     queued: VecDeque<ProtoMsg>,
@@ -106,11 +103,22 @@ enum Event {
 
 /// One LLC + directory bank.
 pub struct Directory {
+    /// Node (tile) hosting this bank — the mesh routing target.
     node: NodeId,
+    /// Global bank index in `0..HomeMap::total_banks()`. With one bank
+    /// per node this equals the node index; sharded machines host
+    /// several banks per tile.
+    bank: usize,
     l3: SetAssocArray<DirEntry>,
     evict_buf: Vec<Evicting>,
     evict_cap: usize,
     memory: MainMemory,
+    /// Network arrivals waiting for a request port, in arrival order.
+    /// The bank accepts at most `ports` per cycle; the queue depth is
+    /// the bank-occupancy contention signal.
+    ingress: VecDeque<(Cycle, ProtoMsg)>,
+    /// Request ports: messages accepted from `ingress` per cycle.
+    ports: usize,
     events: VecDeque<(Cycle, Event)>,
     outbox: Vec<(Dest, ProtoMsg)>,
     l3_latency: u64,
@@ -136,12 +144,20 @@ pub struct Directory {
     /// Per-line tear-off serve counts feeding the `tearoff_reads_served`
     /// histogram (cross-check for Figure 8's uncacheable-read counts).
     tearoff_counts: HashMap<LineAddr, u64>,
+    /// Pre-resolved handles for the counters on the request hot path
+    /// (PR 5's `CounterHandle` pattern: no BTreeMap lookup per bump).
+    h_gets: CounterHandle,
+    h_getx: CounterHandle,
+    h_tearoff_replies: CounterHandle,
+    h_nack_retries: CounterHandle,
+    h_invs_sent: CounterHandle,
 }
 
 impl std::fmt::Debug for Directory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Directory")
             .field("node", &self.node)
+            .field("bank", &self.bank)
             .field("entries", &self.l3.len())
             .field("parked", &self.evict_buf.len())
             .finish()
@@ -149,20 +165,35 @@ impl std::fmt::Debug for Directory {
 }
 
 impl Directory {
-    /// Build the bank hosted at `node` from the system configuration.
-    pub fn new(node: NodeId, cfg: &SystemConfig) -> Self {
-        Directory::with_memory_config(node, &cfg.memory, cfg.wb_cacheable_reads)
+    /// Build global bank `bank` of the machine described by `home`; the
+    /// bank is hosted at `home.node_of(bank)`.
+    pub fn new(bank: usize, home: &HomeMap, cfg: &SystemConfig) -> Self {
+        let node = NodeId(home.node_of(bank) as u16);
+        let mut d = Directory::with_memory_config(node, &cfg.memory, cfg.wb_cacheable_reads);
+        d.bank = bank;
+        d.tracer = Tracer::new(CompId::Dir(bank as u16));
+        d
     }
 
-    /// Build from a memory configuration directly (tests).
+    /// Build a single bank at `node` (bank index == node index, the
+    /// one-bank-per-tile machine) from a memory configuration directly.
     pub fn with_memory_config(node: NodeId, mem: &MemoryConfig, option1: bool) -> Self {
         let sets = SetAssocArray::<DirEntry>::geometry(mem.l3_bank_bytes, mem.l3_ways, mem.line_bytes);
+        let mut stats = Stats::new();
+        let h_gets = stats.handle("dir_gets");
+        let h_getx = stats.handle("dir_getx");
+        let h_tearoff_replies = stats.handle("dir_tearoff_replies");
+        let h_nack_retries = stats.handle("dir_nack_retries");
+        let h_invs_sent = stats.handle("dir_invs_sent");
         Directory {
             node,
+            bank: node.index(),
             l3: SetAssocArray::new(sets, mem.l3_ways),
             evict_buf: Vec::new(),
             evict_cap: mem.dir_evict_buffer,
             memory: MainMemory::new(),
+            ingress: VecDeque::new(),
+            ports: mem.dir_bank_ports,
             events: VecDeque::new(),
             outbox: Vec::new(),
             l3_latency: mem.l3_hit_cycles,
@@ -170,12 +201,17 @@ impl Directory {
             retry_delay: 25,
             option1_cacheable_reads: option1,
             stray_unblocks: std::collections::HashMap::new(),
-            stats: Stats::new(),
+            stats,
             tracer: Tracer::new(CompId::Dir(node.0)),
             wb_since: HashMap::new(),
             fault: None,
             retry_counts: HashMap::new(),
             tearoff_counts: HashMap::new(),
+            h_gets,
+            h_getx,
+            h_tearoff_replies,
+            h_nack_retries,
+            h_invs_sent,
         }
     }
 
@@ -186,7 +222,7 @@ impl Directory {
         self.stats.inc("dir_protocol_faults");
         if self.fault.is_none() {
             self.fault = Some(ProtocolError {
-                at: format!("dir{}", self.node.index()),
+                at: format!("dir{}", self.bank),
                 line: line.0,
                 context: context.to_string(),
                 detail,
@@ -204,7 +240,7 @@ impl Directory {
     /// histogram and the `dir_nack_retries` counter the livelock
     /// classifier watches.
     fn note_retry(&mut self, line: LineAddr) {
-        self.stats.inc("dir_nack_retries");
+        self.stats.inc_h(self.h_nack_retries);
         let c = self.retry_counts.entry(line).or_insert(0);
         *c += 1;
         let c = *c;
@@ -214,7 +250,7 @@ impl Directory {
     /// A tear-off copy served for `line` (from the LLC, a parked
     /// eviction, or uncacheable memory).
     fn note_tearoff(&mut self, line: LineAddr) {
-        self.stats.inc("dir_tearoff_replies");
+        self.stats.inc_h(self.h_tearoff_replies);
         let c = self.tearoff_counts.entry(line).or_insert(0);
         *c += 1;
         let c = *c;
@@ -259,6 +295,12 @@ impl Directory {
     /// The node hosting this bank.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// This bank's global index (equals the node index on
+    /// one-bank-per-tile machines).
+    pub fn bank(&self) -> usize {
+        self.bank
     }
 
     /// Enable/disable event tracing (state transitions, WritersBlock
@@ -333,13 +375,20 @@ impl Directory {
         });
         let parked = self.evict_buf.iter().find(|p| p.line == line).map(|p| format!("parked pending={} wb={}", p.pending, p.wb));
         let evs: Vec<String> = self.events.iter().map(|(due, e)| format!("@{due}:{e:?}")).collect();
-        format!("dir{} line {line}: {entry:?} {parked:?} events=[{}]", self.node.index(), evs.join("; "))
+        format!(
+            "dir{} line {line}: {entry:?} {parked:?} ingress={} events=[{}]",
+            self.bank,
+            self.ingress.len(),
+            evs.join("; ")
+        )
     }
 
-    /// Accept a message from the network. Processing happens after the
-    /// bank's access latency.
+    /// Accept a message from the network. The message waits for one of
+    /// the bank's request ports (at most `dir_bank_ports` acceptances
+    /// per cycle); once accepted, processing happens after the bank's
+    /// access latency.
     pub fn receive(&mut self, now: Cycle, msg: ProtoMsg) {
-        self.events.push_back((now + self.l3_latency, Event::Process(msg)));
+        self.ingress.push_back((now, msg));
     }
 
     /// Drain messages to inject into the mesh.
@@ -361,7 +410,7 @@ impl Directory {
     /// mesh's own `next_event`), so they carry no deadline here.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut next: Option<Cycle> = None;
-        if !self.outbox.is_empty() {
+        if !self.outbox.is_empty() || !self.ingress.is_empty() {
             next = Some(now);
         }
         for &(due, _) in &self.events {
@@ -378,24 +427,45 @@ impl Directory {
 
     /// True when no event, transient entry or parked eviction is pending.
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty()
+        self.ingress.is_empty()
+            && self.events.is_empty()
             && self.evict_buf.is_empty()
             && self.l3.iter().all(|(_, e)| e.stable() && e.queued.is_empty())
     }
 
-    /// Advance one cycle: handle every event that has become due.
+    /// Advance one cycle: accept waiting requests through the bank's
+    /// ports, then handle every event that has become due.
     pub fn tick(&mut self, now: Cycle) {
-        // Events are *not* guaranteed to be in due-time order (memory
-        // fetches land far in the future), so scan the whole queue.
-        let mut remaining = VecDeque::with_capacity(self.events.len());
-        while let Some((due, ev)) = self.events.pop_front() {
-            if due <= now {
-                self.handle(now, ev);
-            } else {
-                remaining.push_back((due, ev));
+        if !self.ingress.is_empty() {
+            // One occupancy sample per busy cycle: how deep the request
+            // queue is when the ports start accepting.
+            self.stats.record("dir_bank_occupancy", self.ingress.len() as u64);
+            for _ in 0..self.ports {
+                match self.ingress.pop_front() {
+                    Some((_, msg)) => {
+                        self.events.push_back((now + self.l3_latency, Event::Process(msg)));
+                    }
+                    None => break,
+                }
+            }
+            if !self.ingress.is_empty() {
+                // Requests left waiting for a port: the contention the
+                // infinite-bandwidth model hid.
+                self.stats.inc("dir_port_stall_cycles");
             }
         }
-        self.events = remaining;
+        // Events are *not* guaranteed to be in due-time order (memory
+        // fetches land far in the future), so scan the whole queue —
+        // in place, rotating not-yet-due events to the back (handlers
+        // only ever push strictly-future events, so the first
+        // `original length` pops see exactly the pre-tick queue).
+        for _ in 0..self.events.len() {
+            match self.events.pop_front() {
+                Some((due, ev)) if due <= now => self.handle(now, ev),
+                Some(entry) => self.events.push_back(entry),
+                None => break,
+            }
+        }
     }
 
     fn send(&mut self, dst: NodeId, msg: ProtoMsg) {
@@ -493,7 +563,7 @@ impl Directory {
     }
 
     fn on_gets(&mut self, now: Cycle, line: LineAddr, requester: NodeId, kind: ReadKind) {
-        self.stats.inc("dir_gets");
+        self.stats.inc_h(self.h_gets);
         // Parked (mid-eviction) entries serve reads without a directory
         // entry: the read "performs without needing a directory entry"
         // (Section 3.5.1).
@@ -568,13 +638,13 @@ impl Directory {
                     ReadKind::TearOff => {
                         // Fresh data lives at the owner; it serves the
                         // tear-off directly and keeps its state.
-                        self.stats.inc("dir_tearoff_replies");
+                        self.stats.inc_h(self.h_tearoff_replies);
                         self.send(owner, ProtoMsg::FwdGetS { line, requester, kind });
                     }
                     ReadKind::Cacheable => {
                         // 3-hop read: owner sends data to the requester and
                         // a copy back here; both become sharers.
-                        entry.sharers = bit(owner);
+                        entry.sharers = SharerSet::solo(owner);
                         entry.owner = None;
                         entry.state = DirState::BusyRead {
                             requester,
@@ -593,11 +663,11 @@ impl Directory {
                     // copy that will have to be re-invalidated before the
                     // blocked write may proceed. Livelock-prone by design.
                     let data = entry.data;
-                    extra_sharers |= bit(requester);
+                    extra_sharers.insert(requester);
                     if let DirState::BusyWrite { extra_sharers: es, .. } = &mut entry.state {
                         *es = extra_sharers;
                     }
-                    entry.sharers |= bit(requester);
+                    entry.sharers.insert(requester);
                     *self.stray_unblocks.entry(line).or_insert(0) += 1;
                     self.stats.inc("dir_option1_cacheable_reads");
                     self.send(
@@ -631,7 +701,7 @@ impl Directory {
     // ------------------------------------------------------------------
 
     fn on_getx(&mut self, now: Cycle, line: LineAddr, requester: NodeId) {
-        self.stats.inc("dir_getx");
+        self.stats.inc_h(self.h_getx);
         if let Some(p) = self.evict_buf.iter_mut().find(|p| p.line == line) {
             // Writes queue behind a parked (WritersBlock) eviction.
             let hinted = p.wb;
@@ -651,7 +721,7 @@ impl Directory {
                 entry.state = DirState::BusyWrite {
                     writer: requester,
                     wb: false,
-                    extra_sharers: 0,
+                    extra_sharers: SharerSet::EMPTY,
                     extra_acks: 0,
                     deferred_redirs: 0,
                 };
@@ -669,13 +739,13 @@ impl Directory {
                 );
             }
             DirState::Shared => {
-                let invs = entry.sharers & !bit(requester);
-                let n = invs.count_ones();
+                let invs = entry.sharers.without(requester);
+                let n = invs.count() as u32;
                 let data = entry.data;
                 entry.state = DirState::BusyWrite {
                     writer: requester,
                     wb: false,
-                    extra_sharers: 0,
+                    extra_sharers: SharerSet::EMPTY,
                     extra_acks: 0,
                     deferred_redirs: 0,
                 };
@@ -691,11 +761,9 @@ impl Directory {
                         for_write: true,
                     },
                 );
-                for i in 0..64u32 {
-                    if invs & (1 << i) != 0 {
-                        self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: Some(requester) });
-                        self.stats.inc("dir_invs_sent");
-                    }
+                for target in invs {
+                    self.send(target, ProtoMsg::Inv { line, writer: Some(requester) });
+                    self.stats.inc_h(self.h_invs_sent);
                 }
             }
             DirState::Owned => {
@@ -704,7 +772,7 @@ impl Directory {
                 entry.state = DirState::BusyWrite {
                     writer: requester,
                     wb: false,
-                    extra_sharers: 0,
+                    extra_sharers: SharerSet::EMPTY,
                     extra_acks: 0,
                     deferred_redirs: 0,
                 };
@@ -789,8 +857,8 @@ impl Directory {
     fn on_puts(&mut self, line: LineAddr, requester: NodeId) {
         if let Some(entry) = self.l3.get_mut(line) {
             if matches!(entry.state, DirState::Shared) {
-                entry.sharers &= !bit(requester);
-                if entry.sharers == 0 {
+                entry.sharers.remove(requester);
+                if entry.sharers.is_empty() {
                     entry.state = DirState::Uncached;
                 }
             }
@@ -890,18 +958,17 @@ impl Directory {
         };
         enum Act {
             Redir(NodeId),
-            Reinvalidate(u64),
+            Reinvalidate(SharerSet),
             Bad(String),
         }
-        let sharers_mask = entry.sharers;
         let act = match &mut entry.state {
             DirState::BusyWrite { writer, extra_sharers, extra_acks, deferred_redirs, .. } => {
-                if option1 && (*extra_sharers != 0 || *extra_acks > 0) {
+                if option1 && (!extra_sharers.is_empty() || *extra_acks > 0) {
                     // Option 1: new sharers were admitted; they must be
                     // re-invalidated before the write may see its acks.
                     *deferred_redirs += 1;
-                    let sharers = std::mem::take(extra_sharers);
-                    *extra_acks += sharers.count_ones();
+                    let sharers = extra_sharers.take();
+                    *extra_acks += sharers.count() as u32;
                     Act::Reinvalidate(sharers)
                 } else {
                     Act::Redir(*writer)
@@ -910,7 +977,9 @@ impl Directory {
             other => Act::Bad(format!("in state {other:?}")),
         };
         if let Act::Reinvalidate(sharers) = &act {
-            entry.sharers = sharers_mask & !sharers;
+            for n in sharers.iter() {
+                entry.sharers.remove(n);
+            }
         }
         match act {
             Act::Redir(writer) => {
@@ -918,12 +987,10 @@ impl Directory {
                 self.send(writer, ProtoMsg::RedirAck { line });
             }
             Act::Reinvalidate(sharers) => {
-                for i in 0..64u32 {
-                    if sharers & (1 << i) != 0 {
-                        self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
-                        self.stats.inc("dir_option1_reinvalidations");
-                        self.note_retry(line);
-                    }
+                for target in sharers {
+                    self.send(target, ProtoMsg::Inv { line, writer: None });
+                    self.stats.inc("dir_option1_reinvalidations");
+                    self.note_retry(line);
                 }
             }
             Act::Bad(detail) => self.record_fault(line, "LockdownAck", detail),
@@ -942,7 +1009,7 @@ impl Directory {
         // arriving while this round ran, start another round — the
         // perpetual re-invalidation the paper predicts (Section 3.4).
         let mut flush: Option<(NodeId, u32)> = None;
-        let mut next_round: u64 = 0;
+        let mut next_round = SharerSet::EMPTY;
         let mut handled = false;
         if let Some(entry) = self.l3.get_mut(line) {
             if let DirState::BusyWrite { writer, extra_sharers, extra_acks, deferred_redirs, .. } =
@@ -951,25 +1018,25 @@ impl Directory {
                 handled = true;
                 *extra_acks = extra_acks.saturating_sub(1);
                 if *extra_acks == 0 {
-                    if *extra_sharers != 0 {
-                        next_round = std::mem::take(extra_sharers);
-                        *extra_acks = next_round.count_ones();
+                    if !extra_sharers.is_empty() {
+                        next_round = extra_sharers.take();
+                        *extra_acks = next_round.count() as u32;
                     } else if *deferred_redirs > 0 {
                         flush = Some((*writer, std::mem::take(deferred_redirs)));
                     }
                 }
             }
         }
-        if next_round != 0 {
+        if !next_round.is_empty() {
             if let Some(entry) = self.l3.get_mut(line) {
-                entry.sharers &= !next_round;
-            }
-            for i in 0..64u32 {
-                if next_round & (1 << i) != 0 {
-                    self.send(NodeId(i as u16), ProtoMsg::Inv { line, writer: None });
-                    self.stats.inc("dir_option1_reinvalidations");
-                    self.note_retry(line);
+                for n in next_round.iter() {
+                    entry.sharers.remove(n);
                 }
+            }
+            for target in next_round {
+                self.send(target, ProtoMsg::Inv { line, writer: None });
+                self.stats.inc("dir_option1_reinvalidations");
+                self.note_retry(line);
             }
         }
         if let Some((writer, n)) = flush {
@@ -1059,7 +1126,7 @@ impl Directory {
                 if *writer != from {
                     After::Bad(format!("from {from}, BusyWrite writer is {writer}"))
                 } else {
-                    entry.sharers = 0;
+                    entry.sharers = SharerSet::EMPTY;
                     entry.owner = Some(from);
                     entry.state = DirState::Owned;
                     After::DrainQueued
@@ -1088,10 +1155,10 @@ impl Directory {
         if let DirState::BusyRead { requester, grant_exclusive, .. } = entry.state.clone() {
             if grant_exclusive {
                 entry.owner = Some(requester);
-                entry.sharers = 0;
+                entry.sharers = SharerSet::EMPTY;
                 entry.state = DirState::Owned;
             } else {
-                entry.sharers |= bit(requester);
+                entry.sharers.insert(requester);
                 entry.owner = None;
                 entry.state = DirState::Shared;
             }
@@ -1150,7 +1217,7 @@ impl Directory {
         let buffer_free = self.evict_buf.len() < self.evict_cap;
         let fresh = DirEntry {
             state: DirState::Fetching,
-            sharers: 0,
+            sharers: SharerSet::EMPTY,
             owner: None,
             data: LineData::new(),
             queued: VecDeque::new(),
@@ -1178,7 +1245,7 @@ impl Directory {
                 self.stats.inc("dir_evictions_clean");
             }
             DirState::Shared => {
-                let n = v.sharers.count_ones();
+                let n = v.sharers.count() as u32;
                 if n == 0 {
                     self.memory.write_line(vline, v.data);
                     self.stats.inc("dir_evictions_clean");
@@ -1192,10 +1259,8 @@ impl Directory {
                     wb: false,
                     queued: VecDeque::new(),
                 });
-                for i in 0..64u32 {
-                    if v.sharers & (1 << i) != 0 {
-                        self.send(NodeId(i as u16), ProtoMsg::Inv { line: vline, writer: None });
-                    }
+                for target in v.sharers {
+                    self.send(target, ProtoMsg::Inv { line: vline, writer: None });
                 }
                 let _ = now;
             }

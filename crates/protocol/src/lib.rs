@@ -23,11 +23,13 @@ pub mod directory;
 pub mod messages;
 pub mod mshr;
 pub mod private;
+pub mod sharers;
 
 pub use directory::Directory;
 pub use messages::{ProtoMsg, ReadKind};
 pub use mshr::MshrFile;
 pub use private::{Completion, LoadAccess, PrivateCache, ReadTag};
+pub use sharers::SharerSet;
 
 use wb_mem::LineAddr;
 

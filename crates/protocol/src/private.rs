@@ -24,8 +24,8 @@ use crate::{CoreSide, InvalResponse, MshrWait, ProtocolError};
 use std::collections::HashMap;
 use wb_kernel::config::{MemoryConfig, ProtocolKind};
 use wb_kernel::trace::{CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{Cycle, NodeId, Stats};
-use wb_mem::{Addr, LineAddr, LineData};
+use wb_kernel::{CounterHandle, Cycle, NodeId, Stats};
+use wb_mem::{Addr, HomeMap, LineAddr, LineData};
 
 /// Identifies a load at the core so completions can be matched to LQ
 /// entries (the core uses the load's sequence number).
@@ -109,7 +109,7 @@ struct PendingFill {
 /// The private cache hierarchy and coherence controller of one core.
 pub struct PrivateCache {
     node: NodeId,
-    banks: usize,
+    home: HomeMap,
     protocol: ProtocolKind,
     silent_shared_evictions: bool,
     l1_hit: u64,
@@ -129,6 +129,13 @@ pub struct PrivateCache {
     /// First "impossible state" seen by this cache; the offending
     /// message is dropped and the system surfaces `RunOutcome::Fault`.
     fault: Option<ProtocolError>,
+    /// Pre-resolved handles for the per-access hot-path counters
+    /// (PR 5's `CounterHandle` pattern: no BTreeMap lookup per bump).
+    h_load_accesses: CounterHandle,
+    h_l1_hits: CounterHandle,
+    h_l2_hits: CounterHandle,
+    h_load_misses: CounterHandle,
+    h_stores_performed: CounterHandle,
 }
 
 impl std::fmt::Debug for PrivateCache {
@@ -142,14 +149,21 @@ impl std::fmt::Debug for PrivateCache {
 }
 
 impl PrivateCache {
-    /// Build a private cache for `node` in a system of `banks` directory
-    /// banks, from the Table 6 memory configuration.
-    pub fn new(node: NodeId, banks: usize, mem: &MemoryConfig, protocol: ProtocolKind) -> Self {
+    /// Build a private cache for `node` in a system whose directory
+    /// banks are laid out by `home`, from the Table 6 memory
+    /// configuration.
+    pub fn new(node: NodeId, home: HomeMap, mem: &MemoryConfig, protocol: ProtocolKind) -> Self {
         let l1_sets = SetAssocArray::<()>::geometry(mem.l1_bytes, mem.l1_ways, mem.line_bytes);
         let l2_sets = SetAssocArray::<L2Line>::geometry(mem.l2_bytes, mem.l2_ways, mem.line_bytes);
+        let mut stats = Stats::new();
+        let h_load_accesses = stats.handle("cache_load_accesses");
+        let h_l1_hits = stats.handle("cache_l1_hits");
+        let h_l2_hits = stats.handle("cache_l2_hits");
+        let h_load_misses = stats.handle("cache_load_misses");
+        let h_stores_performed = stats.handle("cache_stores_performed");
         PrivateCache {
             node,
-            banks,
+            home,
             protocol,
             silent_shared_evictions: mem.silent_shared_evictions,
             l1_hit: mem.l1_hit_cycles,
@@ -161,10 +175,15 @@ impl PrivateCache {
             pending_fills: Vec::new(),
             outbox: Vec::new(),
             completions: Vec::new(),
-            stats: Stats::new(),
+            stats,
             tracer: Tracer::new(CompId::Cache(node.0)),
             lockdown_since: HashMap::new(),
             fault: None,
+            h_load_accesses,
+            h_l1_hits,
+            h_l2_hits,
+            h_load_misses,
+            h_stores_performed,
         }
     }
 
@@ -261,8 +280,10 @@ impl PrivateCache {
         }
     }
 
+    /// The node hosting the directory bank that owns `line`. Messages
+    /// route by node; the receiving tile dispatches to the right bank.
     fn home(&self, line: LineAddr) -> NodeId {
-        NodeId(line.bank(self.banks) as u16)
+        NodeId(self.home.home_node(line) as u16)
     }
 
     fn send_cache(&mut self, dst: NodeId, msg: ProtoMsg) {
@@ -359,15 +380,15 @@ impl PrivateCache {
     /// reserved MSHR and to tear-off bypasses of blocked writes.
     pub fn load_access(&mut self, now: Cycle, tag: ReadTag, addr: Addr, sos: bool) -> LoadAccess {
         let line = addr.line();
-        self.stats.inc("cache_load_accesses");
+        self.stats.inc_h(self.h_load_accesses);
         if let Some(l2) = self.l2.get(line) {
             if l2.state.readable() {
                 let value = l2.data.word(addr.word_index());
                 let latency = if self.l1.contains(line) {
-                    self.stats.inc("cache_l1_hits");
+                    self.stats.inc_h(self.h_l1_hits);
                     self.l1_hit
                 } else {
-                    self.stats.inc("cache_l2_hits");
+                    self.stats.inc_h(self.h_l2_hits);
                     self.fill_l1(line, now);
                     self.l2_hit
                 };
@@ -375,7 +396,7 @@ impl PrivateCache {
                 return LoadAccess::Hit { value, latency };
             }
         }
-        self.stats.inc("cache_load_misses");
+        self.stats.inc_h(self.h_load_misses);
 
         // Piggyback on an outstanding transaction when possible.
         if let Some(w) = self.mshrs.find_mut(line, MshrKind::Write) {
@@ -469,7 +490,7 @@ impl PrivateCache {
         l2.state = PState::M;
         l2.data.set_word(addr.word_index(), value);
         self.l2.touch(line, now);
-        self.stats.inc("cache_stores_performed");
+        self.stats.inc_h(self.h_stores_performed);
         true
     }
 

@@ -9,7 +9,7 @@
 use std::collections::HashSet;
 use wb_kernel::config::{MemoryConfig, ProtocolKind};
 use wb_kernel::{Cycle, NodeId};
-use wb_mem::{Addr, LineAddr};
+use wb_mem::{Addr, HomeMap, LineAddr};
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
 use wb_protocol::private::LoadAccess;
@@ -64,7 +64,7 @@ impl Fabric {
         Fabric {
             now: 0,
             mesh: Mesh::new(w, h, n, 6, 0, 1),
-            caches: (0..n).map(|i| PrivateCache::new(NodeId(i as u16), n, &mem, protocol)).collect(),
+            caches: (0..n).map(|i| PrivateCache::new(NodeId(i as u16), HomeMap::new(n, 1), &mem, protocol)).collect(),
             dirs: (0..n).map(|i| Directory::with_memory_config(NodeId(i as u16), &mem, false)).collect(),
             cores: (0..n).map(|_| StubCore::default()).collect(),
             collected: (0..n).map(|_| Vec::new()).collect(),

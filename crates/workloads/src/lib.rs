@@ -65,6 +65,26 @@ pub fn suite(cores: usize, scale: Scale) -> Vec<Workload> {
     ]
 }
 
+/// `rounds` central barriers and nothing else: the pure serialized
+/// fetch-add storm. The longest *legal* per-core stall any kernel
+/// produces — the last core through each barrier waits for every other
+/// core's fetch-add to serialize through the counter's home bank — so
+/// this is the scaling stress for watchdog windows and directory-bank
+/// contention, at any core count.
+pub fn barrier_storm(cores: usize, rounds: u64) -> Workload {
+    let programs = (0..cores)
+        .map(|c| {
+            let mut g = codegen::Gen::new(c, cores, 1 + c as u64);
+            for _ in 0..rounds {
+                g.barrier();
+            }
+            g.p.halt();
+            g.p.build()
+        })
+        .collect();
+    Workload::new(format!("barrier-storm-{cores}x{rounds}"), programs)
+}
+
 /// Benchmark names, in suite order.
 pub fn suite_names() -> Vec<&'static str> {
     vec![

@@ -46,6 +46,16 @@ if awk '/pub fn tick\(|pub fn drain_arrived_into/{hot=1} hot && /^    }$/{hot=0}
     exit 1
 fi
 
+# Topology discipline: no component may hardcode the 4x4 machine —
+# PR 6 made every mesh/bank dimension flow from SystemConfig/HomeMap.
+# A `Mesh::new(4, 4, ...)`-style literal in library code reintroduces
+# the small-topology assumptions that broke 64/256-core runs. (Tests
+# may pin 4x4 latencies; library sources may not.)
+if grep -rn --include='*.rs' -E 'Mesh::(<[^>]*>::)?new\(4, 4,' crates/*/src; then
+    echo "ERROR: hardcoded 4x4 topology literal in library code (derive it from SystemConfig/NetworkConfig)" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -91,4 +101,16 @@ cargo test -q --release --offline -p wb-integration --test engine_equivalence --
     litmus_runs_are_cycle_exact rto_bound_bench_cells_are_cycle_exact \
     | grep -q 'test result: ok'
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence smoke tests)"
+# Scaling smoke: the 16x16 watchdog regression cells run at full size
+# in release builds (debug builds use a 10x10 stand-in), and the
+# scaling sweep's 64-core skip cell must complete and emit parseable
+# JSON with the per-bank occupancy instrumentation (the binary
+# self-validates its output before printing the path).
+cargo test -q --release --offline -p wb-integration --test scale \
+    | grep -q 'test result: ok'
+scalingdir="$(mktemp -d)"
+trap 'rm -rf "$tracedir" "$scalingdir"' EXIT
+WB_BENCH_DIR="$scalingdir" cargo run -q --release --offline -p wb-bench --bin scaling -- --smoke
+grep -q 'dir_bank_occupancy' "$scalingdir/BENCH_scaling.json"
+
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling smoke tests)"

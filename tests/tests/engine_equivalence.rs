@@ -137,6 +137,42 @@ fn barrier_kernel_is_cycle_exact() {
     }
 }
 
+/// A 64-core (8x8 mesh) machine: the first size where the old `u64`
+/// sharer masks overflowed. All three engines must agree byte for byte
+/// — and again with two directory banks per node, so bank sharding
+/// cannot silently perturb timing either.
+#[test]
+fn machine_at_64_cores_is_cycle_exact() {
+    let w = torture_workload(64, 13, 8);
+    let mut cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(64)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(13)
+        .with_jitter(25);
+    assert_equivalent("64-core torture", &cfg, &w, 8_000_000, true);
+    cfg.memory.dir_banks_per_node = 2;
+    assert_equivalent("64-core torture, 2 banks/node", &cfg, &w, 8_000_000, false);
+}
+
+/// Litmus smoke on the 8x8 machine: two active cores in the corner of a
+/// 64-core mesh, where home banks sit many hops away. Engines agree;
+/// the run completes.
+#[test]
+fn litmus_smoke_at_8x8() {
+    for t in [wb_tso::litmus::mp(), wb_tso::litmus::sb()] {
+        for seed in 0..3u64 {
+            let cfg = SystemConfig::new(CoreClass::Slm)
+                .with_cores(64)
+                .with_commit(CommitMode::OutOfOrderWb)
+                .with_protocol(ProtocolKind::WritersBlock)
+                .with_seed(seed)
+                .with_jitter(30);
+            assert_equivalent(&format!("{} 8x8 seed {seed}", t.name), &cfg, &t.workload, 2_000_000, seed == 0);
+        }
+    }
+}
+
 /// The merged event trace — every component's ring buffer, not just the
 /// end state — is identical under skipping.
 #[test]

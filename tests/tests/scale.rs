@@ -1,0 +1,137 @@
+//! Large-machine regressions: the small-topology assumptions PR 6
+//! removed must stay removed.
+//!
+//! - The watchdog's stall window is tuned against the 4x4 machine; on a
+//!   16x16 mesh a *legal* 256-core barrier keeps one core waiting for
+//!   its serialized fetch-add far longer than that, so the unscaled
+//!   watchdog calls a healthy machine wedged. `scale_with_topology`
+//!   widens the window by mesh diameter x hop latency.
+//! - Directory banks are sharded (`dir_banks_per_node`); runs stay
+//!   TSO-correct with multiple banks per node and the per-bank
+//!   occupancy instrumentation actually records.
+//!
+//! The watchdog cells run at 10x10 under `cargo test` (a debug-build
+//! 16x16 barrier costs more than a minute of wall clock) and at the
+//! full 16x16 in release builds — `scripts/verify.sh` runs this file
+//! with `--release`.
+
+use wb_isa::{Program, Reg, Workload};
+use wb_kernel::config::{CommitMode, CoreClass, EngineMode, SystemConfig};
+use wb_kernel::SimRng;
+use wb_workloads::barrier_storm;
+use writersblock::{RunOutcome, System};
+
+/// The machine/raw-window pair for the watchdog regression: sized down
+/// in debug builds (same shape, same failure mode, ~7s instead of ~80s).
+fn watchdog_cell() -> (usize, u64) {
+    if cfg!(debug_assertions) {
+        (100, 12_000) // 10x10, topology scale 3
+    } else {
+        (256, 25_000) // 16x16, topology scale 5
+    }
+}
+
+fn storm_config(cores: usize, window: u64, scale_with_topology: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(cores)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_engine(EngineMode::Skip)
+        .without_event_log();
+    cfg.watchdog.stall_window = window;
+    cfg.watchdog.scale_with_topology = scale_with_topology;
+    cfg
+}
+
+/// Without topology scaling, the 4x4-tuned stall window condemns a
+/// perfectly legal big-machine barrier as wedged.
+#[test]
+fn unscaled_watchdog_false_positives_on_legal_barrier() {
+    let (cores, window) = watchdog_cell();
+    let w = barrier_storm(cores, 1);
+    let mut sys = System::new(storm_config(cores, window, false), &w);
+    let out = sys.run(100_000_000);
+    assert!(
+        matches!(out, RunOutcome::Wedge(_)),
+        "{cores}-core barrier with raw window {window} should trip the watchdog, got {out}"
+    );
+}
+
+/// With `scale_with_topology` (the default) the same cell completes:
+/// the regression this PR fixes.
+#[test]
+fn scaled_watchdog_lets_legal_barrier_finish() {
+    let (cores, window) = watchdog_cell();
+    let w = barrier_storm(cores, 1);
+    let mut sys = System::new(storm_config(cores, window, true), &w);
+    let out = sys.run(100_000_000);
+    assert_eq!(out, RunOutcome::Done, "legal {cores}-core barrier must not wedge");
+
+    // The skip engine drove a machine this size to completion, and the
+    // sharded-directory instrumentation saw the storm: the barrier
+    // line's home bank records queue depth, so the occupancy histogram
+    // must exist and the per-bank view must show exactly that hot bank.
+    let report = sys.report();
+    let occ = report.stats.hist("dir_bank_occupancy").expect("per-bank occupancy histogram");
+    assert!(occ.count() > 0, "occupancy histogram never sampled");
+    let busy_banks =
+        sys.dir_stats().filter(|(_, s)| s.get("dir_gets") + s.get("dir_getx") > 0).count();
+    assert!(busy_banks >= 1, "no directory bank saw the barrier traffic");
+}
+
+/// Random straight-line program with globally unique store values, so
+/// the axiomatic TSO checker can recover the rf relation (the torture
+/// recipe, here pointed at a sharded-directory machine).
+fn random_program(core: usize, rng: &mut SimRng, ops: usize, lines: &[u64]) -> Program {
+    let mut p = Program::builder();
+    let addr_reg = Reg(1);
+    let val_reg = Reg(2);
+    let dst = Reg(3);
+    let mut k: u64 = 1;
+    for _ in 0..ops {
+        let a = *rng.choose(lines).expect("non-empty");
+        let word = rng.below(8) * 8;
+        p.imm(addr_reg, a + word);
+        match rng.below(10) {
+            0..=4 => {
+                p.load(dst, addr_reg, 0);
+            }
+            5..=8 => {
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.store(val_reg, addr_reg, 0);
+            }
+            _ => {
+                p.imm(val_reg, ((core as u64) << 32) | k);
+                k += 1;
+                p.amo_swap(dst, addr_reg, 0, val_reg);
+            }
+        }
+    }
+    p.halt();
+    p.build()
+}
+
+/// Two directory banks per node: the home map decouples bank count from
+/// core count, and the memory model must not notice. Torture runs stay
+/// TSO-green and traffic actually spreads over all 32 banks' stats.
+#[test]
+fn sharded_directory_banks_stay_tso_correct() {
+    // Lines strided so they hash across banks, two words per line.
+    let lines: Vec<u64> = (0..8).map(|i| 0x1000 + i * 0x440).collect();
+    for seed in 0..8u64 {
+        let mut rng = SimRng::new(seed);
+        let programs = (0..4).map(|c| random_program(c, &mut rng, 30, &lines)).collect::<Vec<_>>();
+        let w = Workload::new(format!("sharded-torture-{seed}"), programs);
+        let mut cfg = SystemConfig::new(CoreClass::Slm)
+            .with_cores(16)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_seed(seed)
+            .with_jitter(25);
+        cfg.memory.dir_banks_per_node = 2;
+        let mut sys = System::new(cfg, &w);
+        let out = sys.run(2_000_000);
+        assert_eq!(out, RunOutcome::Done, "seed {seed}");
+        sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}")); // allow(panic): test-only assertion
+        assert_eq!(sys.dir_stats().count(), 32, "16 nodes x 2 banks");
+    }
+}
