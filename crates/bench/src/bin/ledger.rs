@@ -1,0 +1,178 @@
+//! The perf-regression gate: run a small fixed bench suite, append the
+//! result to `results/ledger.jsonl`, and fail if any deterministic
+//! metric regressed against the committed baseline.
+//!
+//! Three cheap cells anchor the suite — the `mp` litmus race (the
+//! paper's core reordering scenario), a 4-core `fft` (barrier-heavy
+//! kernel) and a 4-core barrier storm (directory-bank pressure) — all
+//! on the cycle-skipping engine, so every simulated metric is
+//! byte-reproducible on a given revision. Wall-clock medians ride
+//! along as advisory rows (see [`wb_bench::ledger`] for the gating
+//! policy).
+//!
+//! | variable         | effect                                        |
+//! |------------------|-----------------------------------------------|
+//! | `WB_LEDGER_PATH` | ledger file (default `results/ledger.jsonl`)  |
+//!
+//! Exit status: 0 when clean (or when there is no baseline for this
+//! configuration yet), 1 when a gated metric regressed.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use wb_bench::ledger::{self, LedgerEntry};
+use wb_bench::timing::BenchResult;
+use wb_isa::Workload;
+use wb_kernel::config::{CommitMode, CoreClass, EngineMode, SystemConfig};
+use wb_workloads::{barrier_storm, splash, Scale};
+use writersblock::{RunOutcome, System};
+
+const GROUP: &str = "ledger-smoke";
+const RUN_BUDGET: u64 = 50_000_000;
+const WALL_SAMPLES: usize = 3;
+
+struct Cell {
+    name: &'static str,
+    workload: Workload,
+    cfg: SystemConfig,
+}
+
+fn cells() -> Vec<Cell> {
+    let smoke_cfg = |cores: usize| {
+        SystemConfig::new(CoreClass::Slm)
+            .with_cores(cores)
+            .with_commit(CommitMode::OutOfOrderWb)
+            .with_engine(EngineMode::Skip)
+            .without_event_log()
+    };
+    vec![
+        Cell { name: "mp", workload: wb_tso::litmus::mp().workload, cfg: smoke_cfg(2) },
+        Cell { name: "fft4", workload: splash::fft(4, Scale::Test), cfg: smoke_cfg(4) },
+        Cell { name: "barrier4", workload: barrier_storm(4, 2), cfg: smoke_cfg(4) },
+    ]
+}
+
+/// Deterministic digest of the swept configuration: the cells, their
+/// configs and the budget. `DefaultHasher::new()` uses fixed keys, so
+/// the digest is stable across runs of the same build.
+fn config_digest(cells: &[Cell]) -> String {
+    let mut h = std::hash::DefaultHasher::new();
+    RUN_BUDGET.hash(&mut h);
+    for c in cells {
+        c.name.hash(&mut h);
+        c.workload.name.hash(&mut h);
+        format!("{:?}", c.cfg).hash(&mut h);
+    }
+    format!("{:016x}", h.finish())
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Run one cell `WALL_SAMPLES` times: deterministic metrics from the
+/// last run, wall-clock median via the timing harness's estimator.
+fn run_cell(cell: &Cell, metrics: &mut BTreeMap<String, u64>) {
+    let mut samples_ns = Vec::with_capacity(WALL_SAMPLES);
+    let mut last: Option<System> = None;
+    for _ in 0..WALL_SAMPLES {
+        let t0 = std::time::Instant::now();
+        let mut sys = System::new(cell.cfg.clone(), &cell.workload);
+        let outcome = sys.run(RUN_BUDGET);
+        samples_ns.push(t0.elapsed().as_nanos());
+        assert_eq!(
+            outcome,
+            RunOutcome::Done,
+            "ledger cell {} ended with {outcome} at cycle {}", // allow(panic): bench driver
+            cell.name,
+            sys.now()
+        );
+        last = Some(sys);
+    }
+    let sys = last.expect("at least one sample"); // allow(panic): bench driver
+    let r = BenchResult { name: cell.name.to_owned(), samples_ns, stats: None };
+    let report = sys.report();
+    let key = |k: &str| format!("{}_{k}", cell.name);
+    for (k, v) in [
+        (key("sim_cycles"), sys.now()),
+        (key("retired"), sys.total_retired()),
+        (key("mesh_flits"), report.stats.get("mesh_flits")),
+        (key("mesh_msg_p99"), report.stats.hist("mesh_msg_cycles").map_or(0, |h| h.p99())),
+        (key("read_miss_p90"), report.stats.hist("cache_read_miss_cycles").map_or(0, |h| h.p90())),
+        (key("engine_skipped_cycles"), sys.skipped_cycles()),
+        (key("engine_skip_windows"), sys.skip_windows()),
+        (key("wall_ns"), r.median_ns() as u64),
+    ] {
+        metrics.insert(k, v);
+    }
+    eprintln!(
+        "{:<10} {:>10} cycles   {:>12} ns median",
+        cell.name,
+        sys.now(),
+        r.median_ns()
+    );
+}
+
+fn main() {
+    let cells = cells();
+    let digest = config_digest(&cells);
+    let rev = git_rev();
+
+    let mut metrics = BTreeMap::new();
+    for cell in &cells {
+        run_cell(cell, &mut metrics);
+    }
+    let entry =
+        LedgerEntry { rev: rev.clone(), config_digest: digest.clone(), group: GROUP.to_owned(), metrics };
+
+    let path =
+        std::env::var("WB_LEDGER_PATH").unwrap_or_else(|_| "results/ledger.jsonl".to_owned());
+    let existing = match std::fs::read_to_string(&path) {
+        Ok(s) => ledger::parse_ledger(&s)
+            .unwrap_or_else(|e| panic!("{path} is corrupt: {e}")), // allow(panic): bench driver
+        Err(_) => Vec::new(),
+    };
+
+    let mut regressed = false;
+    match ledger::baseline_for(&existing, GROUP, &digest) {
+        Some(base) => {
+            let cmp = ledger::compare(base, &entry);
+            print!("{}", ledger::render_comparison(&base.rev, &rev, &cmp));
+            regressed = ledger::has_regression(&cmp);
+        }
+        None => eprintln!("no baseline for config {digest} in {path}; recording a fresh one"),
+    }
+
+    // Self-validate the emitted line through the in-tree parser before
+    // it lands in the file — a malformed line would poison every later
+    // comparison.
+    let line = entry.to_json_line();
+    LedgerEntry::parse_line(&line)
+        .unwrap_or_else(|e| panic!("emitted ledger line invalid: {e}")); // allow(panic): bench driver
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("creating {}: {e}", dir.display())); // allow(panic): bench driver
+        }
+    }
+    let mut file = existing.iter().map(LedgerEntry::to_json_line).collect::<Vec<_>>().join("\n");
+    if !file.is_empty() {
+        file.push('\n');
+    }
+    file.push_str(&line);
+    file.push('\n');
+    std::fs::write(&path, file).unwrap_or_else(|e| panic!("writing {path}: {e}")); // allow(panic): bench driver
+    eprintln!("appended {rev} to {path} ({} entries)", existing.len() + 1);
+
+    if regressed {
+        eprintln!("ledger: REGRESSION — a deterministic metric exceeded its gate");
+        std::process::exit(1);
+    }
+}

@@ -26,10 +26,13 @@ use wb_bench::sweep;
 use wb_isa::Workload;
 use wb_kernel::config::{CommitMode, CoreClass, EngineMode, SystemConfig};
 use wb_kernel::Stats;
-use wb_workloads::{barrier_storm, splash, Scale};
+use wb_workloads::{barrier_storm, parsec, splash, Scale};
 use writersblock::{RunOutcome, System};
 
 const RUN_BUDGET: u64 = 200_000_000;
+/// The `--full` kernels converge slower at 256 cores; cap them tighter
+/// so a wedged cell fails fast instead of burning the whole budget.
+const FULL_BUDGET: u64 = 400_000_000;
 const MAX_BANKS: usize = wb_kernel::MAX_NODES * 2;
 
 #[derive(Clone, Copy)]
@@ -38,6 +41,7 @@ struct Cell {
     cores: usize,
     engine: EngineMode,
     banks_per_node: usize,
+    budget: u64,
 }
 
 struct CellResult {
@@ -50,6 +54,8 @@ fn workload_for(cell: Cell) -> Workload {
     match cell.workload {
         "fft" => splash::fft(cell.cores, Scale::Test),
         "barrier" => barrier_storm(cell.cores, 1),
+        "radix" => splash::radix(cell.cores, Scale::Test),
+        "stream" => parsec::streamcluster(cell.cores, Scale::Test),
         other => panic!("unknown scaling workload {other}"), // allow(panic): bench driver
     }
 }
@@ -80,7 +86,7 @@ fn run_cell(cell: Cell, bank_keys: &BankKeys) -> CellResult {
     );
     let t0 = std::time::Instant::now();
     let mut sys = System::new(cfg, &w);
-    let outcome = sys.run(RUN_BUDGET);
+    let outcome = sys.run(cell.budget);
     let wall_ns = t0.elapsed().as_nanos();
     assert_eq!(outcome, RunOutcome::Done, "{name} ended with {outcome} at cycle {}", sys.now());
 
@@ -89,6 +95,8 @@ fn run_cell(cell: Cell, bank_keys: &BankKeys) -> CellResult {
     stats.set("sim_cycles", cycles);
     stats.set("wall_ns", wall_ns as u64);
     stats.set("sim_cycles_per_sec", (cycles as u128 * 1_000_000_000 / wall_ns.max(1)) as u64);
+    stats.set("engine_skipped_cycles", sys.skipped_cycles());
+    stats.set("engine_skip_windows", sys.skip_windows());
     for (bank, s) in sys.dir_stats() {
         let requests = s.get("dir_gets") + s.get("dir_getx");
         if requests > 0 {
@@ -142,20 +150,51 @@ fn to_json(results: &[CellResult]) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
     let cells: Vec<Cell> = if smoke {
-        vec![Cell { workload: "fft", cores: 64, engine: EngineMode::Skip, banks_per_node: 2 }]
+        vec![Cell {
+            workload: "fft",
+            cores: 64,
+            engine: EngineMode::Skip,
+            banks_per_node: 2,
+            budget: RUN_BUDGET,
+        }]
     } else {
         let mut v = Vec::new();
         for workload in ["fft", "barrier"] {
             for cores in [16usize, 64, 256] {
                 for engine in [EngineMode::Dense, EngineMode::Skip] {
-                    v.push(Cell { workload, cores, engine, banks_per_node: 1 });
+                    v.push(Cell { workload, cores, engine, banks_per_node: 1, budget: RUN_BUDGET });
                 }
             }
         }
         // One sharded point: does splitting each home node into two
         // banks relieve the barrier line's port pressure at 256 cores?
-        v.push(Cell { workload: "barrier", cores: 256, engine: EngineMode::Skip, banks_per_node: 2 });
+        v.push(Cell {
+            workload: "barrier",
+            cores: 256,
+            engine: EngineMode::Skip,
+            banks_per_node: 2,
+            budget: RUN_BUDGET,
+        });
+        if full {
+            // Two more kernel shapes: radix (all-to-all permutation
+            // traffic) and streamcluster (read-mostly sharing with hot
+            // medoid lines). Dense ticking at 256 cores costs minutes of
+            // wall-clock for no extra information — the equivalence
+            // suite already pins dense==skip — so the largest size runs
+            // skip-only.
+            for workload in ["radix", "stream"] {
+                for cores in [16usize, 64, 256] {
+                    for engine in [EngineMode::Dense, EngineMode::Skip] {
+                        if cores == 256 && engine == EngineMode::Dense {
+                            continue;
+                        }
+                        v.push(Cell { workload, cores, engine, banks_per_node: 1, budget: FULL_BUDGET });
+                    }
+                }
+            }
+        }
         v
     };
 

@@ -1,0 +1,310 @@
+//! The perf-regression ledger: an append-only `results/ledger.jsonl`
+//! of benchmark runs plus the noise-aware comparison that gates CI.
+//!
+//! Each run of the `ledger` binary appends one [`LedgerEntry`] per
+//! bench group: the git revision, a digest of the exact configuration
+//! swept, and a flat metric map (simulated cycles, key counters,
+//! histogram percentiles, wall-clock medians). Before appending, the
+//! run is compared against the most recent committed entry with the
+//! *same* config digest — so a config change starts a fresh baseline
+//! instead of tripping a false alarm.
+//!
+//! The comparison is deliberately two-tier:
+//!
+//! - **Deterministic metrics** (simulated cycles, counters,
+//!   percentiles) are byte-reproducible on a given revision — the
+//!   engine-equivalence suite pins that — so they gate with a tight
+//!   threshold: any drift beyond [`DETERMINISTIC_THRESHOLD_PCT`] is a
+//!   real behavioural change someone must own.
+//! - **Wall-clock metrics** (`wall_` prefix, `_ns` / `_per_sec`
+//!   suffixes) carry scheduler and allocator noise; they are reported
+//!   as *advisory* and never fail the gate.
+//!
+//! Higher is worse for every gated metric the ledger records (cycles,
+//! stall counters, latency percentiles); improvements are reported but
+//! never fail.
+
+use std::collections::BTreeMap;
+use wb_kernel::json::{self, Json};
+
+/// Gated (deterministic) metrics may grow this much before the verdict
+/// flips to `REGRESSED`. Nonzero to tolerate metrics that round (e.g.
+/// histogram percentiles snapping between log-2 bucket bounds).
+pub const DETERMINISTIC_THRESHOLD_PCT: f64 = 2.0;
+
+/// Advisory threshold for wall-clock metrics: exceeding it is flagged
+/// in the table (`noisy?`) but never fails the run.
+pub const WALL_CLOCK_THRESHOLD_PCT: f64 = 25.0;
+
+/// One appended ledger record: a bench group measured at one revision
+/// under one configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerEntry {
+    /// Git revision the run was taken at (short hash, or `unknown`).
+    pub rev: String,
+    /// Digest of the swept configuration (cells, budgets, engine
+    /// modes). Entries only compare against baselines with an equal
+    /// digest.
+    pub config_digest: String,
+    /// Bench group name (e.g. `ledger-smoke`).
+    pub group: String,
+    /// Flat metric map. Keys sorted for stable JSON output.
+    pub metrics: BTreeMap<String, u64>,
+}
+
+impl LedgerEntry {
+    /// Render as a single JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"rev\":\"{}\",\"config_digest\":\"{}\",\"group\":\"{}\",\"metrics\":{{",
+            self.rev, self.config_digest, self.group
+        );
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{k}\":{v}"));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse one JSONL line back into an entry (strict: every field
+    /// required, metrics must be non-negative integers).
+    pub fn parse_line(line: &str) -> Result<LedgerEntry, String> {
+        let doc = json::parse(line)?;
+        let field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("ledger line missing string field {k:?}"))
+        };
+        let mut metrics = BTreeMap::new();
+        for (k, v) in doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| "ledger line missing metrics object".to_owned())?
+        {
+            let n = v.as_u64().ok_or_else(|| format!("metric {k:?} is not a u64"))?;
+            metrics.insert(k.clone(), n);
+        }
+        Ok(LedgerEntry {
+            rev: field("rev")?,
+            config_digest: field("config_digest")?,
+            group: field("group")?,
+            metrics,
+        })
+    }
+}
+
+/// Parse a whole ledger file (blank lines ignored), oldest first.
+pub fn parse_ledger(src: &str) -> Result<Vec<LedgerEntry>, String> {
+    src.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| LedgerEntry::parse_line(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// The newest entry matching `group` and `config_digest`, if any — the
+/// baseline a fresh run compares against.
+pub fn baseline_for<'a>(
+    entries: &'a [LedgerEntry],
+    group: &str,
+    config_digest: &str,
+) -> Option<&'a LedgerEntry> {
+    entries.iter().rev().find(|e| e.group == group && e.config_digest == config_digest)
+}
+
+/// Per-metric verdict of one baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub base: u64,
+    /// Current value.
+    pub cur: u64,
+    /// Relative change in percent (positive = grew = worse).
+    pub delta_pct: f64,
+    /// Threshold applied to this metric.
+    pub threshold_pct: f64,
+    /// Whether this metric can fail the gate (deterministic metrics
+    /// gate; wall-clock metrics are advisory).
+    pub gated: bool,
+    /// `true` when a gated metric exceeded its threshold.
+    pub regressed: bool,
+}
+
+impl Comparison {
+    /// Short verdict string for the table.
+    pub fn verdict(&self) -> &'static str {
+        if self.regressed {
+            "REGRESSED"
+        } else if !self.gated && self.delta_pct.abs() > self.threshold_pct {
+            "noisy?"
+        } else if self.delta_pct < -self.threshold_pct {
+            "improved"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// Is `metric` wall-clock (noisy, advisory) rather than deterministic?
+pub fn is_wall_clock(metric: &str) -> bool {
+    metric.starts_with("wall_")
+        || metric.contains("_wall_")
+        || metric.ends_with("_ns")
+        || metric.ends_with("_per_sec")
+}
+
+/// Compare `cur` against `base` metric by metric. Metrics present on
+/// only one side are skipped (a new metric has no baseline; a removed
+/// one has no current value) — renames therefore reset their history.
+pub fn compare(base: &LedgerEntry, cur: &LedgerEntry) -> Vec<Comparison> {
+    let mut out = Vec::new();
+    for (k, &b) in &base.metrics {
+        let Some(&c) = cur.metrics.get(k) else { continue };
+        let delta_pct = if b == 0 {
+            if c == 0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            (c as f64 - b as f64) * 100.0 / b as f64
+        };
+        let gated = !is_wall_clock(k);
+        let threshold_pct =
+            if gated { DETERMINISTIC_THRESHOLD_PCT } else { WALL_CLOCK_THRESHOLD_PCT };
+        out.push(Comparison {
+            metric: k.clone(),
+            base: b,
+            cur: c,
+            delta_pct,
+            threshold_pct,
+            gated,
+            regressed: gated && delta_pct > threshold_pct,
+        });
+    }
+    out
+}
+
+/// Did any gated metric regress?
+pub fn has_regression(comparisons: &[Comparison]) -> bool {
+    comparisons.iter().any(|c| c.regressed)
+}
+
+/// Fixed-width verdict table, one row per metric.
+pub fn render_comparison(base_rev: &str, cur_rev: &str, comparisons: &[Comparison]) -> String {
+    let mut out = format!("== ledger: {cur_rev} vs baseline {base_rev} ==\n");
+    out.push_str(&format!(
+        "{:<36} {:>14} {:>14} {:>9} {:>7}  verdict\n",
+        "metric", "base", "current", "delta%", "gate%"
+    ));
+    for c in comparisons {
+        out.push_str(&format!(
+            "{:<36} {:>14} {:>14} {:>+9.2} {:>7}  {}\n",
+            c.metric,
+            c.base,
+            c.cur,
+            c.delta_pct,
+            if c.gated { format!("{:.1}", c.threshold_pct) } else { "adv".to_owned() },
+            c.verdict()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rev: &str, metrics: &[(&str, u64)]) -> LedgerEntry {
+        LedgerEntry {
+            rev: rev.to_owned(),
+            config_digest: "cfg0".to_owned(),
+            group: "g".to_owned(),
+            metrics: metrics.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let e = entry("abc123", &[("mp_sim_cycles", 1234), ("mp_wall_ns", 99)]);
+        let line = e.to_json_line();
+        assert_eq!(LedgerEntry::parse_line(&line).expect("parse"), e);
+        // And the emitted line is strict JSON by the in-tree parser.
+        json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn ledger_file_round_trips_and_rejects_garbage() {
+        let a = entry("a", &[("x", 1)]);
+        let b = entry("b", &[("x", 2)]);
+        let file = format!("{}\n{}\n\n", a.to_json_line(), b.to_json_line());
+        let parsed = parse_ledger(&file).expect("parse");
+        assert_eq!(parsed, vec![a.clone(), b.clone()]);
+        assert!(parse_ledger("not json\n").is_err());
+        assert!(baseline_for(&parsed, "g", "cfg0") == Some(&b));
+        assert!(baseline_for(&parsed, "g", "other").is_none());
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let e = entry("same", &[("cycles", 5000), ("wall_ns", 777)]);
+        let cmp = compare(&e, &e);
+        assert_eq!(cmp.len(), 2);
+        assert!(!has_regression(&cmp));
+        assert!(cmp.iter().all(|c| c.delta_pct == 0.0 && c.verdict() == "ok"));
+    }
+
+    #[test]
+    fn synthetic_twenty_percent_slowdown_gates() {
+        // The acceptance scenario: a 20% jump in a deterministic metric
+        // must exit nonzero; the same jump in wall-clock must not.
+        let base = entry("old", &[("fft_sim_cycles", 1000), ("fft_wall_ns", 1000)]);
+        let cur = entry("new", &[("fft_sim_cycles", 1200), ("fft_wall_ns", 1200)]);
+        let cmp = compare(&base, &cur);
+        assert!(has_regression(&cmp));
+        let cycles = cmp.iter().find(|c| c.metric == "fft_sim_cycles").expect("cycles row");
+        assert!(cycles.regressed && cycles.gated);
+        assert_eq!(cycles.verdict(), "REGRESSED");
+        let wall = cmp.iter().find(|c| c.metric == "fft_wall_ns").expect("wall row");
+        assert!(!wall.regressed && !wall.gated);
+        let table = render_comparison("old", "new", &cmp);
+        assert!(table.contains("REGRESSED"), "{table}");
+    }
+
+    #[test]
+    fn small_drift_and_improvements_pass() {
+        let base = entry("old", &[("cycles", 10_000), ("retries", 50)]);
+        let cur = entry("new", &[("cycles", 10_100), ("retries", 10)]);
+        let cmp = compare(&base, &cur);
+        assert!(!has_regression(&cmp), "1% drift and an improvement must pass");
+        assert_eq!(
+            cmp.iter().find(|c| c.metric == "retries").expect("retries").verdict(),
+            "improved"
+        );
+    }
+
+    #[test]
+    fn disjoint_metrics_are_skipped_and_zero_base_guarded() {
+        let base = entry("old", &[("gone", 5), ("zero", 0)]);
+        let cur = entry("new", &[("fresh", 9), ("zero", 3)]);
+        let cmp = compare(&base, &cur);
+        assert_eq!(cmp.len(), 1, "only the shared metric compares");
+        assert_eq!(cmp[0].metric, "zero");
+        assert!(cmp[0].regressed, "0 -> 3 counts as 100% growth");
+    }
+
+    #[test]
+    fn wall_clock_classifier() {
+        assert!(is_wall_clock("wall_ns"));
+        assert!(is_wall_clock("fft_wall_ns"));
+        assert!(is_wall_clock("sim_cycles_per_sec"));
+        assert!(!is_wall_clock("sim_cycles"));
+        assert!(!is_wall_clock("mesh_msg_p99"));
+    }
+}

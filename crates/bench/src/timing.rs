@@ -138,11 +138,17 @@ impl BenchGroup {
     ///
     /// # Panics
     ///
-    /// Panics if the JSON file cannot be written.
+    /// Panics if the rendered report is not valid JSON (a bench name
+    /// with an unescaped quote, say — caught here rather than by
+    /// whatever later tries to read the file), or if it cannot be
+    /// written.
     pub fn finish(self) {
+        let json = self.to_json();
+        wb_kernel::json::parse(&json)
+            .unwrap_or_else(|e| panic!("BENCH_{} JSON invalid: {e}", self.group));
         let dir = std::env::var("WB_BENCH_DIR").unwrap_or_else(|_| ".".to_owned());
         let path = format!("{dir}/BENCH_{}.json", self.group);
-        std::fs::write(&path, self.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         eprintln!("wrote {path}");
     }
 }
@@ -167,6 +173,20 @@ mod tests {
         // one warmup + three timed
         assert_eq!(calls, 4);
         assert_eq!(g.results[0].samples_ns.len(), 3);
+    }
+
+    #[test]
+    fn reports_are_valid_json_and_breakage_is_detectable() {
+        let mut g = BenchGroup::new("unit");
+        g.sample_size(1);
+        g.bench("clean", || ());
+        wb_kernel::json::parse(&g.to_json()).expect("report must be strict JSON");
+        // A name that breaks the hand-rolled emitter must be *caught*:
+        // the same parse `finish()` runs rejects the rendered report.
+        let mut bad = BenchGroup::new("unit");
+        bad.sample_size(1);
+        bad.bench("evil\"name", || ());
+        assert!(wb_kernel::json::parse(&bad.to_json()).is_err());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Run-level statistics report.
 
-use wb_kernel::{Cycle, Stats};
+use wb_kernel::{Cycle, HotEntry, Stats};
 
 /// Aggregated counters of one simulation run, with helpers for the
 /// metrics the paper's figures plot.
@@ -12,12 +12,32 @@ pub struct Report {
     pub cycles: Cycle,
     /// Merged counters from cores, caches, directory banks and the mesh.
     pub stats: Stats,
+    /// Cycles the engine fast-forwarded instead of ticking (0 in dense
+    /// mode). Carried *outside* [`Report::stats`] deliberately: the
+    /// merged stats must stay byte-identical across engine modes (the
+    /// engine-equivalence contract), while these two are engine
+    /// diagnostics that differ by construction. Bench emitters publish
+    /// them as `engine_skipped_cycles`/`engine_skip_windows`.
+    pub skipped_cycles: u64,
+    /// Quiescent windows the engine jumped over (see
+    /// [`Report::skipped_cycles`]).
+    pub skip_windows: u64,
+    /// Hot-lines leaderboard: top contended cache lines by attributed
+    /// stall cycles (WritersBlock windows, Nack-retry requeues,
+    /// blocked-write stalls, lockdown holds), merged across every
+    /// directory bank and private cache. `key` is the line number;
+    /// estimates carry the space-saving error bound (see
+    /// [`wb_kernel::attr`]).
+    pub hot_lines: Vec<HotEntry>,
+    /// Top directory banks by the same attributed weight; `key` is the
+    /// global bank index.
+    pub hot_banks: Vec<HotEntry>,
 }
 
 impl Report {
     /// An empty report for `name` at `cycles`.
     pub fn new(name: &str, cycles: Cycle) -> Self {
-        Report { name: name.to_owned(), cycles, stats: Stats::new() }
+        Report { name: name.to_owned(), cycles, stats: Stats::new(), ..Report::default() }
     }
 
     /// Committed instructions per cycle, across all cores.
@@ -85,7 +105,27 @@ impl std::fmt::Display for Report {
         writeln!(f, "tear-off reads /kload   {:>10.3}", self.uncacheable_reads_per_kiloload())?;
         writeln!(f, "network flits           {:>10}", self.network_flits())?;
         let (rob, lq, sq) = self.stall_fractions();
-        writeln!(f, "stall rob/lq/sq         {rob:>9.1}% {lq:>9.1}% {sq:>9.1}%", rob = rob * 100.0, lq = lq * 100.0, sq = sq * 100.0)
+        writeln!(f, "stall rob/lq/sq         {rob:>9.1}% {lq:>9.1}% {sq:>9.1}%", rob = rob * 100.0, lq = lq * 100.0, sq = sq * 100.0)?;
+        if self.skip_windows > 0 {
+            writeln!(
+                f,
+                "engine skipped          {:>10} cycles in {} windows",
+                self.skipped_cycles, self.skip_windows
+            )?;
+        }
+        if !self.hot_lines.is_empty() {
+            writeln!(f, "hot lines (attributed stall cycles, ±err):")?;
+            for e in self.hot_lines.iter().take(8) {
+                writeln!(f, "  line {:#8x}  {:>10} (±{})", e.key, e.count, e.err)?;
+            }
+        }
+        if self.hot_banks.len() > 1 {
+            writeln!(f, "hot directory banks:")?;
+            for e in self.hot_banks.iter().take(4) {
+                writeln!(f, "  bank {:>4}  {:>10}", e.key, e.count)?;
+            }
+        }
+        Ok(())
     }
 }
 

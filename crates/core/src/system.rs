@@ -9,7 +9,7 @@ use wb_kernel::config::{EngineMode, SystemConfig};
 use wb_kernel::fault::FaultEngine;
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
-use wb_kernel::{Cycle, NodeId, Stats};
+use wb_kernel::{Cycle, HeavyHitters, NodeId, Stats, Timeline};
 use wb_mem::{Addr, HomeMap};
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
@@ -94,6 +94,12 @@ pub struct System {
     /// path performs no allocation once warm.
     scratch_arrivals: Vec<MeshMsg<(Dest, ProtoMsg)>>,
     scratch_outbox: Vec<(Dest, ProtoMsg)>,
+    /// Interval sampler: when enabled, every `sample_every` cycles
+    /// the aggregated stats delta lands in a window ring. The sample
+    /// deadline is merged into `quiescent_until` as one more
+    /// `next_event` source, so Skip mode lands samples on exactly the
+    /// dense cycles and the exported JSONL stays byte-identical.
+    timeline: Option<Timeline>,
     /// Cycles fast-forwarded and windows taken by the skip engine.
     /// Engine diagnostics only — deliberately NOT part of [`Report`]
     /// stats, which must be byte-identical across engine modes.
@@ -181,6 +187,7 @@ impl System {
             chaos_wants_signal,
             scratch_arrivals: Vec::new(),
             scratch_outbox: Vec::new(),
+            timeline: None,
             skipped_cycles: 0,
             skip_windows: 0,
             probe_stride: 1,
@@ -204,6 +211,40 @@ impl System {
     /// Number of quiescent windows the engine jumped over.
     pub fn skip_windows(&self) -> u64 {
         self.skip_windows
+    }
+
+    /// Enable timeline sampling: every `sample_every` cycles the delta
+    /// of every counter and histogram (aggregated across components)
+    /// is recorded as a [`wb_kernel::TimelineWindow`]. Enabling
+    /// mid-run starts the first window at the current cycle. Sampling
+    /// is engine-exact: the deadline is a `next_event` source, so
+    /// Dense and Skip runs produce byte-identical timelines.
+    pub fn enable_timeline(&mut self, sample_every: u64) {
+        let tl = Timeline::new(sample_every);
+        self.timeline = Some(if self.now == 0 {
+            tl
+        } else {
+            tl.with_origin(self.now, &self.aggregate_stats())
+        });
+    }
+
+    /// The interval sampler, when enabled.
+    pub fn timeline(&self) -> Option<&Timeline> {
+        self.timeline.as_ref()
+    }
+
+    /// The sampled timeline as JSONL (one window per line), with a
+    /// final partial window closed at the current cycle. Empty string
+    /// when sampling was never enabled.
+    pub fn timeline_jsonl(&self) -> String {
+        match &self.timeline {
+            None => String::new(),
+            Some(tl) => {
+                let mut tl = tl.clone();
+                tl.flush(self.now, &self.aggregate_stats());
+                tl.to_jsonl()
+            }
+        }
     }
 
     /// Emit every delivered protocol message touching `line` through the
@@ -262,9 +303,27 @@ impl System {
     }
 
     /// Chrome trace-event JSON of everything recorded so far — loads
-    /// in `chrome://tracing` or <https://ui.perfetto.dev>.
+    /// in `chrome://tracing` or <https://ui.perfetto.dev>. When the
+    /// timeline sampler is enabled its windows ride along as counter
+    /// tracks (`"ph":"C"`), plotting per-window deltas over time.
     pub fn chrome_trace(&self) -> String {
-        trace::chrome_trace_json(&self.collect_trace())
+        let counters = match &self.timeline {
+            None => Vec::new(),
+            Some(tl) => {
+                let mut tl = tl.clone();
+                tl.flush(self.now, &self.aggregate_stats());
+                tl.counter_tracks()
+            }
+        };
+        let samples: Vec<trace::CounterSample> = counters
+            .iter()
+            .map(|(cycle, track, value)| trace::CounterSample {
+                cycle: *cycle,
+                track,
+                value: *value,
+            })
+            .collect();
+        trace::chrome_trace_json_ext(&self.collect_trace(), &samples)
     }
 
     /// Emit the last `n` recorded events touching cache line `line`
@@ -293,6 +352,12 @@ impl System {
 
     /// Advance the whole system one cycle.
     pub fn tick(&mut self) {
+        if self.timeline.as_ref().is_some_and(|tl| tl.due(self.now)) {
+            let totals = self.aggregate_stats();
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.sample(self.now, &totals);
+            }
+        }
         let n = self.cores.len();
         if self.chaos_wants_signal {
             let lockdown_live = self.caches.iter().any(|c| c.active_lockdowns() > 0);
@@ -521,6 +586,11 @@ impl System {
                 None => false,
             }
         };
+        if let Some(tl) = &self.timeline {
+            if merge(Some(tl.next_sample_at())) {
+                return Some(now);
+            }
+        }
         for c in &self.caches {
             if merge(c.next_event(now)) {
                 return Some(now);
@@ -902,6 +972,14 @@ impl System {
         for &(src, dst, vnet, age) in in_flight.iter().take(4) {
             notes.push(format!("  oldest: {src} -> {dst} vnet{vnet}, in flight {age} cycles"));
         }
+        let (hot_lines, _) = self.hot_attribution();
+        let top = hot_lines.top(4);
+        if !top.is_empty() {
+            notes.push("hot lines by attributed stall cycles:".to_string());
+            for e in &top {
+                notes.push(format!("  line {:#x}: {} cycles (\u{00b1}{})", e.key, e.count, e.err));
+            }
+        }
         if self.cfg.chaos.is_some() {
             let (touched, injected) = self.mesh.chaos_injected();
             notes.push(format!("chaos delayed {touched} messages by {injected} cycles total"));
@@ -1065,19 +1143,53 @@ impl System {
         self.dirs.iter().map(|d| (d.bank(), d.stats()))
     }
 
-    /// Aggregate statistics report.
-    pub fn report(&self) -> Report {
-        let mut r = Report::new(&self.workload_name, self.now);
+    /// Every component's counters and histograms merged into one
+    /// registry — the same totals [`System::report`] carries, also
+    /// snapshotted by the timeline sampler every window.
+    fn aggregate_stats(&self) -> Stats {
+        let mut stats = Stats::new();
         for c in &self.cores {
-            r.stats.merge(c.stats());
+            stats.merge(c.stats());
         }
         for c in &self.caches {
-            r.stats.merge(c.stats());
+            stats.merge(c.stats());
         }
         for d in &self.dirs {
-            r.stats.merge(d.stats());
+            stats.merge(d.stats());
         }
-        r.stats.merge(self.mesh.stats());
+        stats.merge(self.mesh.stats());
+        stats
+    }
+
+    /// Merged cycle attribution: the union hot-line sketch across every
+    /// directory bank and private cache, plus a per-bank sketch keyed
+    /// by global bank index (weight = the bank's total attributed
+    /// cycles). Deterministic: components merge in fixed index order,
+    /// heaviest-first within each merge.
+    fn hot_attribution(&self) -> (HeavyHitters, HeavyHitters) {
+        let mut lines = HeavyHitters::new(32);
+        let mut banks = HeavyHitters::new(16);
+        for d in &self.dirs {
+            lines.merge(d.hot_lines());
+            banks.add(d.bank() as u64, d.hot_lines().total());
+        }
+        for c in &self.caches {
+            lines.merge(c.hot_lines());
+        }
+        (lines, banks)
+    }
+
+    /// Aggregate statistics report, including the hot-lines leaderboard
+    /// and engine skip diagnostics (the latter outside `stats`, which
+    /// must stay byte-identical across engine modes).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new(&self.workload_name, self.now);
+        r.stats = self.aggregate_stats();
+        r.skipped_cycles = self.skipped_cycles;
+        r.skip_windows = self.skip_windows;
+        let (lines, banks) = self.hot_attribution();
+        r.hot_lines = lines.top(16);
+        r.hot_banks = banks.top(8);
         r
     }
 }

@@ -65,6 +65,15 @@ fn bucket_hi(i: usize) -> u64 {
     }
 }
 
+/// Smallest value bucket `i` can hold.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 impl Hist {
     /// An empty histogram.
     pub fn new() -> Self {
@@ -164,6 +173,40 @@ impl Hist {
     /// True when no sample has been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// The samples recorded since `prev` was snapshotted, as a
+    /// histogram of their own. `prev` must be an earlier state of this
+    /// same histogram (bucketwise `self >= prev`); subtraction
+    /// saturates rather than panicking if it is not.
+    ///
+    /// Bucket counts, `count` and `sum` are exact. `min`/`max` cannot
+    /// be recovered from two snapshots, so they are approximated to
+    /// the tightest bucket bounds the delta permits (lower bound of
+    /// the lowest non-empty delta bucket, upper bound of the highest,
+    /// clamped to the cumulative max) — deterministic, which is what
+    /// the timeline's dense≡skip byte-equality needs.
+    pub fn delta_since(&self, prev: &Hist) -> Hist {
+        let mut d = Hist::new();
+        let mut lo = None;
+        let mut hi = 0usize;
+        for i in 0..BUCKETS {
+            let n = self.buckets[i].saturating_sub(prev.buckets[i]);
+            d.buckets[i] = n;
+            if n > 0 {
+                lo.get_or_insert(i);
+                hi = i;
+            }
+        }
+        d.count = self.count.saturating_sub(prev.count);
+        if d.count == 0 {
+            return Hist::new();
+        }
+        d.sum = self.sum.saturating_sub(prev.sum);
+        let lo = lo.unwrap_or(0);
+        d.min = bucket_lo(lo);
+        d.max = bucket_hi(hi).min(self.max);
+        d
     }
 
     /// Render as a JSON object with integer fields only (deterministic).
@@ -275,6 +318,24 @@ mod tests {
     }
 
     #[test]
+    fn delta_since_isolates_the_window() {
+        let mut h = Hist::new();
+        h.record(3);
+        h.record(100);
+        let snap = h.clone();
+        h.record(7);
+        h.record(9);
+        let d = h.delta_since(&snap);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 16);
+        // min/max are bucket bounds: both 7 and 9 live in [4, 15].
+        assert!(d.min() <= 7, "min bound {} too high", d.min());
+        assert!(d.max() >= 9, "max bound {} too low", d.max());
+        // No new samples → empty delta, not a zero-count husk.
+        assert_eq!(h.delta_since(&h.clone()), Hist::new());
+    }
+
+    #[test]
     fn json_shape() {
         let mut h = Hist::new();
         h.record(4);
@@ -339,6 +400,27 @@ mod tests {
             all.extend_from_slice(&b);
             all.extend_from_slice(&c);
             prop_assert_eq!(&left, &from_samples(&all));
+        }
+
+        #[test]
+        fn delta_since_matches_fresh_histogram_of_the_window(
+            xs in vec_of(0u64..1_000_000, 0..100),
+            ys in vec_of(0u64..1_000_000, 0..100),
+        ) {
+            let snap = from_samples(&xs);
+            let mut full = snap.clone();
+            for &y in &ys {
+                full.record(y);
+            }
+            let d = full.delta_since(&snap);
+            let fresh = from_samples(&ys);
+            prop_assert_eq!(d.count(), fresh.count());
+            prop_assert_eq!(d.sum(), fresh.sum());
+            prop_assert_eq!(d.buckets, fresh.buckets);
+            // min/max are bucket-bound approximations that must still
+            // bracket the window's true extremes.
+            prop_assert!(d.min() <= fresh.min());
+            prop_assert!(d.max() >= fresh.max());
         }
 
         #[test]

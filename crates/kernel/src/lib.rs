@@ -18,7 +18,12 @@
 //!   buffers of typed [`trace::TraceEvent`]s with a human-readable dump
 //!   and a Chrome trace-event (Perfetto) exporter,
 //! - [`json`], a minimal JSON parser so emitted JSON (stats, benches,
-//!   Chrome traces) can be validated in-tree.
+//!   Chrome traces) can be validated in-tree,
+//! - [`timeline`], the periodic interval sampler turning end-of-run
+//!   [`Stats`] totals into per-window deltas (JSONL + Perfetto counter
+//!   tracks),
+//! - [`attr`], the bounded space-saving heavy-hitters sketch used for
+//!   cycle attribution (top-K contended lines / directory banks).
 //!
 //! # Example
 //!
@@ -30,6 +35,7 @@
 //! assert_eq!(cfg.num_cores, 16);
 //! ```
 
+pub mod attr;
 pub mod chaos;
 pub mod check;
 pub mod config;
@@ -38,15 +44,18 @@ pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod timeline;
 pub mod trace;
 pub mod wedge;
 
+pub use attr::{HeavyHitters, HotEntry};
 pub use chaos::{ChaosClause, ChaosEffect, ChaosEngine, ChaosPlan, FlowMatch};
 pub use config::{CommitMode, CoreClass, LinkConfig, ProtocolKind, SystemConfig, WatchdogConfig};
 pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
 pub use hist::Hist;
 pub use rng::SimRng;
 pub use stats::{CounterHandle, Stats};
+pub use timeline::{Timeline, TimelineWindow};
 pub use trace::{Category, CompId, Level, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 pub use wedge::{WaitEdge, WaitParty, WedgeClass, WedgeReport};
 

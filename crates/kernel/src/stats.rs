@@ -142,6 +142,32 @@ impl Stats {
         self.index.iter().map(|(k, &i)| (*k, self.slots[i]))
     }
 
+    /// The change since `prev` was snapshotted: counters subtract
+    /// (saturating — gauges that moved backwards clamp to 0 rather
+    /// than wrapping), histograms take [`Hist::delta_since`]. Keys
+    /// whose delta is zero are omitted entirely, so a quiet window
+    /// serialises small. This is what the timeline sampler records
+    /// every `sample_every` cycles.
+    pub fn delta_since(&self, prev: &Stats) -> Stats {
+        let mut d = Stats::new();
+        for (k, &i) in &self.index {
+            let n = self.slots[i].saturating_sub(prev.get(k));
+            if n > 0 {
+                d.add(k, n);
+            }
+        }
+        for (k, h) in &self.hists {
+            let dh = match prev.hist(k) {
+                Some(p) => h.delta_since(p),
+                None => h.clone(),
+            };
+            if !dh.is_empty() {
+                d.merge_hist(k, &dh);
+            }
+        }
+        d
+    }
+
     /// Ratio of two counters, `None` when the denominator is zero.
     pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
         let d = self.get(den);
@@ -391,6 +417,31 @@ mod tests {
         let b = j.find("\"b\"").unwrap();
         let z = j.find("\"z_lat\"").unwrap();
         assert!(a < b && b < z, "{j}");
+    }
+
+    #[test]
+    fn delta_since_subtracts_and_drops_zeroes() {
+        let mut s = Stats::new();
+        s.add("a", 5);
+        s.add("b", 2);
+        s.record("lat", 10);
+        let snap = s.clone();
+        s.add("a", 3);
+        s.add("c", 1);
+        s.record("lat", 20);
+        s.record("fresh", 7);
+        let d = s.delta_since(&snap);
+        assert_eq!(d.get("a"), 3);
+        assert_eq!(d.get("b"), 0);
+        assert!(d.iter().all(|(k, _)| k != "b"), "unchanged counter must be omitted");
+        assert_eq!(d.get("c"), 1);
+        assert_eq!(d.hist("lat").unwrap().count(), 1);
+        assert_eq!(d.hist("lat").unwrap().sum(), 20);
+        assert_eq!(d.hist("fresh").unwrap().count(), 1);
+        // A no-change window is entirely empty.
+        let quiet = s.delta_since(&s.clone());
+        assert!(quiet.is_empty());
+        assert_eq!(quiet.hists().count(), 0);
     }
 
     #[test]

@@ -702,6 +702,20 @@ fn push_event(
     out.push('}');
 }
 
+/// One point on a Perfetto counter track: at `cycle`, counter `track`
+/// had `value`. Produced by the timeline sampler (one sample per
+/// counter per window) and rendered as a `"ph":"C"` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample<'a> {
+    /// Simulation cycle of the sample (the window's end cycle).
+    pub cycle: Cycle,
+    /// Counter name; becomes the Perfetto track name. Must be a plain
+    /// identifier (no quotes/control characters) — counter keys are.
+    pub track: &'a str,
+    /// The counter's per-window delta (or gauge value) at `cycle`.
+    pub value: u64,
+}
+
 /// Export records as Chrome trace-event JSON (the `traceEvents` array
 /// format), loadable in `chrome://tracing` and Perfetto.
 ///
@@ -713,6 +727,15 @@ fn push_event(
 /// Output is deterministic: records are emitted in slice order with no
 /// floats, timestamps or randomness.
 pub fn chrome_trace_json(records: &[Record]) -> String {
+    chrome_trace_json_ext(records, &[])
+}
+
+/// [`chrome_trace_json`] plus counter tracks: each [`CounterSample`]
+/// becomes a `"ph":"C"` event under a dedicated "timeline" process row
+/// (pid 6), so Perfetto plots per-window counter deltas as stacked
+/// area charts alongside the event swim lanes. Samples are emitted in
+/// slice order — pass them time-ordered (the timeline sampler does).
+pub fn chrome_trace_json_ext(records: &[Record], counters: &[CounterSample<'_>]) -> String {
     let mut out = String::from(r#"{"displayTimeUnit":"ns","traceEvents":["#);
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -739,6 +762,10 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
         let (pid, tid) = pid_tid(*c);
         sep(&mut out);
         push_meta(&mut out, pid, Some(tid), &c.to_string());
+    }
+    if !counters.is_empty() {
+        sep(&mut out);
+        push_meta(&mut out, 6, None, "timeline");
     }
 
     for r in records {
@@ -903,6 +930,13 @@ pub fn chrome_trace_json(records: &[Record]) -> String {
             ),
         }
     }
+    for c in counters {
+        sep(&mut out);
+        out.push_str(&format!(
+            r#"{{"ph":"C","name":"{}","pid":6,"tid":0,"ts":{},"args":{{"value":{}}}}}"#,
+            c.track, c.cycle, c.value
+        ));
+    }
     out.push_str("]}");
     out
 }
@@ -1043,5 +1077,21 @@ mod tests {
     #[test]
     fn chrome_trace_empty_is_wellformed() {
         assert_eq!(chrome_trace_json(&[]), r#"{"displayTimeUnit":"ns","traceEvents":[]}"#);
+    }
+
+    #[test]
+    fn counter_tracks_render_as_counter_events() {
+        let samples = [
+            CounterSample { cycle: 100, track: "dir_writes_blocked", value: 3 },
+            CounterSample { cycle: 200, track: "dir_writes_blocked", value: 0 },
+        ];
+        let json = chrome_trace_json_ext(&[], &samples);
+        assert!(json.contains(r#""ph":"C""#), "{json}");
+        assert!(json.contains(r#""name":"dir_writes_blocked""#));
+        assert!(json.contains(r#""ts":100"#) && json.contains(r#""ts":200"#));
+        assert!(json.contains(r#""name":"timeline""#), "pid 6 must be named");
+        crate::json::parse(&json).expect("well-formed");
+        // No counters → byte-identical to the plain exporter.
+        assert_eq!(chrome_trace_json_ext(&[], &[]), chrome_trace_json(&[]));
     }
 }

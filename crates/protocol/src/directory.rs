@@ -34,7 +34,7 @@ use crate::{DirWait, ProtocolError};
 use std::collections::{HashMap, VecDeque};
 use wb_kernel::config::{MemoryConfig, SystemConfig};
 use wb_kernel::trace::{Category, CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{CounterHandle, Cycle, NodeId, Stats};
+use wb_kernel::{CounterHandle, Cycle, HeavyHitters, NodeId, Stats};
 use wb_mem::{HomeMap, LineAddr, LineData, MainMemory};
 
 /// Directory-entry coherence state.
@@ -101,6 +101,11 @@ enum Event {
     UncachedMemRead { line: LineAddr, requester: NodeId },
 }
 
+/// Keys tracked per bank by the contended-line attribution sketch.
+/// Tens of entries: linear scans beat a heap here and memory stays O(k)
+/// no matter how many lines a chaos cell touches.
+const HOT_LINES_TRACKED: usize = 32;
+
 /// One LLC + directory bank.
 pub struct Directory {
     /// Node (tile) hosting this bank — the mesh routing target.
@@ -144,6 +149,12 @@ pub struct Directory {
     /// Per-line tear-off serve counts feeding the `tearoff_reads_served`
     /// histogram (cross-check for Figure 8's uncacheable-read counts).
     tearoff_counts: HashMap<LineAddr, u64>,
+    /// Cycle attribution: top contended lines by WritersBlock-window
+    /// cycles and Nack retries. Bounded space-saving sketch — NOT a
+    /// per-line map — so chaos cells touching unbounded line sets stay
+    /// O(k). Surfaced through [`Directory::hot_lines`] into the report
+    /// leaderboard and wedge notes.
+    hot: HeavyHitters,
     /// Pre-resolved handles for the counters on the request hot path
     /// (PR 5's `CounterHandle` pattern: no BTreeMap lookup per bump).
     h_gets: CounterHandle,
@@ -207,6 +218,7 @@ impl Directory {
             fault: None,
             retry_counts: HashMap::new(),
             tearoff_counts: HashMap::new(),
+            hot: HeavyHitters::new(HOT_LINES_TRACKED),
             h_gets,
             h_getx,
             h_tearoff_replies,
@@ -241,6 +253,10 @@ impl Directory {
     /// classifier watches.
     fn note_retry(&mut self, line: LineAddr) {
         self.stats.inc_h(self.h_nack_retries);
+        // Each retry round costs the requester a retry_delay requeue:
+        // attribute that to the line so spinning lines surface in the
+        // hot-lines leaderboard even before their WB window closes.
+        self.hot.add(line.0, self.retry_delay);
         let c = self.retry_counts.entry(line).or_insert(0);
         *c += 1;
         let c = *c;
@@ -334,9 +350,18 @@ impl Directory {
     /// `line` left WritersBlock: close the stall histogram window.
     fn note_wb_exit(&mut self, now: Cycle, line: LineAddr) {
         if let Some(t0) = self.wb_since.remove(&line) {
-            self.stats.record("dir_wb_cycles", now.saturating_sub(t0));
+            let stalled = now.saturating_sub(t0);
+            self.stats.record("dir_wb_cycles", stalled);
+            self.hot.add(line.0, stalled);
             self.tracer.record(now, TraceEvent::WritersBlockEnd { line: line.0 });
         }
+    }
+
+    /// Cycle attribution for this bank: the top contended lines by
+    /// WritersBlock-window cycles plus Nack-retry requeue cost, as a
+    /// bounded space-saving sketch (see [`wb_kernel::attr`]).
+    pub fn hot_lines(&self) -> &HeavyHitters {
+        &self.hot
     }
 
     /// Pre-load a word into this bank's backing memory (simulation setup).

@@ -24,7 +24,7 @@ use crate::{CoreSide, InvalResponse, MshrWait, ProtocolError};
 use std::collections::HashMap;
 use wb_kernel::config::{MemoryConfig, ProtocolKind};
 use wb_kernel::trace::{CompId, TraceEvent, TraceFilter, Tracer};
-use wb_kernel::{CounterHandle, Cycle, NodeId, Stats};
+use wb_kernel::{CounterHandle, Cycle, HeavyHitters, NodeId, Stats};
 use wb_mem::{Addr, HomeMap, LineAddr, LineData};
 
 /// Identifies a load at the core so completions can be matched to LQ
@@ -106,6 +106,10 @@ struct PendingFill {
     data: LineData,
 }
 
+/// Keys tracked per cache by the contended-line attribution sketch
+/// (same bound as the directory side: tens of entries, O(k) forever).
+const HOT_LINES_TRACKED: usize = 32;
+
 /// The private cache hierarchy and coherence controller of one core.
 pub struct PrivateCache {
     node: NodeId,
@@ -126,6 +130,10 @@ pub struct PrivateCache {
     /// Cycle each active lockdown began (first Nack sent), for the
     /// lockdown-duration histogram.
     lockdown_since: HashMap<LineAddr, Cycle>,
+    /// Cycle attribution: top contended lines by blocked-write stall
+    /// and lockdown-held cycles. Bounded space-saving sketch — NOT a
+    /// per-line map — surfaced via [`PrivateCache::hot_lines`].
+    hot: HeavyHitters,
     /// First "impossible state" seen by this cache; the offending
     /// message is dropped and the system surfaces `RunOutcome::Fault`.
     fault: Option<ProtocolError>,
@@ -178,6 +186,7 @@ impl PrivateCache {
             stats,
             tracer: Tracer::new(CompId::Cache(node.0)),
             lockdown_since: HashMap::new(),
+            hot: HeavyHitters::new(HOT_LINES_TRACKED),
             fault: None,
             h_load_accesses,
             h_l1_hits,
@@ -204,6 +213,13 @@ impl PrivateCache {
     /// The first protocol violation this cache has seen, if any.
     pub fn fault(&self) -> Option<&ProtocolError> {
         self.fault.as_ref()
+    }
+
+    /// Cycle attribution for this cache: top contended lines by
+    /// blocked-write stall and lockdown-held cycles, as a bounded
+    /// space-saving sketch (see [`wb_kernel::attr`]).
+    pub fn hot_lines(&self) -> &HeavyHitters {
+        &self.hot
     }
 
     /// Lines this cache currently holds a lockdown on (sorted).
@@ -258,7 +274,9 @@ impl PrivateCache {
             MshrKind::Write => {
                 self.stats.record("cache_write_miss_cycles", latency);
                 if let Some(b) = m.blocked_at {
-                    self.stats.record("cache_blocked_write_cycles", now.saturating_sub(b));
+                    let stalled = now.saturating_sub(b);
+                    self.stats.record("cache_blocked_write_cycles", stalled);
+                    self.hot.add(m.line.0, stalled);
                 }
             }
             MshrKind::Read | MshrKind::TearOff => {
@@ -533,6 +551,7 @@ impl PrivateCache {
         if let Some(t0) = self.lockdown_since.remove(&line) {
             let held = now.saturating_sub(t0);
             self.stats.record("cache_lockdown_cycles", held);
+            self.hot.add(line.0, held);
             self.tracer.record(now, TraceEvent::LockdownEnd { line: line.0, held });
         }
         let home = self.home(line);

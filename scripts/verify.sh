@@ -56,6 +56,18 @@ if grep -rn --include='*.rs' -E 'Mesh::(<[^>]*>::)?new\(4, 4,' crates/*/src; the
     exit 1
 fi
 
+# Attribution-memory discipline: hot-path cycle attribution must use
+# the bounded heavy-hitters sketch, never an unbounded per-line map — a
+# torture workload touching millions of distinct lines would otherwise
+# grow attribution state without limit. The sketch itself is a plain
+# Vec; only the test module may hold a map (the exact-count oracle the
+# property tests compare against).
+if awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' crates/kernel/src/attr.rs \
+    | grep -E 'HashMap|BTreeMap'; then
+    echo "ERROR: map type in crates/kernel/src/attr.rs library code (the sketch must stay O(k): plain Vec only)" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -113,4 +125,23 @@ trap 'rm -rf "$tracedir" "$scalingdir"' EXIT
 WB_BENCH_DIR="$scalingdir" cargo run -q --release --offline -p wb-bench --bin scaling -- --smoke
 grep -q 'dir_bank_occupancy' "$scalingdir/BENCH_scaling.json"
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling smoke tests)"
+# Ledger smoke: the perf-regression gate run twice at the same revision
+# must produce two parseable JSONL entries and a clean second verdict —
+# every gated metric is deterministic, so any nonzero exit here means
+# either real nondeterminism or a broken comparison. The synthetic
+# must-fail direction (a 20% slowdown exits nonzero) is pinned by the
+# wb_bench::ledger unit tests above.
+ledgerdir="$(mktemp -d)"
+trap 'rm -rf "$tracedir" "$scalingdir" "$ledgerdir"' EXIT
+WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
+WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
+test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 2
+# And the real gate: current build vs the committed baseline (copied
+# aside so verification never mutates the tracked ledger). A nonzero
+# exit means a deterministic metric regressed — either fix it, or
+# re-run `ledger` against results/ledger.jsonl and commit the refreshed
+# baseline with an explanation.
+cp results/ledger.jsonl "$ledgerdir/baseline.jsonl"
+WB_LEDGER_PATH="$ledgerdir/baseline.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
+
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling + ledger smoke tests)"

@@ -308,3 +308,45 @@ fn skip_engine_reaches_the_same_done_cycle() {
     assert_eq!(dense.outcome, RunOutcome::Done);
     assert_eq!(dense, skip);
 }
+
+/// Timeline sampling is part of the equivalence contract: the periodic
+/// sampler registers its next deadline as an event source, so the skip
+/// engine lands every sample on exactly the dense cycle and the
+/// exported window deltas — and the Perfetto counter tracks derived
+/// from them — are byte-identical. Pinned on a traced chaos cell, the
+/// adversarial shape for deadline bookkeeping.
+#[test]
+fn timeline_sampling_is_cycle_exact() {
+    let w = torture_workload(4, 7, 60);
+    let cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(4)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(7)
+        .with_jitter(25)
+        .with_chaos(ChaosPlan::delay_storm());
+    let run = |engine: EngineMode| {
+        let mut sys = System::new(cfg.clone().with_engine(engine), &w);
+        sys.set_trace(TraceFilter::all());
+        sys.enable_timeline(500);
+        let outcome = sys.run(8_000_000);
+        (outcome, sys.now(), sys.timeline_jsonl(), sys.chrome_trace())
+    };
+    let (d_out, d_cycle, d_jsonl, d_trace) = run(EngineMode::Dense);
+    let (s_out, s_cycle, s_jsonl, s_trace) = run(EngineMode::Skip);
+    assert_eq!(d_out, s_out, "timeline chaos cell outcome diverged");
+    assert_eq!(d_cycle, s_cycle, "timeline chaos cell final cycle diverged");
+    assert!(
+        d_jsonl.lines().count() >= 4,
+        "cell must actually emit timeline windows, got:\n{d_jsonl}"
+    );
+    assert_eq!(d_jsonl, s_jsonl, "timeline JSONL diverged between Dense and Skip");
+    assert!(d_trace.contains("\"ph\":\"C\""), "chrome trace must carry counter tracks");
+    assert_eq!(d_trace, s_trace, "chrome trace (with counter tracks) diverged");
+    // SkipVerify re-ticks every skipped window densely; the sampler's
+    // deadline must survive that self-check too.
+    let (v_out, v_cycle, v_jsonl, v_trace) = run(EngineMode::SkipVerify);
+    assert_eq!((d_out, d_cycle), (v_out, v_cycle), "SkipVerify timeline cell diverged");
+    assert_eq!(d_jsonl, v_jsonl, "SkipVerify timeline JSONL diverged");
+    assert_eq!(d_trace, v_trace, "SkipVerify chrome trace diverged");
+}
