@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use wb_bench::campaign::{self, CampaignSpec};
 use wb_bench::ledger::{self, LedgerEntry};
 use wb_bench::timing::BenchResult;
 use wb_isa::Workload;
@@ -29,6 +30,18 @@ use writersblock::{RunOutcome, System};
 const GROUP: &str = "ledger-smoke";
 const RUN_BUDGET: u64 = 50_000_000;
 const WALL_SAMPLES: usize = 3;
+
+/// Second metric group: the campaign farm itself. A small fixed
+/// campaign runs fresh and then resumes as a no-op, yielding
+/// throughput (cells/sec), resume overhead and checkpoint size — the
+/// knobs a farm regression would move. Simulated totals and snapshot
+/// bytes are deterministic and gated; wall rows are advisory.
+const CAMPAIGN_GROUP: &str = "campaign";
+const CAMPAIGN_SPEC: &str = r#"{
+  "name": "ledger-campaign", "cores": 2, "engine": "skip", "budget": 50000000,
+  "workloads": ["mp", "sb", "fft"], "arms": ["wb-ooo"],
+  "chaos": ["off"], "faults": ["off"], "seeds": [1, 2]
+}"#;
 
 struct Cell {
     name: &'static str,
@@ -120,17 +133,86 @@ fn run_cell(cell: &Cell, metrics: &mut BTreeMap<String, u64>) {
     );
 }
 
+/// Run the fixed ledger campaign fresh, then resume it as a no-op, and
+/// report the farm's metric group.
+fn campaign_metrics() -> BTreeMap<String, u64> {
+    let spec = CampaignSpec::parse(CAMPAIGN_SPEC)
+        .unwrap_or_else(|e| panic!("ledger campaign spec: {e}")); // allow(panic): bench driver
+    let dir = std::env::temp_dir().join(format!("wb-ledger-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let threads = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(4);
+    let run = |label: &str| {
+        let t0 = std::time::Instant::now();
+        let rep = campaign::run_campaign(&spec, &dir, threads, None)
+            .unwrap_or_else(|e| panic!("ledger campaign ({label}): {e}")); // allow(panic): bench driver
+        (rep, t0.elapsed().as_nanos() as u64)
+    };
+    let (fresh, fresh_ns) = run("fresh");
+    assert_eq!(fresh.ran, fresh.total, "fresh run executes every cell"); // allow(panic): bench driver
+    let (resumed, resume_ns) = run("resume");
+    assert_eq!(resumed.ran, 0, "no-op resume re-runs nothing"); // allow(panic): bench driver
+
+    let merged = std::fs::read_to_string(dir.join("merged.jsonl"))
+        .unwrap_or_else(|e| panic!("reading merged.jsonl: {e}")); // allow(panic): bench driver
+    let sim_cycles: u64 = merged
+        .lines()
+        .map(|l| {
+            campaign::CellResult::parse_line(l)
+                .unwrap_or_else(|e| panic!("merged.jsonl line: {e}")) // allow(panic): bench driver
+                .cycles
+        })
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Checkpoint size of a warmed 4-core fft — the representative
+    // mid-run snapshot a warm-start farm would fork. Deterministic, so
+    // gated: unnoticed snapshot bloat is a real regression.
+    let w = splash::fft(4, Scale::Test);
+    let cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(4)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_engine(EngineMode::Skip)
+        .without_event_log();
+    let mut sys = System::new(cfg, &w);
+    let _ = sys.run(2_000);
+    let snapshot_bytes = sys.snapshot().len() as u64;
+
+    let cells = fresh.total as u64;
+    BTreeMap::from([
+        ("campaign_cells".to_owned(), cells),
+        ("campaign_sim_cycles".to_owned(), sim_cycles),
+        ("campaign_snapshot_bytes".to_owned(), snapshot_bytes),
+        ("campaign_wall_ns".to_owned(), fresh_ns),
+        ("campaign_resume_wall_ns".to_owned(), resume_ns),
+        ("campaign_cells_per_sec".to_owned(), cells.saturating_mul(1_000_000_000) / fresh_ns.max(1)),
+    ])
+}
+
 fn main() {
     let cells = cells();
-    let digest = config_digest(&cells);
     let rev = git_rev();
 
     let mut metrics = BTreeMap::new();
     for cell in &cells {
         run_cell(cell, &mut metrics);
     }
-    let entry =
-        LedgerEntry { rev: rev.clone(), config_digest: digest.clone(), group: GROUP.to_owned(), metrics };
+    let smoke = LedgerEntry {
+        rev: rev.clone(),
+        config_digest: config_digest(&cells),
+        group: GROUP.to_owned(),
+        metrics,
+    };
+    let farm = {
+        let mut h = std::hash::DefaultHasher::new();
+        CAMPAIGN_SPEC.hash(&mut h);
+        LedgerEntry {
+            rev: rev.clone(),
+            config_digest: format!("{:016x}", h.finish()),
+            group: CAMPAIGN_GROUP.to_owned(),
+            metrics: campaign_metrics(),
+        }
+    };
+    let entries = [smoke, farm];
 
     let path =
         std::env::var("WB_LEDGER_PATH").unwrap_or_else(|_| "results/ledger.jsonl".to_owned());
@@ -141,21 +223,23 @@ fn main() {
     };
 
     let mut regressed = false;
-    match ledger::baseline_for(&existing, GROUP, &digest) {
-        Some(base) => {
-            let cmp = ledger::compare(base, &entry);
-            print!("{}", ledger::render_comparison(&base.rev, &rev, &cmp));
-            regressed = ledger::has_regression(&cmp);
+    for entry in &entries {
+        match ledger::baseline_for(&existing, &entry.group, &entry.config_digest) {
+            Some(base) => {
+                let cmp = ledger::compare(base, entry);
+                print!("{}", ledger::render_comparison(&base.rev, &rev, &cmp));
+                regressed |= ledger::has_regression(&cmp);
+            }
+            None => eprintln!(
+                "no baseline for {} config {} in {path}; recording a fresh one",
+                entry.group, entry.config_digest
+            ),
         }
-        None => eprintln!("no baseline for config {digest} in {path}; recording a fresh one"),
     }
 
-    // Self-validate the emitted line through the in-tree parser before
-    // it lands in the file — a malformed line would poison every later
+    // Self-validate the emitted lines through the in-tree parser before
+    // they land in the file — a malformed line would poison every later
     // comparison.
-    let line = entry.to_json_line();
-    LedgerEntry::parse_line(&line)
-        .unwrap_or_else(|e| panic!("emitted ledger line invalid: {e}")); // allow(panic): bench driver
     if let Some(dir) = std::path::Path::new(&path).parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)
@@ -166,10 +250,15 @@ fn main() {
     if !file.is_empty() {
         file.push('\n');
     }
-    file.push_str(&line);
-    file.push('\n');
+    for entry in &entries {
+        let line = entry.to_json_line();
+        LedgerEntry::parse_line(&line)
+            .unwrap_or_else(|e| panic!("emitted ledger line invalid: {e}")); // allow(panic): bench driver
+        file.push_str(&line);
+        file.push('\n');
+    }
     std::fs::write(&path, file).unwrap_or_else(|e| panic!("writing {path}: {e}")); // allow(panic): bench driver
-    eprintln!("appended {rev} to {path} ({} entries)", existing.len() + 1);
+    eprintln!("appended {rev} to {path} ({} entries)", existing.len() + entries.len());
 
     if regressed {
         eprintln!("ledger: REGRESSION — a deterministic metric exceeded its gate");

@@ -1,0 +1,924 @@
+//! Crash-resumable campaign farm.
+//!
+//! A *campaign* is a matrix of simulation cells — workload × protocol
+//! arm × chaos plan × fault plan × seed — described by a JSON spec
+//! (parsed with the in-tree [`wb_kernel::json`] parser) and executed on
+//! the deterministic sweep runner ([`crate::sweep`]). Results stream to
+//! `<out>/results.jsonl` in completion order; after every flushed
+//! result line the cell's id is appended to `<out>/manifest`, so a
+//! `kill -9` at any instant loses at most the cell in flight. Re-running
+//! the same campaign into the same directory reads the manifest, runs
+//! only the missing cells, and writes `<out>/merged.jsonl` in spec
+//! order — byte-identical to an uninterrupted run, because every cell
+//! result is a pure function of the spec (no wall-clock, no host state;
+//! `scripts/verify.sh` greps this module to keep host-time reads out).
+//!
+//! Two extra modes ride on the snapshot subsystem:
+//!
+//! * **Warm-start forking** (`"warmup": N` in the spec): each
+//!   (workload, arm, chaos, fault) group is run once for `N` cycles
+//!   under a fixed warm seed, snapshotted, and every seed cell restores
+//!   that one snapshot and [`writersblock::System::reseed`]s itself —
+//!   thousands of seeds for the price of one warm-up.
+//! * **Fuzzing** ([`run_fuzz`]): mines torture/litmus cells under the
+//!   chaos and fault matrices with a tightened watchdog, and dedupes
+//!   any wedge or fault by [`WedgeReport::signature`] into
+//!   `<out>/wedges.jsonl` — each line a distinct failure mode with its
+//!   one-command reproducer.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::sweep;
+use wb_isa::{Program, Reg, Workload};
+use wb_kernel::chaos::ChaosPlan;
+use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
+use wb_kernel::fault::FaultPlan;
+use wb_kernel::json::{self, Json};
+use wb_kernel::SimRng;
+use writersblock::{RunOutcome, System};
+
+/// Fixed seed every warm-start snapshot is taken under; forks restore
+/// it and immediately reseed to their own cell seed.
+pub const WARM_SEED: u64 = 0x5eed_0001;
+
+/// Per-cell budget for fuzz-mined cells: long enough for the tightened
+/// watchdog (stall window 2500) to classify a wedge, short enough to
+/// mine hundreds of cells per round.
+pub const FUZZ_BUDGET: u64 = 2_000_000;
+
+// ---------------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------------
+
+/// A parsed campaign spec: the full cell matrix plus execution knobs.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    pub name: String,
+    /// Core count used when *generating* suite workloads; each cell's
+    /// machine is sized to its workload's own core count.
+    pub cores: usize,
+    pub class: CoreClass,
+    pub engine: EngineMode,
+    pub jitter: u64,
+    /// Default per-cell cycle budget.
+    pub budget: u64,
+    /// Per-workload budget overrides (e.g. radix/streamcluster need 2x).
+    pub budgets: BTreeMap<String, u64>,
+    /// Warm-start cycles (0 = run every cell from reset).
+    pub warmup: u64,
+    pub workloads: Vec<String>,
+    pub arms: Vec<String>,
+    pub chaos: Vec<String>,
+    pub faults: Vec<String>,
+    pub seeds: Vec<u64>,
+}
+
+fn want_str(v: &Json, key: &str) -> Result<String, String> {
+    v.as_str().map(str::to_owned).ok_or_else(|| format!("spec key `{key}` must be a string"))
+}
+
+fn want_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.as_u64().ok_or_else(|| format!("spec key `{key}` must be an unsigned integer"))
+}
+
+fn want_str_list(v: &Json, key: &str) -> Result<Vec<String>, String> {
+    let arr = v.as_arr().ok_or_else(|| format!("spec key `{key}` must be an array"))?;
+    if arr.is_empty() {
+        return Err(format!("spec key `{key}` must not be empty"));
+    }
+    arr.iter().map(|e| want_str(e, key)).collect()
+}
+
+impl CampaignSpec {
+    /// Parse and validate a spec. Every workload/arm/chaos/fault name is
+    /// resolved against the registries here, so a typo fails before any
+    /// cell runs rather than mid-campaign.
+    pub fn parse(src: &str) -> Result<CampaignSpec, String> {
+        let doc = json::parse(src).map_err(|e| format!("campaign spec: {e}"))?;
+        let obj = doc.as_obj().ok_or("campaign spec must be a JSON object")?;
+        let mut spec = CampaignSpec {
+            name: "campaign".to_owned(),
+            cores: 4,
+            class: CoreClass::Slm,
+            engine: EngineMode::Skip,
+            jitter: 0,
+            budget: crate::RUN_BUDGET,
+            budgets: BTreeMap::new(),
+            warmup: 0,
+            workloads: vec![],
+            arms: vec!["wb-ooo".to_owned()],
+            chaos: vec!["off".to_owned()],
+            faults: vec!["off".to_owned()],
+            seeds: vec![1],
+        };
+        for (k, v) in obj {
+            match k.as_str() {
+                "name" => spec.name = want_str(v, k)?,
+                "cores" => spec.cores = want_u64(v, k)? as usize,
+                "class" => {
+                    spec.class = match want_str(v, k)?.as_str() {
+                        "slm" => CoreClass::Slm,
+                        "nhm" => CoreClass::Nhm,
+                        "hsw" => CoreClass::Hsw,
+                        other => return Err(format!("unknown core class `{other}`")),
+                    }
+                }
+                "engine" => {
+                    spec.engine = match want_str(v, k)?.as_str() {
+                        "dense" => EngineMode::Dense,
+                        "skip" => EngineMode::Skip,
+                        "skip-verify" => EngineMode::SkipVerify,
+                        other => return Err(format!("unknown engine `{other}`")),
+                    }
+                }
+                "jitter" => spec.jitter = want_u64(v, k)?,
+                "budget" => spec.budget = want_u64(v, k)?,
+                "budgets" => {
+                    let o = v.as_obj().ok_or("spec key `budgets` must be an object")?;
+                    for (w, b) in o {
+                        spec.budgets.insert(w.clone(), want_u64(b, "budgets")?);
+                    }
+                }
+                "warmup" => spec.warmup = want_u64(v, k)?,
+                "workloads" => spec.workloads = want_str_list(v, k)?,
+                "arms" => spec.arms = want_str_list(v, k)?,
+                "chaos" => spec.chaos = want_str_list(v, k)?,
+                "faults" => spec.faults = want_str_list(v, k)?,
+                "seeds" => {
+                    // Either an explicit list, or {"first": F, "count": N}
+                    // for warm-start fleets of thousands.
+                    if let Some(arr) = v.as_arr() {
+                        spec.seeds = arr.iter().map(|e| want_u64(e, k)).collect::<Result<_, _>>()?;
+                        if spec.seeds.is_empty() {
+                            return Err("spec key `seeds` must not be empty".to_owned());
+                        }
+                    } else if v.as_obj().is_some() {
+                        let first = want_u64(
+                            v.get("first").ok_or("seeds object needs `first`")?,
+                            "seeds.first",
+                        )?;
+                        let count = want_u64(
+                            v.get("count").ok_or("seeds object needs `count`")?,
+                            "seeds.count",
+                        )?;
+                        if count == 0 {
+                            return Err("seeds.count must be positive".to_owned());
+                        }
+                        spec.seeds = (0..count).map(|i| first.wrapping_add(i)).collect();
+                    } else {
+                        return Err("spec key `seeds` must be an array or object".to_owned());
+                    }
+                }
+                other => return Err(format!("unknown spec key `{other}`")),
+            }
+        }
+        if spec.workloads.is_empty() {
+            return Err("spec key `workloads` is required".to_owned());
+        }
+        for w in &spec.workloads {
+            workload_by_name(w, spec.cores)?;
+        }
+        for a in &spec.arms {
+            arm_by_name(a)?;
+        }
+        for c in &spec.chaos {
+            chaos_by_name(c)?;
+        }
+        for f in &spec.faults {
+            fault_by_name(f)?;
+        }
+        for w in spec.budgets.keys() {
+            if !spec.workloads.contains(w) {
+                return Err(format!("budget override for `{w}` which is not in `workloads`"));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+/// Resolve a workload name: litmus tests, the barrier storm, or any of
+/// the 12 suite kernels (generated at `cores` cores, `Scale::Test`).
+pub fn workload_by_name(name: &str, cores: usize) -> Result<Workload, String> {
+    use wb_tso::litmus;
+    match name {
+        "mp" => return Ok(litmus::mp().workload),
+        "mp-warm" => return Ok(litmus::mp_warm().workload),
+        "sb" => return Ok(litmus::sb().workload),
+        "lb" => return Ok(litmus::lb().workload),
+        "corr" => return Ok(litmus::corr().workload),
+        "iriw" => return Ok(litmus::iriw().workload),
+        "mp-transitive" => return Ok(litmus::mp_transitive().workload),
+        "two-plus-two-w" => return Ok(litmus::two_plus_two_w().workload),
+        "barrier-storm" => return Ok(wb_workloads::barrier_storm(cores, 4)),
+        _ => {}
+    }
+    wb_workloads::suite(cores, wb_workloads::Scale::Test)
+        .into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| format!("unknown workload `{name}`"))
+}
+
+/// Resolve a protocol arm name to (protocol, commit mode).
+pub fn arm_by_name(name: &str) -> Result<(ProtocolKind, CommitMode), String> {
+    Ok(match name {
+        "mesi-inorder" => (ProtocolKind::BaseMesi, CommitMode::InOrder),
+        "mesi-ooo" => (ProtocolKind::BaseMesi, CommitMode::OutOfOrder),
+        "wb-inorder" => (ProtocolKind::WritersBlock, CommitMode::InOrder),
+        "wb-ooo" => (ProtocolKind::WritersBlock, CommitMode::OutOfOrderWb),
+        "wb-ecl" => (ProtocolKind::WritersBlock, CommitMode::InOrderEcl),
+        other => return Err(format!("unknown arm `{other}`")),
+    })
+}
+
+/// Resolve a chaos plan name (`"off"` = none).
+pub fn chaos_by_name(name: &str) -> Result<Option<ChaosPlan>, String> {
+    Ok(Some(match name {
+        "off" => return Ok(None),
+        "delay-storm" => ChaosPlan::delay_storm(),
+        "request-storm" => ChaosPlan::request_storm(),
+        "forward-storm" => ChaosPlan::forward_storm(),
+        "response-storm" => ChaosPlan::response_storm(),
+        "reorder-amplify" => ChaosPlan::reorder_amplify(),
+        "wb-entry-squeeze" => ChaosPlan::wb_entry_squeeze(),
+        "hotspot" => ChaosPlan::hotspot(0),
+        other => return Err(format!("unknown chaos plan `{other}`")),
+    }))
+}
+
+/// Resolve a fault plan name (`"off"` = none; `"drop-N-M"` drops N/M of
+/// all hops).
+pub fn fault_by_name(name: &str) -> Result<Option<FaultPlan>, String> {
+    Ok(Some(match name {
+        "off" => return Ok(None),
+        "drop-response" => FaultPlan::drop_response(),
+        "drop-forward" => FaultPlan::drop_forward(),
+        "duplicate-storm" => FaultPlan::duplicate_storm(),
+        "corrupt-everywhere" => FaultPlan::corrupt_everywhere(),
+        "mixed-misery" => FaultPlan::mixed_misery(),
+        other => {
+            let parts: Vec<&str> = other.split('-').collect();
+            match parts.as_slice() {
+                ["drop", num, den] => match (num.parse(), den.parse()) {
+                    (Ok(n), Ok(d)) if d > 0u64 => FaultPlan::drop_everywhere(n, d),
+                    _ => return Err(format!("bad drop rate in `{other}`")),
+                },
+                _ => return Err(format!("unknown fault plan `{other}`")),
+            }
+        }
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+/// One point of the campaign matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Stable id, unique within the campaign; the manifest key.
+    pub id: String,
+    pub workload: String,
+    pub arm: String,
+    pub chaos: String,
+    pub fault: String,
+    pub seed: u64,
+    pub budget: u64,
+}
+
+impl Cell {
+    /// Warm-start group key: everything but the seed.
+    fn group(&self) -> String {
+        format!("{}+{}+{}+{}", self.workload, self.arm, self.chaos, self.fault)
+    }
+}
+
+/// Expand the spec into its cell matrix, in spec order (workload
+/// outermost, seed innermost). Ids are stable across runs — they key
+/// the resume manifest.
+pub fn cells(spec: &CampaignSpec) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for w in &spec.workloads {
+        let budget = spec.budgets.get(w).copied().unwrap_or(spec.budget);
+        for arm in &spec.arms {
+            for chaos in &spec.chaos {
+                for fault in &spec.faults {
+                    for &seed in &spec.seeds {
+                        out.push(Cell {
+                            id: format!("{w}+{arm}+{chaos}+{fault}+s{seed}"),
+                            workload: w.clone(),
+                            arm: arm.clone(),
+                            chaos: chaos.clone(),
+                            fault: fault.clone(),
+                            seed,
+                            budget,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the system configuration for one cell (machine sized to the
+/// workload's own core count; `seed` may be overridden for warm-starts).
+pub fn cell_config(spec: &CampaignSpec, cell: &Cell, cores: usize, seed: u64) -> SystemConfig {
+    // Names were validated at parse time; resolution cannot fail here.
+    let (protocol, commit) = arm_by_name(&cell.arm).expect("arm validated at parse");
+    let mut cfg = SystemConfig::new(spec.class)
+        .with_cores(cores)
+        .with_commit(commit)
+        .with_protocol(protocol)
+        .with_engine(spec.engine)
+        .with_seed(seed)
+        .with_jitter(spec.jitter)
+        .without_event_log();
+    if let Some(p) = chaos_by_name(&cell.chaos).expect("chaos validated at parse") {
+        cfg = cfg.with_chaos(p);
+    }
+    if let Some(p) = fault_by_name(&cell.fault).expect("fault validated at parse") {
+        cfg = cfg.with_fault(p);
+    }
+    cfg
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// The deterministic outcome of one cell. Contains nothing derived from
+/// the host (no wall time, no hostname): the merged campaign output
+/// must be byte-identical however many times the run was interrupted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    pub id: String,
+    /// `done` | `budget` | `wedge` | `fault`
+    pub outcome: String,
+    pub cycles: u64,
+    pub retired: u64,
+    /// Wedge-signature (dedup key), empty unless wedged/faulted.
+    pub signature: String,
+    /// One-command reproducer, empty unless wedged/faulted.
+    pub reproducer: String,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl CellResult {
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"cell\":\"{}\",\"outcome\":\"{}\",\"cycles\":{},\"retired\":{},\"sig\":\"{}\",\"repro\":\"{}\"}}",
+            json_escape(&self.id),
+            self.outcome,
+            self.cycles,
+            self.retired,
+            json_escape(&self.signature),
+            json_escape(&self.reproducer),
+        )
+    }
+
+    pub fn parse_line(line: &str) -> Result<CellResult, String> {
+        let doc = json::parse(line)?;
+        let field = |k: &str| -> Result<String, String> {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("result line missing `{k}`"))
+        };
+        let num = |k: &str| -> Result<u64, String> {
+            doc.get(k).and_then(Json::as_u64).ok_or_else(|| format!("result line missing `{k}`"))
+        };
+        Ok(CellResult {
+            id: field("cell")?,
+            outcome: field("outcome")?,
+            cycles: num("cycles")?,
+            retired: num("retired")?,
+            signature: field("sig")?,
+            reproducer: field("repro")?,
+        })
+    }
+}
+
+/// Run one cell from reset (or from a warm snapshot) and summarize.
+fn run_cell(spec: &CampaignSpec, cell: &Cell, warm: Option<&[u8]>) -> CellResult {
+    let w = workload_by_name(&cell.workload, spec.cores).expect("workload validated at parse");
+    let cores = w.cores();
+    let mut sys = match warm {
+        Some(bytes) => {
+            let mut sys = System::new(cell_config(spec, cell, cores, WARM_SEED), &w);
+            sys.restore(bytes).expect("warm snapshot restores into its own configuration");
+            sys.reseed(cell.seed);
+            sys
+        }
+        None => System::new(cell_config(spec, cell, cores, cell.seed), &w),
+    };
+    let outcome = sys.run(cell.budget);
+    let (outcome, signature, reproducer) = match outcome {
+        RunOutcome::Done => ("done", String::new(), String::new()),
+        RunOutcome::Budget => ("budget", String::new(), String::new()),
+        RunOutcome::Wedge(r) => ("wedge", r.signature(), r.reproducer.clone()),
+        RunOutcome::Fault(r) => ("fault", r.signature(), r.reproducer.clone()),
+    };
+    CellResult {
+        id: cell.id.clone(),
+        outcome: outcome.to_owned(),
+        cycles: sys.now(),
+        retired: sys.total_retired(),
+        signature,
+        reproducer,
+    }
+}
+
+/// Compute the warm snapshot for one cell group: run the group's
+/// configuration for `spec.warmup` cycles under [`WARM_SEED`].
+fn warm_snapshot(spec: &CampaignSpec, cell: &Cell) -> Vec<u8> {
+    let w = workload_by_name(&cell.workload, spec.cores).expect("workload validated at parse");
+    let cores = w.cores();
+    let mut sys = System::new(cell_config(spec, cell, cores, WARM_SEED), &w);
+    let _ = sys.run(spec.warmup);
+    sys.snapshot()
+}
+
+// ---------------------------------------------------------------------------
+// The farm
+// ---------------------------------------------------------------------------
+
+/// What a [`run_campaign`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Total cells in the spec matrix.
+    pub total: usize,
+    /// Cells executed by this invocation.
+    pub ran: usize,
+    /// Cells skipped because the manifest already had them.
+    pub resumed: usize,
+    pub wedges: usize,
+    pub faults: usize,
+}
+
+fn read_lines(path: &Path) -> Vec<String> {
+    match fs::read_to_string(path) {
+        Ok(s) => s.lines().map(str::to_owned).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Run (or resume) a campaign into `out`.
+///
+/// Crash-safety protocol: each worker appends its result line to
+/// `results.jsonl` and syncs it *before* appending the cell id to
+/// `manifest`. A cell is therefore only ever marked complete once its
+/// result is durable; a kill between the two writes re-runs the cell on
+/// resume (its duplicate result line is deduplicated at merge time —
+/// harmless, since cell results are deterministic). `kill_after`
+/// hard-aborts the process after that many completions — the hook the
+/// crash-resume smoke test uses to die at a deterministic point, with
+/// exactly the file state a `kill -9` would leave.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    out: &Path,
+    threads: usize,
+    kill_after: Option<usize>,
+) -> Result<CampaignReport, String> {
+    fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let all = cells(spec);
+    {
+        let mut seen = BTreeSet::new();
+        for c in &all {
+            if !seen.insert(&c.id) {
+                return Err(format!("duplicate cell id `{}` in spec matrix", c.id));
+            }
+        }
+    }
+
+    // Resume state: the manifest is the source of truth; result lines
+    // without a manifest entry (torn writes, killed pre-manifest) are
+    // dropped and their cells re-run.
+    let done: BTreeSet<String> = read_lines(&out.join("manifest")).into_iter().collect();
+    let mut by_id: BTreeMap<String, String> = BTreeMap::new();
+    for line in read_lines(&out.join("results.jsonl")) {
+        if let Ok(r) = CellResult::parse_line(&line) {
+            if done.contains(&r.id) {
+                by_id.insert(r.id, line);
+            }
+        }
+    }
+    let todo: Vec<Cell> = all.iter().filter(|c| !by_id.contains_key(&c.id)).cloned().collect();
+    let resumed = all.len() - todo.len();
+
+    // Warm-start: one snapshot per (workload, arm, chaos, fault) group,
+    // computed up front on the same worker pool. Deterministic, so a
+    // resumed campaign recomputes byte-identical snapshots.
+    let warm: BTreeMap<String, Vec<u8>> = if spec.warmup > 0 {
+        let groups: Vec<Cell> = {
+            let mut seen = BTreeSet::new();
+            todo.iter().filter(|c| seen.insert(c.group())).cloned().collect()
+        };
+        let keys: Vec<String> = groups.iter().map(Cell::group).collect();
+        let snaps = sweep::run_on(threads, groups, |c| warm_snapshot(spec, &c));
+        keys.into_iter().zip(snaps).collect()
+    } else {
+        BTreeMap::new()
+    };
+
+    let open_append = |name: &str| {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(out.join(name))
+            .map_err(|e| format!("opening {}/{name}: {e}", out.display()))
+    };
+    let mut results_file = open_append("results.jsonl")?;
+    // A kill mid-write can leave a torn final line with no newline; seal
+    // it so the first fresh append starts on its own line. (The torn
+    // line's cell has no manifest entry, so it re-runs regardless.)
+    if let Ok(s) = fs::read_to_string(out.join("results.jsonl")) {
+        if !s.is_empty() && !s.ends_with('\n') {
+            writeln!(results_file).map_err(|e| format!("sealing results.jsonl: {e}"))?;
+        }
+    }
+    let sink = Mutex::new((results_file, open_append("manifest")?, 0usize));
+
+    let fresh: Vec<CellResult> = sweep::run_on(threads, todo, |cell| {
+        let r = run_cell(spec, &cell, warm.get(&cell.group()).map(Vec::as_slice));
+        let line = r.to_json_line();
+        let mut s = sink.lock().expect("campaign sink");
+        let (results, manifest, completed) = &mut *s;
+        // Result first, durable, then the manifest entry that marks it
+        // complete — the order the resume protocol depends on.
+        writeln!(results, "{line}").and_then(|()| results.sync_data()).expect("writing results");
+        writeln!(manifest, "{}", r.id).and_then(|()| manifest.sync_data()).expect("writing manifest");
+        *completed += 1;
+        if kill_after.is_some_and(|k| *completed >= k) {
+            // Simulated power-cut for the crash-resume smoke: no
+            // destructors, no flushes beyond what is already durable.
+            std::process::abort();
+        }
+        r
+    });
+
+    for r in &fresh {
+        by_id.insert(r.id.clone(), r.to_json_line());
+    }
+    let mut merged = String::new();
+    for c in &all {
+        let line = by_id.get(&c.id).ok_or_else(|| format!("cell `{}` produced no result", c.id))?;
+        merged.push_str(line);
+        merged.push('\n');
+    }
+    fs::write(out.join("merged.jsonl"), &merged)
+        .map_err(|e| format!("writing {}/merged.jsonl: {e}", out.display()))?;
+
+    let count = |kind: &str| {
+        by_id.values().filter(|l| l.contains(&format!("\"outcome\":\"{kind}\""))).count()
+    };
+    Ok(CampaignReport {
+        total: all.len(),
+        ran: fresh.len(),
+        resumed,
+        wedges: count("wedge"),
+        faults: count("fault"),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing
+// ---------------------------------------------------------------------------
+
+/// What a [`run_fuzz`] call found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Cells executed across all rounds.
+    pub cells: usize,
+    /// Cells that wedged or faulted.
+    pub hits: usize,
+    /// Signatures not previously present in `wedges.jsonl`.
+    pub fresh: Vec<String>,
+}
+
+/// Random contended straight-line program — the fuzz corpus generator
+/// (same recipe as the engine-equivalence torture cells: store values
+/// globally unique so the TSO checker stays sound).
+fn fuzz_program(core: usize, rng: &mut SimRng, ops: usize, lines: &[u64]) -> Program {
+    let mut p = Program::builder();
+    let mut k: u64 = 1;
+    for _ in 0..ops {
+        let a = *rng.choose(lines).expect("non-empty");
+        let word = rng.below(8) * 8;
+        p.imm(Reg(1), a + word);
+        match rng.below(10) {
+            0..=4 => {
+                p.load(Reg(3), Reg(1), 0);
+            }
+            5..=8 => {
+                p.imm(Reg(2), ((core as u64) << 32) | k);
+                k += 1;
+                p.store(Reg(2), Reg(1), 0);
+            }
+            _ => {
+                p.imm(Reg(2), ((core as u64) << 32) | k);
+                k += 1;
+                p.amo_swap(Reg(3), Reg(1), 0, Reg(2));
+            }
+        }
+    }
+    p.halt();
+    p.build()
+}
+
+fn fuzz_workload(cores: usize, seed: u64, ops: usize) -> Workload {
+    let lines: Vec<u64> = (0..6).map(|i| 0x1000 + i * 0x440).collect();
+    let mut rng = SimRng::new(seed);
+    let programs = (0..cores).map(|c| fuzz_program(c, &mut rng, ops, &lines)).collect();
+    Workload::new(format!("fuzz-{seed}"), programs)
+}
+
+/// Aggressive watchdog/retransmit settings so marginal cells classify
+/// as wedges inside [`FUZZ_BUDGET`] instead of limping to completion.
+fn fuzz_config(seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(2)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(seed)
+        .with_jitter(25)
+        .without_event_log();
+    cfg.network.link.rto_min = 4000;
+    cfg.network.link.rto_max = 4000;
+    cfg.watchdog.stall_window = 2500;
+    cfg.watchdog.fault_scale = 1;
+    cfg
+}
+
+/// Mine chaos/fault/litmus cells for failures and dedupe them by wedge
+/// signature into `<out>/wedges.jsonl`. Each round draws a fresh seed
+/// (`seed0 + round`) and sweeps the full chaos and fault matrices over
+/// a torture workload plus the `mp`/`sb` litmus races; any wedge or
+/// fault whose [`WedgeReport::signature`] has not been seen before is
+/// appended with its reproducer.
+///
+/// [`WedgeReport::signature`]: wb_kernel::wedge::WedgeReport::signature
+pub fn run_fuzz(
+    out: &Path,
+    threads: usize,
+    rounds: usize,
+    seed0: u64,
+) -> Result<FuzzReport, String> {
+    fs::create_dir_all(out).map_err(|e| format!("creating {}: {e}", out.display()))?;
+    let wedges_path = out.join("wedges.jsonl");
+    let mut known: BTreeSet<String> = read_lines(&wedges_path)
+        .iter()
+        .filter_map(|l| json::parse(l).ok())
+        .filter_map(|d| d.get("sig").and_then(Json::as_str).map(str::to_owned))
+        .collect();
+    let mut wedges = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&wedges_path)
+        .map_err(|e| format!("opening {}: {e}", wedges_path.display()))?;
+
+    let mut report = FuzzReport { cells: 0, hits: 0, fresh: Vec::new() };
+    for round in 0..rounds {
+        let seed = seed0.wrapping_add(round as u64);
+        let mut jobs: Vec<(String, SystemConfig, Workload)> = Vec::new();
+        for (i, fp) in FaultPlan::matrix().into_iter().enumerate() {
+            let label = format!("fault:{fp}");
+            jobs.push((label, fuzz_config(seed).with_fault(fp), fuzz_workload(2, seed ^ (i as u64), 15)));
+        }
+        for (i, cp) in ChaosPlan::matrix().into_iter().enumerate() {
+            let label = format!("chaos:{cp}");
+            let w = fuzz_workload(2, seed ^ (0x1000 + i as u64), 15);
+            jobs.push((label, fuzz_config(seed).with_chaos(cp), w));
+        }
+        for name in ["mp", "sb"] {
+            let w = workload_by_name(name, 2).expect("litmus names resolve");
+            let cfg = fuzz_config(seed).with_fault(FaultPlan::drop_everywhere(1, 12));
+            jobs.push((format!("litmus:{name}"), cfg, w));
+        }
+        report.cells += jobs.len();
+        let hits = sweep::run_on(threads, jobs, |(label, cfg, w)| {
+            let mut sys = System::new(cfg, &w);
+            match sys.run(FUZZ_BUDGET) {
+                RunOutcome::Wedge(r) | RunOutcome::Fault(r) => Some((label, r)),
+                _ => None,
+            }
+        });
+        for (label, r) in hits.into_iter().flatten() {
+            report.hits += 1;
+            let sig = r.signature();
+            if known.insert(sig.clone()) {
+                let line = format!(
+                    "{{\"sig\":\"{}\",\"cell\":\"{}\",\"repro\":\"{}\"}}",
+                    json_escape(&sig),
+                    json_escape(&label),
+                    json_escape(&r.reproducer),
+                );
+                writeln!(wedges, "{line}")
+                    .and_then(|()| wedges.sync_data())
+                    .map_err(|e| format!("writing wedges.jsonl: {e}"))?;
+                report.fresh.push(sig);
+            }
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("wb-campaign-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    const TINY: &str = r#"{
+        "name": "tiny", "cores": 2, "engine": "skip", "budget": 20000000,
+        "workloads": ["mp", "sb"], "arms": ["wb-ooo"],
+        "chaos": ["off", "delay-storm"], "faults": ["off"], "seeds": [1, 2]
+    }"#;
+
+    #[test]
+    fn spec_parses_with_defaults_and_rejects_junk() {
+        let spec = CampaignSpec::parse(TINY).expect("tiny spec parses");
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.arms, ["wb-ooo"]);
+        assert_eq!(cells(&spec).len(), 2 * 2 * 2);
+        for (src, needle) in [
+            (r#"{"workloads":["nope"]}"#, "unknown workload"),
+            (r#"{"workloads":["mp"],"arms":["x"]}"#, "unknown arm"),
+            (r#"{"workloads":["mp"],"chaos":["x"]}"#, "unknown chaos"),
+            (r#"{"workloads":["mp"],"faults":["drop-1-0"]}"#, "bad drop rate"),
+            (r#"{"workloads":["mp"],"frobnicate":1}"#, "unknown spec key"),
+            (r#"{"workloads":["mp"],"budgets":{"fft":1}}"#, "not in `workloads`"),
+            (r#"{}"#, "`workloads` is required"),
+        ] {
+            let e = CampaignSpec::parse(src).expect_err(src);
+            assert!(e.contains(needle), "{src}: got {e}");
+        }
+    }
+
+    #[test]
+    fn seed_ranges_and_budget_overrides_expand() {
+        let spec = CampaignSpec::parse(
+            r#"{"workloads":["mp","sb"],"seeds":{"first":10,"count":3},
+                "budget":500,"budgets":{"sb":900}}"#,
+        )
+        .expect("parses");
+        let cs = cells(&spec);
+        assert_eq!(cs.len(), 6);
+        assert_eq!(cs[0].seed, 10);
+        assert_eq!(cs[2].seed, 12);
+        assert_eq!(cs[0].budget, 500);
+        assert_eq!(cs[5].budget, 900);
+        assert_eq!(cs[0].id, "mp+wb-ooo+off+off+s10");
+    }
+
+    /// The committed standard campaign spec stays valid, covers the
+    /// full 12-kernel suite, and carries the 2x budgets the scaling
+    /// sweep established for radix and streamcluster.
+    #[test]
+    fn standard_spec_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../campaigns/standard.json");
+        let src = fs::read_to_string(path).expect("campaigns/standard.json exists");
+        let spec = CampaignSpec::parse(&src).expect("standard spec parses");
+        assert_eq!(spec.workloads.len(), 12, "full suite");
+        assert_eq!(spec.budgets.get("radix"), Some(&400_000_000));
+        assert_eq!(spec.budgets.get("streamcluster"), Some(&400_000_000));
+        assert_eq!(spec.budget, 200_000_000);
+        assert_eq!(cells(&spec).len(), 12 * 4);
+    }
+
+    #[test]
+    fn result_lines_roundtrip() {
+        let r = CellResult {
+            id: "mp+wb-ooo+off+off+s1".to_owned(),
+            outcome: "wedge".to_owned(),
+            cycles: 123,
+            retired: 4,
+            signature: "deadlock|core0|a->b:c|".to_owned(),
+            reproducer: "cargo run \"x\"".to_owned(),
+        };
+        assert_eq!(CellResult::parse_line(&r.to_json_line()).expect("roundtrips"), r);
+        assert!(CellResult::parse_line("{\"cell\":\"x\"").is_err(), "torn line rejected");
+    }
+
+    /// An interrupted campaign — manifest truncated mid-run, with both a
+    /// torn half-line and an unconfirmed (flushed-but-unmanifested)
+    /// result — resumes to a merged output byte-identical to an
+    /// uninterrupted run.
+    #[test]
+    fn resume_after_simulated_crash_is_byte_identical() {
+        let spec = CampaignSpec::parse(TINY).expect("parses");
+        let reference = tmp_dir("ref");
+        let rep = run_campaign(&spec, &reference, 2, None).expect("reference run");
+        assert_eq!((rep.total, rep.ran, rep.resumed), (8, 8, 0));
+        let merged = fs::read(reference.join("merged.jsonl")).expect("merged exists");
+
+        // Forge the crash: keep 3 completed cells, plus one result line
+        // whose manifest entry never landed, plus a torn final line.
+        let crashed = tmp_dir("crash");
+        fs::create_dir_all(&crashed).expect("mkdir");
+        let results = fs::read_to_string(reference.join("results.jsonl")).expect("results");
+        let manifest = fs::read_to_string(reference.join("manifest")).expect("manifest");
+        let keep = |s: &str, n: usize| {
+            s.lines().take(n).map(|l| format!("{l}\n")).collect::<String>()
+        };
+        let mut partial = keep(&results, 4);
+        partial.push_str("{\"cell\":\"torn");
+        fs::write(crashed.join("results.jsonl"), partial).expect("write");
+        fs::write(crashed.join("manifest"), keep(&manifest, 3)).expect("write");
+
+        let rep = run_campaign(&spec, &crashed, 2, None).expect("resumed run");
+        assert_eq!(rep.resumed, 3, "three cells were durable");
+        assert_eq!(rep.ran, 5, "five cells re-ran (incl. the unconfirmed one)");
+        assert_eq!(
+            fs::read(crashed.join("merged.jsonl")).expect("merged"),
+            merged,
+            "resumed merge must be byte-identical to the uninterrupted run"
+        );
+        // Fully-resumed rerun is a no-op that still rewrites merged.jsonl.
+        let rep = run_campaign(&spec, &crashed, 2, None).expect("no-op rerun");
+        assert_eq!((rep.ran, rep.resumed), (0, 8));
+        let _ = fs::remove_dir_all(&reference);
+        let _ = fs::remove_dir_all(&crashed);
+    }
+
+    /// Warm-start campaigns are deterministic across independent runs
+    /// and record post-warmup cycles (warm cycles included in `cycles`).
+    #[test]
+    fn warm_start_campaign_is_deterministic() {
+        let spec = CampaignSpec::parse(
+            r#"{"name":"warm","cores":2,"budget":20000000,"warmup":2000,"jitter":25,
+                "workloads":["fft"],"arms":["wb-ooo"],
+                "seeds":{"first":1,"count":4}}"#,
+        )
+        .expect("parses");
+        let a = tmp_dir("warm-a");
+        let b = tmp_dir("warm-b");
+        run_campaign(&spec, &a, 2, None).expect("run a");
+        run_campaign(&spec, &b, 1, None).expect("run b");
+        let ma = fs::read(a.join("merged.jsonl")).expect("a merged");
+        assert_eq!(ma, fs::read(b.join("merged.jsonl")).expect("b merged"));
+        let first = CellResult::parse_line(
+            String::from_utf8(ma).expect("utf8").lines().next().expect("one line"),
+        )
+        .expect("parses");
+        assert!(first.cycles >= 2000, "cycles include the warm-up prefix");
+        let _ = fs::remove_dir_all(&a);
+        let _ = fs::remove_dir_all(&b);
+    }
+
+    /// The fuzz miner finds at least one wedge signature on the lossy
+    /// litmus cells and never records the same signature twice.
+    #[test]
+    fn fuzz_dedupes_by_signature() {
+        let out = tmp_dir("fuzz");
+        let rep = run_fuzz(&out, 2, 2, 7).expect("fuzz runs");
+        assert!(rep.cells > 0);
+        let lines = read_lines(&out.join("wedges.jsonl"));
+        assert_eq!(lines.len(), rep.fresh.len());
+        let sigs: BTreeSet<String> = lines
+            .iter()
+            .map(|l| {
+                json::parse(l)
+                    .expect("wedge line parses")
+                    .get("sig")
+                    .and_then(Json::as_str)
+                    .expect("has sig")
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(sigs.len(), lines.len(), "signatures are unique");
+        // A second pass over the same seeds adds nothing new.
+        let rep2 = run_fuzz(&out, 2, 2, 7).expect("fuzz reruns");
+        assert!(rep2.fresh.is_empty(), "rerun re-mined only known signatures");
+        let _ = fs::remove_dir_all(&out);
+    }
+}

@@ -5,6 +5,7 @@
 //! text-rendering machinery they share. See DESIGN.md for the experiment
 //! index and EXPERIMENTS.md for paper-vs-measured results.
 
+pub mod campaign;
 pub mod ledger;
 pub mod sweep;
 pub mod timing;

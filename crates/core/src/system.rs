@@ -817,14 +817,21 @@ impl System {
     /// every wedge report so a failure can be replayed byte-for-byte.
     fn reproducer(&self) -> String {
         let c = &self.cfg;
+        let engine = match c.engine {
+            EngineMode::Dense => "dense",
+            EngineMode::Skip => "skip",
+            EngineMode::SkipVerify => "skip-verify",
+        };
         let mut s = format!(
-            "workload={} seed={:#x} cores={} protocol={:?} commit={:?} jitter={}",
+            "workload={} seed={:#x} cores={} protocol={:?} commit={:?} jitter={} engine={} dir_banks_per_node={}",
             self.workload_name,
             c.seed,
             c.num_cores,
             c.protocol,
             c.core.commit_mode,
-            c.network.jitter
+            c.network.jitter,
+            engine,
+            c.memory.dir_banks_per_node,
         );
         if c.wb_cacheable_reads {
             s.push_str(" option1=true");
@@ -1177,6 +1184,162 @@ impl System {
             lines.merge(c.hot_lines());
         }
         (lines, banks)
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Layout version of the `System` payload inside the WBSNAP frame.
+    /// Bump whenever any component's wire layout changes.
+    const SNAP_LAYOUT: u16 = 1;
+
+    /// Configuration fingerprint stored in every snapshot and compared
+    /// on restore: a snapshot only restores into a system built from
+    /// the same workload and configuration. The engine mode is
+    /// deliberately excluded — reports are byte-identical across
+    /// engines, so cross-engine restore is legal (and tested).
+    fn snap_fingerprint(&self) -> String {
+        let c = &self.cfg;
+        format!(
+            "workload={} seed={:#x} cores={} banks={} protocol={:?} commit={:?} jitter={} \
+             option1={} chaos={} fault={}",
+            self.workload_name,
+            c.seed,
+            c.num_cores,
+            c.memory.dir_banks_per_node,
+            c.protocol,
+            c.core.commit_mode,
+            c.network.jitter,
+            c.wb_cacheable_reads,
+            c.chaos.as_ref().map_or_else(|| "off".to_string(), |p| p.to_string()),
+            c.fault.as_ref().map_or_else(|| "off".to_string(), |p| p.to_string()),
+        )
+    }
+
+    /// Serialize the complete mutable simulation state into a framed
+    /// binary snapshot. `restore(snapshot(S))` followed by `run` is
+    /// byte-identical (reports, timelines, outcomes) to running `S`
+    /// straight through, in every engine mode. Tracers, trace sinks and
+    /// the line-trace filter are debug surface and are not captured.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use wb_kernel::Snap;
+        wb_kernel::snap::snapshot(|w| {
+            w.u16(Self::SNAP_LAYOUT);
+            w.str(&self.snap_fingerprint());
+            w.u64(self.now);
+            self.mesh.snap(w);
+            w.usize(self.cores.len());
+            for c in &self.cores {
+                c.snap(w);
+            }
+            w.usize(self.caches.len());
+            for c in &self.caches {
+                c.snap(w);
+            }
+            w.usize(self.dirs.len());
+            for d in &self.dirs {
+                d.snap(w);
+            }
+            self.timeline.snap(w);
+            w.u64(self.skipped_cycles);
+            w.u64(self.skip_windows);
+            w.u64(self.probe_stride);
+            w.u64(self.next_probe_at);
+        })
+    }
+
+    /// The snapshot as a self-validating JSON envelope (see
+    /// [`wb_kernel::snap::to_json`]): hex payload plus length and
+    /// checksum, parseable by `wb_kernel::json`.
+    pub fn snapshot_json(&self) -> String {
+        wb_kernel::snap::to_json(&self.snapshot())
+    }
+
+    /// Restore state captured by [`System::snapshot`] into this system.
+    /// The receiver must have been built from the same workload and
+    /// configuration; structural mismatches are rejected, not patched.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or corrupt input, a layout-version mismatch,
+    /// or a configuration fingerprint that differs from this system's.
+    pub fn restore(&mut self, bytes: &[u8]) -> wb_kernel::SnapResult<()> {
+        use wb_kernel::Snap;
+        let mut r = wb_kernel::snap::open(bytes)?;
+        let layout = r.u16()?;
+        if layout != Self::SNAP_LAYOUT {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot layout {layout} unsupported (this build reads {})",
+                Self::SNAP_LAYOUT
+            )));
+        }
+        let fp = r.str()?;
+        let ours = self.snap_fingerprint();
+        if fp != ours {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot was taken under a different configuration:\n  theirs: {fp}\n  ours:   {ours}"
+            )));
+        }
+        self.now = r.u64()?;
+        self.mesh.restore(&mut r)?;
+        let n = r.usize()?;
+        if n != self.cores.len() {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot has {n} cores, system has {}",
+                self.cores.len()
+            )));
+        }
+        for c in &mut self.cores {
+            c.restore(&mut r)?;
+        }
+        let n = r.usize()?;
+        if n != self.caches.len() {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot has {n} caches, system has {}",
+                self.caches.len()
+            )));
+        }
+        for c in &mut self.caches {
+            c.restore(&mut r)?;
+        }
+        let n = r.usize()?;
+        if n != self.dirs.len() {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot has {n} directory banks, system has {}",
+                self.dirs.len()
+            )));
+        }
+        for d in &mut self.dirs {
+            d.restore(&mut r)?;
+        }
+        self.timeline = Option::unsnap(&mut r)?;
+        self.skipped_cycles = r.u64()?;
+        self.skip_windows = r.u64()?;
+        self.probe_stride = r.u64()?;
+        self.next_probe_at = r.u64()?;
+        r.finish()
+    }
+
+    /// Restore from a JSON envelope produced by [`System::snapshot_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad envelope (format, length or checksum) or on any
+    /// error [`System::restore`] reports for the decoded payload.
+    pub fn restore_json(&mut self, src: &str) -> wb_kernel::SnapResult<()> {
+        let bytes = wb_kernel::snap::from_json(src)?;
+        self.restore(&bytes)
+    }
+
+    /// Re-seed every random stream (mesh jitter, chaos, link faults)
+    /// and the recorded configuration seed — the warm-start forking
+    /// primitive: restore one warmed snapshot, then fork it into many
+    /// distinct runs by re-seeding each. Accumulated counters and
+    /// architectural state are kept; only future randomness changes.
+    pub fn reseed(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+        self.mesh.reseed(seed);
     }
 
     /// Aggregate statistics report, including the hot-lines leaderboard

@@ -1560,6 +1560,133 @@ impl Core {
             self.stats.inc("core_lockdown_releases");
         }
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serialize the core's mutable state. Configuration (id, core
+    /// config, protocol, program) and the tracer are reconstructed from
+    /// the builder, not the snapshot; ROB instruction words are refetched
+    /// from the program by PC on restore.
+    pub fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        use wb_kernel::Snap;
+        w.u32(self.pc);
+        w.bool(self.fetch_halted);
+        w.bool(self.halted);
+        w.u64(self.fetch_stall_until);
+        w.u64(self.next_seq);
+        w.usize(self.rob.len());
+        for e in &self.rob {
+            w.u64(e.seq);
+            w.u32(e.pc);
+            e.state.snap(w);
+            w.u64(e.result);
+            w.bool(e.has_result);
+            e.ops.snap(w);
+            w.bool(e.predicted_taken);
+            w.bool(e.actual_taken);
+            w.bool(e.addr_done);
+            w.bool(e.data_done);
+        }
+        self.lsq.snap(w);
+        self.arch_regs.snap(w);
+        self.last_commit_seq.snap(w);
+        self.rat.snap(w);
+        self.predictor.snap(w);
+        self.prefetch_writes.snap(w);
+        self.ecl_pending.snap(w);
+        self.stats.snap(w);
+        self.log.snap(w);
+        w.u64(self.retired);
+    }
+
+    /// Inverse of [`Core::snap`], applied over a freshly built core with
+    /// the same configuration and program.
+    pub fn restore(&mut self, r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<()> {
+        use wb_kernel::Snap;
+        self.pc = r.u32()?;
+        self.fetch_halted = r.bool()?;
+        self.halted = r.bool()?;
+        self.fetch_stall_until = r.u64()?;
+        self.next_seq = r.u64()?;
+        let n = r.len_for(8)?;
+        let mut rob = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let pc = r.u32()?;
+            let state = EState::unsnap(r)?;
+            let result = r.u64()?;
+            let has_result = r.bool()?;
+            let ops: Vec<Operand> = Vec::unsnap(r)?;
+            let predicted_taken = r.bool()?;
+            let actual_taken = r.bool()?;
+            let addr_done = r.bool()?;
+            let data_done = r.bool()?;
+            // The instruction word is not serialized: programs are
+            // immutable, so the dispatch-time fetch replays exactly.
+            let inst = self.program.fetch(pc).unwrap_or(Inst::Halt);
+            rob.push(RobEntry {
+                seq,
+                pc,
+                inst,
+                state,
+                result,
+                has_result,
+                ops,
+                predicted_taken,
+                actual_taken,
+                addr_done,
+                data_done,
+            });
+        }
+        self.rob = rob;
+        self.lsq.restore(r)?;
+        self.arch_regs = <[u64; Reg::COUNT]>::unsnap(r)?;
+        self.last_commit_seq = <[u64; Reg::COUNT]>::unsnap(r)?;
+        self.rat = <[Option<u64>; Reg::COUNT]>::unsnap(r)?;
+        self.predictor = Bimodal::unsnap(r)?;
+        self.prefetch_writes = Vec::unsnap(r)?;
+        self.ecl_pending = Vec::unsnap(r)?;
+        self.stats.load(&Stats::unsnap(r)?);
+        self.log = ExecutionLog::unsnap(r)?;
+        self.retired = r.u64()?;
+        Ok(())
+    }
+}
+
+impl wb_kernel::Snap for EState {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        match *self {
+            EState::WaitOps => w.u8(0),
+            EState::Executing { done_at } => {
+                w.u8(1);
+                w.u64(done_at);
+            }
+            EState::WaitMem => w.u8(2),
+            EState::Done => w.u8(3),
+        }
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(match r.u8()? {
+            0 => EState::WaitOps,
+            1 => EState::Executing { done_at: r.u64()? },
+            2 => EState::WaitMem,
+            3 => EState::Done,
+            t => return Err(wb_kernel::SnapError::new(format!("unknown EState tag {t}"))),
+        })
+    }
+}
+
+impl wb_kernel::Snap for Operand {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.src.snap(w);
+        w.u64(self.value);
+        w.bool(self.ready);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(Operand { src: Option::unsnap(r)?, value: r.u64()?, ready: r.bool()? })
+    }
 }
 
 // ----------------------------------------------------------------------

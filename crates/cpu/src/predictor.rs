@@ -53,6 +53,22 @@ impl Bimodal {
     }
 }
 
+impl wb_kernel::Snap for Bimodal {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.counters.snap(w);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        let counters: Vec<u8> = Vec::unsnap(r)?;
+        if !counters.len().is_power_of_two() {
+            return Err(wb_kernel::SnapError::new(format!(
+                "predictor table length {} is not a power of two",
+                counters.len()
+            )));
+        }
+        Ok(Bimodal { counters })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,6 +35,19 @@ impl std::fmt::Display for Reg {
     }
 }
 
+impl wb_kernel::Snap for Reg {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u8(self.0);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        let n = r.u8()?;
+        if (n as usize) >= Reg::COUNT {
+            return Err(wb_kernel::SnapError::new(format!("register number {n} out of range")));
+        }
+        Ok(Reg(n))
+    }
+}
+
 /// Arithmetic/logic operations. `Mul` models a multi-cycle unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {

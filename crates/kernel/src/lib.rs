@@ -23,7 +23,10 @@
 //!   [`Stats`] totals into per-window deltas (JSONL + Perfetto counter
 //!   tracks),
 //! - [`attr`], the bounded space-saving heavy-hitters sketch used for
-//!   cycle attribution (top-K contended lines / directory banks).
+//!   cycle attribution (top-K contended lines / directory banks),
+//! - [`snap`], the versioned binary snapshot codec behind deterministic
+//!   checkpoint/restore (with a strict-JSON hex envelope validated
+//!   through [`json`]).
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
@@ -54,6 +58,7 @@ pub use config::{CommitMode, CoreClass, LinkConfig, ProtocolKind, SystemConfig, 
 pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
 pub use hist::Hist;
 pub use rng::SimRng;
+pub use snap::{Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 pub use stats::{CounterHandle, Stats};
 pub use timeline::{Timeline, TimelineWindow};
 pub use trace::{Category, CompId, Level, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
@@ -81,6 +86,15 @@ impl NodeId {
     #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+}
+
+impl Snap for NodeId {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u16(self.0);
+    }
+    fn unsnap(r: &mut SnapReader) -> snap::SnapResult<Self> {
+        Ok(NodeId(r.u16()?))
     }
 }
 

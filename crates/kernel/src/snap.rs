@@ -1,0 +1,651 @@
+//! Versioned binary snapshot codec for deterministic checkpoint/restore.
+//!
+//! Every stateful component exposes `snap(&self, &mut SnapWriter)` and a
+//! matching restore path built on this module, so a whole [`System`]
+//! (crate `writersblock`) can be checkpointed mid-run and resumed later
+//! — in another process, after a crash — with the invariant
+//! *restore(snapshot(S)) then run ≡ run straight through*, byte-identical
+//! reports across all engine modes.
+//!
+//! Design rules (see DESIGN.md "Campaign farm & checkpointing"):
+//!
+//! - **Versioned header.** Every snapshot starts with [`MAGIC`] and
+//!   [`FORMAT_VERSION`]; [`open`] rejects anything else. Bumping the
+//!   layout means bumping the version — old snapshots fail loudly, they
+//!   are never silently misread.
+//! - **Byte-deterministic.** No wall-clock, no pointers, no hash-order
+//!   iteration: callers serialize map-backed state in sorted key order.
+//!   The same machine state always produces the same bytes.
+//! - **Self-describing lengths.** Collections carry explicit `u64`
+//!   lengths; [`SnapReader`] bounds-checks every read, so a truncated or
+//!   corrupt snapshot surfaces as a [`SnapError`], never a panic in
+//!   component code.
+//! - **JSON envelope.** [`to_json`]/[`from_json`] wrap the binary image
+//!   in a strict-JSON envelope with a hex payload (the in-tree parser
+//!   keeps numbers as `f64`, so raw 64-bit values cannot ride as JSON
+//!   numbers) and a FNV-1a checksum; the envelope self-validates through
+//!   [`crate::json::parse`] before it is handed out.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Magic bytes opening every binary snapshot.
+pub const MAGIC: &[u8; 6] = b"WBSNAP";
+
+/// Current snapshot layout version. Bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapError(pub String);
+
+impl SnapError {
+    /// Wrap a failure message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        SnapError(msg.into())
+    }
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot error: {}", self.0)
+    }
+}
+
+/// Shorthand for decode results.
+pub type SnapResult<T> = Result<T, SnapError>;
+
+// ---------------------------------------------------------------------------
+// Writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer (no header — see [`snapshot`] for the framed form).
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` (as `u64` — snapshots are word-size independent).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Append a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append raw bytes, length-prefixed.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Consume the writer, returning the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian byte source.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Read from `buf` starting at byte 0 (no header — see [`open`]).
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> SnapResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SnapError::new(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> SnapResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> SnapResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("sized")))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> SnapResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("sized")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> SnapResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("sized")))
+    }
+
+    /// Read a `usize` (stored as `u64`), bounds-checked against the
+    /// remaining input so a corrupt length cannot trigger an absurd
+    /// allocation.
+    pub fn usize(&mut self) -> SnapResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| SnapError::new(format!("length {v} exceeds usize")))
+    }
+
+    /// Read a length that prefixes `elem_bytes`-wide elements, rejecting
+    /// lengths that could not possibly fit in the remaining input.
+    pub fn len_for(&mut self, elem_bytes: usize) -> SnapResult<usize> {
+        let n = self.usize()?;
+        if elem_bytes > 0 && n > self.remaining() / elem_bytes.max(1) + 1 {
+            return Err(SnapError::new(format!(
+                "implausible length {n} at offset {} ({} bytes left)",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a bool (strict: only 0 or 1).
+    pub fn bool(&mut self) -> SnapResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(SnapError::new(format!("bad bool byte {b:#x}"))),
+        }
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> SnapResult<String> {
+        let n = self.len_for(1)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| SnapError::new("invalid UTF-8 in string"))
+    }
+
+    /// Read length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> SnapResult<Vec<u8>> {
+        let n = self.len_for(1)?;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Error unless every byte has been consumed (catches layout drift).
+    pub fn finish(self) -> SnapResult<()> {
+        if self.remaining() != 0 {
+            return Err(SnapError::new(format!(
+                "{} unread bytes at end of snapshot (layout mismatch?)",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The Snap trait and blanket impls
+// ---------------------------------------------------------------------------
+
+/// Value-level serialization into the snapshot byte stream.
+///
+/// Component types with private state implement this (or a bespoke
+/// `snap`/`restore` pair) inside their own module; containers compose
+/// through the blanket impls below.
+pub trait Snap: Sized {
+    /// Append this value to `w`.
+    fn snap(&self, w: &mut SnapWriter);
+    /// Decode one value from `r`.
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self>;
+}
+
+macro_rules! impl_snap_prim {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Snap for $t {
+            fn snap(&self, w: &mut SnapWriter) {
+                w.$m(*self);
+            }
+            fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+                r.$m()
+            }
+        }
+    )*};
+}
+impl_snap_prim!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize, bool => bool);
+
+impl Snap for () {
+    fn snap(&self, _w: &mut SnapWriter) {}
+    fn unsnap(_r: &mut SnapReader) -> SnapResult<Self> {
+        Ok(())
+    }
+}
+
+impl Snap for String {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.str(self);
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        r.str()
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::unsnap(r)?)),
+            b => Err(SnapError::new(format!("bad Option tag {b:#x}"))),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        let n = r.len_for(1)?;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        let n = r.len_for(1)?;
+        let mut out = VecDeque::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push_back(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap + Ord> Snap for BTreeSet<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        let n = r.len_for(1)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..n {
+            out.insert(T::unsnap(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Snap + Ord, V: Snap> Snap for BTreeMap<K, V> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.len());
+        for (k, v) in self {
+            k.snap(w);
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        let n = r.len_for(2)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::unsnap(r)?;
+            let v = V::unsnap(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Snap, const N: usize> Snap for [T; N] {
+    fn snap(&self, w: &mut SnapWriter) {
+        for v in self {
+            v.snap(w);
+        }
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        // No allocation-free const-generic collect on stable without
+        // MaybeUninit gymnastics; a Vec detour is fine off the hot path.
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::unsnap(r)?);
+        }
+        out.try_into().map_err(|_| SnapError::new("array length mismatch"))
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?))
+    }
+}
+
+impl<A: Snap, B: Snap, C: Snap> Snap for (A, B, C) {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.0.snap(w);
+        self.1.snap(w);
+        self.2.snap(w);
+    }
+    fn unsnap(r: &mut SnapReader) -> SnapResult<Self> {
+        Ok((A::unsnap(r)?, B::unsnap(r)?, C::unsnap(r)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framed snapshots
+// ---------------------------------------------------------------------------
+
+/// Produce a framed snapshot: header (magic + version), then whatever
+/// `payload` writes.
+pub fn snapshot(payload: impl FnOnce(&mut SnapWriter)) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(FORMAT_VERSION);
+    payload(&mut w);
+    w.into_bytes()
+}
+
+/// Open a framed snapshot: validate the header, return a reader
+/// positioned at the payload.
+pub fn open(bytes: &[u8]) -> SnapResult<SnapReader<'_>> {
+    let mut r = SnapReader::new(bytes);
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(SnapError::new("not a WBSNAP snapshot (bad magic)"));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(SnapError::new(format!(
+            "snapshot format version {version} unsupported (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    Ok(r)
+}
+
+// ---------------------------------------------------------------------------
+// JSON envelope
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the snapshot bytes: the envelope's integrity check.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Wrap a framed snapshot in a strict-JSON envelope with a hex payload.
+///
+/// The in-tree parser stores numbers as `f64` (exact only to 2^53), so
+/// the binary image travels hex-encoded; `bytes` and `check` let a
+/// reader reject truncation before decoding a single component. The
+/// envelope is self-validated through [`crate::json::parse`] before it
+/// is returned.
+///
+/// # Panics
+///
+/// Panics if the emitted envelope fails to re-parse — that would mean
+/// this function and the parser disagree about JSON, a bug to fix, not
+/// an input error to report.
+pub fn to_json(snapshot: &[u8]) -> String {
+    let mut hex = String::with_capacity(snapshot.len() * 2);
+    for &b in snapshot {
+        hex.push_str(&format!("{b:02x}"));
+    }
+    let out = format!(
+        "{{\"format\":\"wb-snap\",\"version\":{FORMAT_VERSION},\"bytes\":{},\"check\":\"{:016x}\",\"payload\":\"{hex}\"}}",
+        snapshot.len(),
+        fnv1a(snapshot),
+    );
+    crate::json::parse(&out)
+        .unwrap_or_else(|e| panic!("emitted snapshot envelope is not valid JSON: {e}"));
+    out
+}
+
+/// Decode a JSON envelope back into the framed snapshot bytes,
+/// validating format, version, length and checksum.
+pub fn from_json(src: &str) -> SnapResult<Vec<u8>> {
+    let doc = crate::json::parse(src).map_err(|e| SnapError::new(format!("bad JSON: {e}")))?;
+    if doc.get("format").and_then(crate::json::Json::as_str) != Some("wb-snap") {
+        return Err(SnapError::new("envelope is not format \"wb-snap\""));
+    }
+    let version = doc
+        .get("version")
+        .and_then(crate::json::Json::as_u64)
+        .ok_or_else(|| SnapError::new("envelope missing version"))?;
+    if version != FORMAT_VERSION as u64 {
+        return Err(SnapError::new(format!("envelope version {version} unsupported")));
+    }
+    let hex = doc
+        .get("payload")
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| SnapError::new("envelope missing payload"))?;
+    if hex.len() % 2 != 0 {
+        return Err(SnapError::new("odd-length hex payload"));
+    }
+    let mut bytes = Vec::with_capacity(hex.len() / 2);
+    let h = hex.as_bytes();
+    for i in (0..h.len()).step_by(2) {
+        let nib = |c: u8| -> SnapResult<u8> {
+            match c {
+                b'0'..=b'9' => Ok(c - b'0'),
+                b'a'..=b'f' => Ok(c - b'a' + 10),
+                _ => Err(SnapError::new(format!("bad hex byte {:#x}", c))),
+            }
+        };
+        bytes.push(nib(h[i])? << 4 | nib(h[i + 1])?);
+    }
+    let declared = doc
+        .get("bytes")
+        .and_then(crate::json::Json::as_u64)
+        .ok_or_else(|| SnapError::new("envelope missing bytes"))?;
+    if declared != bytes.len() as u64 {
+        return Err(SnapError::new(format!(
+            "envelope declares {declared} bytes, payload has {}",
+            bytes.len()
+        )));
+    }
+    let check = doc
+        .get("check")
+        .and_then(crate::json::Json::as_str)
+        .ok_or_else(|| SnapError::new("envelope missing check"))?;
+    let want = format!("{:016x}", fnv1a(&bytes));
+    if check != want {
+        return Err(SnapError::new("envelope checksum mismatch (corrupt payload)"));
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.u8(7);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.bool(true);
+        w.bool(false);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        #[allow(clippy::type_complexity)]
+        let value: (Vec<u64>, Option<String>, BTreeMap<u32, bool>, VecDeque<u16>, [u8; 4]) = (
+            vec![1, 2, 3],
+            Some("x".to_owned()),
+            [(1u32, true), (9, false)].into_iter().collect(),
+            VecDeque::from(vec![7u16, 8]),
+            [4, 3, 2, 1],
+        );
+        let mut w = SnapWriter::new();
+        value.0.snap(&mut w);
+        value.1.snap(&mut w);
+        value.2.snap(&mut w);
+        value.3.snap(&mut w);
+        value.4.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(Vec::<u64>::unsnap(&mut r).unwrap(), value.0);
+        assert_eq!(Option::<String>::unsnap(&mut r).unwrap(), value.1);
+        assert_eq!(BTreeMap::<u32, bool>::unsnap(&mut r).unwrap(), value.2);
+        assert_eq!(VecDeque::<u16>::unsnap(&mut r).unwrap(), value.3);
+        assert_eq!(<[u8; 4]>::unsnap(&mut r).unwrap(), value.4);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn framed_header_is_enforced() {
+        let bytes = snapshot(|w| w.u64(42));
+        let mut r = open(&bytes).expect("valid header");
+        assert_eq!(r.u64().unwrap(), 42);
+        r.finish().unwrap();
+
+        assert!(open(b"not a snapshot").is_err());
+        let mut wrong_version = bytes.clone();
+        wrong_version[MAGIC.len()] ^= 0xff;
+        assert!(open(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn truncation_and_leftovers_are_errors() {
+        let bytes = snapshot(|w| w.u64(42));
+        let mut r = open(&bytes[..bytes.len() - 1]).expect("header intact");
+        assert!(r.u64().is_err(), "truncated payload must fail");
+
+        let mut r = open(&bytes).unwrap();
+        assert_eq!(r.u32().unwrap(), 42); // deliberately under-read
+        assert!(r.finish().is_err(), "unread bytes must fail finish()");
+    }
+
+    #[test]
+    fn implausible_lengths_are_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(Vec::<u64>::unsnap(&mut r).is_err());
+    }
+
+    #[test]
+    fn json_envelope_round_trips_and_rejects_corruption() {
+        let bytes = snapshot(|w| {
+            w.str("campaign");
+            w.u64(0xfeed_f00d_dead_beef);
+        });
+        let envelope = to_json(&bytes);
+        // The envelope is strict JSON by the in-tree parser.
+        crate::json::parse(&envelope).expect("valid JSON");
+        assert_eq!(from_json(&envelope).expect("round trip"), bytes);
+
+        // Grow the payload by two hex digits: still valid JSON and an
+        // even-length hex string, but the declared byte count no longer
+        // matches — the envelope must reject it.
+        let corrupt = envelope.replacen("\"payload\":\"", "\"payload\":\"0000", 1);
+        assert!(from_json(&corrupt).is_err());
+        // Same length, different first byte: the checksum must catch it.
+        let first_two = &envelope[envelope.find("\"payload\":\"").unwrap() + 11..][..2];
+        let flipped = if first_two == "00" { "11" } else { "00" };
+        let corrupt =
+            envelope.replacen(&format!("\"payload\":\"{first_two}"), &format!("\"payload\":\"{flipped}"), 1);
+        assert!(from_json(&corrupt).is_err());
+        assert!(from_json("{\"format\":\"other\"}").is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

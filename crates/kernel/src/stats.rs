@@ -232,6 +232,77 @@ impl Stats {
     }
 }
 
+/// Intern a counter name recovered from a snapshot into a `&'static
+/// str`. Counter names form a small, bounded universe (every name is a
+/// string literal somewhere in this workspace), so leaking each
+/// distinct spelling once is bounded too; the table makes re-interning
+/// the same name across many restores free of further leaks.
+fn intern(name: &str) -> &'static str {
+    use std::sync::Mutex;
+    static TABLE: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut table = TABLE.lock().expect("interner poisoned");
+    if let Some(&s) = table.iter().find(|&&s| s == name) {
+        return s;
+    }
+    let s: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    table.push(s);
+    s
+}
+
+impl Stats {
+    /// Overwrite this registry's *values* with `from`'s, keeping slot
+    /// layout intact so [`CounterHandle`]s issued before the restore
+    /// keep bumping the counters they named. Counters present here but
+    /// absent in `from` are zeroed (they were zero when `from` was
+    /// captured); counters absent here are materialised.
+    pub fn load(&mut self, from: &Stats) {
+        for s in &mut self.slots {
+            *s = 0;
+        }
+        for (k, &i) in &from.index {
+            self.set(intern(k), from.slots[i]);
+        }
+        self.hists.clear();
+        for (k, h) in &from.hists {
+            self.hists.insert(intern(k), h.clone());
+        }
+    }
+}
+
+impl crate::snap::Snap for Stats {
+    /// Counters and histograms by name, in name order — deterministic
+    /// regardless of the order handles were resolved in.
+    fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.index.len());
+        for (k, &i) in &self.index {
+            w.str(k);
+            w.u64(self.slots[i]);
+        }
+        w.usize(self.hists.len());
+        for (k, h) in &self.hists {
+            w.str(k);
+            h.snap(w);
+        }
+    }
+
+    fn unsnap(r: &mut crate::snap::SnapReader) -> crate::snap::SnapResult<Self> {
+        let mut s = Stats::new();
+        let n = r.len_for(9)?;
+        for _ in 0..n {
+            let k = intern(&r.str()?);
+            let v = r.u64()?;
+            s.set(k, v);
+        }
+        let n = r.len_for(9)?;
+        for _ in 0..n {
+            let k = intern(&r.str()?);
+            let h = <Hist as crate::snap::Snap>::unsnap(r)?;
+            s.hists.insert(k, h);
+        }
+        Ok(s)
+    }
+}
+
 /// Equality is logical: same name→value counter map (regardless of the
 /// order handles were resolved in, i.e. of slot layout) and same
 /// histograms.
@@ -442,6 +513,40 @@ mod tests {
         let quiet = s.delta_since(&s.clone());
         assert!(quiet.is_empty());
         assert_eq!(quiet.hists().count(), 0);
+    }
+
+    #[test]
+    fn snap_round_trip_and_in_place_load_keep_handles_live() {
+        use crate::snap::{Snap, SnapReader, SnapWriter};
+        let mut s = Stats::new();
+        s.add("loads", 7);
+        s.add("stores", 2);
+        s.record("lat", 31);
+        let mut w = SnapWriter::new();
+        s.snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = Stats::unsnap(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, s);
+
+        // In-place load: a registry with different slot layout and
+        // stale values takes on the snapshot's values while its
+        // previously issued handles keep addressing the right names.
+        let mut live = Stats::new();
+        let h_extra = live.handle("extra");
+        let h_loads = live.handle("loads");
+        live.add("extra", 99);
+        live.add("loads", 1);
+        live.load(&back);
+        assert_eq!(live.get("loads"), 7);
+        assert_eq!(live.get("stores"), 2);
+        assert_eq!(live.get("extra"), 0, "counter absent from snapshot zeroes");
+        assert_eq!(live.hist("lat").unwrap().count(), 1);
+        live.inc_h(h_loads);
+        live.inc_h(h_extra);
+        assert_eq!(live.get("loads"), 8);
+        assert_eq!(live.get("extra"), 1);
     }
 
     #[test]

@@ -164,6 +164,43 @@ impl WedgeReport {
     pub fn involves(&self, p: WaitParty) -> bool {
         self.participants.contains(&p)
     }
+
+    /// A stable dedup key for campaign fuzzing: two wedges with the
+    /// same signature are the same underlying bug. The signature keeps
+    /// what characterises the failure — the class, the (sorted)
+    /// participant set, the (sorted, deduplicated) edge causes and the
+    /// protocol-fault text — and normalises out everything that varies
+    /// per encounter: the cycle it fired at, the seed baked into the
+    /// reproducer, per-core stall counts, the retry tally, and the
+    /// volatile `since cycle N` / `(seq N)` suffixes inside edge
+    /// causes. A million-cell sweep thus surfaces each distinct wedge
+    /// once.
+    pub fn signature(&self) -> String {
+        fn normalise(why: &str) -> &str {
+            let mut w = why;
+            for marker in [" since cycle ", " (seq "] {
+                if let Some(i) = w.find(marker) {
+                    w = &w[..i];
+                }
+            }
+            w
+        }
+        let class = match self.class {
+            WedgeClass::Deadlock => "deadlock",
+            WedgeClass::Livelock => "livelock",
+            WedgeClass::Starvation => "starvation",
+            WedgeClass::ProtocolFault => "fault",
+        };
+        let mut parties: Vec<String> = self.participants.iter().map(|p| p.to_string()).collect();
+        parties.sort();
+        parties.dedup();
+        let mut causes: Vec<String> =
+            self.edges.iter().map(|e| format!("{}->{}:{}", e.from, e.to, normalise(&e.why))).collect();
+        causes.sort();
+        causes.dedup();
+        let error = self.error.as_deref().unwrap_or("");
+        format!("{class}|{}|{}|{error}", parties.join(","), causes.join(";"))
+    }
 }
 
 impl fmt::Display for WedgeReport {
@@ -302,5 +339,47 @@ mod tests {
         assert!(s.contains("note: 9 messages in flight"));
         assert!(rep.involves(Core(1)));
         assert!(!rep.involves(Core(2)));
+    }
+
+    #[test]
+    fn signature_normalises_per_encounter_noise() {
+        let mk = |at_cycle: u64, seed: u64, stall: u64, retries: u64| WedgeReport {
+            class: WedgeClass::Livelock,
+            at_cycle,
+            reproducer: format!("workload=t seed={seed:#x} cores=4"),
+            stalled_cores: vec![(1, stall)],
+            retries_in_window: retries,
+            edges: vec![
+                WaitEdge { from: Core(1), to: Line(0x40), why: "rob-head-load".to_string() },
+                WaitEdge { from: Line(0x40), to: Cache(0), why: "mshr".to_string() },
+            ],
+            participants: vec![Line(0x40), Core(1)],
+            error: None,
+            notes: vec![format!("{at_cycle} in flight")],
+        };
+        let a = mk(100, 1, 5, 2);
+        let b = mk(9_999, 77, 123, 0);
+        assert_eq!(a.signature(), b.signature(), "cycle/seed/stall noise must not split bugs");
+        // Edge order and participant order don't matter either.
+        let mut c = mk(100, 1, 5, 2);
+        c.edges.reverse();
+        c.participants.reverse();
+        assert_eq!(a.signature(), c.signature());
+        // Volatile suffixes inside edge causes normalise out too.
+        let mut f = mk(100, 1, 5, 2);
+        let mut g = mk(100, 1, 5, 2);
+        f.edges[0].why = "rob-head-load (seq 5)".to_string();
+        g.edges[0].why = "rob-head-load (seq 93)".to_string();
+        f.edges[1].why = "MSHR Read since cycle 426".to_string();
+        g.edges[1].why = "MSHR Read since cycle 7".to_string();
+        assert_eq!(f.signature(), g.signature(), "seq/cycle suffixes must not split bugs");
+        assert!(f.signature().contains("MSHR Read"), "the stable cause prefix survives");
+        // But a different wait-for shape is a different bug.
+        let mut d = mk(100, 1, 5, 2);
+        d.edges[0].why = "sb-drain".to_string();
+        assert_ne!(a.signature(), d.signature());
+        let mut e = mk(100, 1, 5, 2);
+        e.class = WedgeClass::Deadlock;
+        assert_ne!(a.signature(), e.signature());
     }
 }

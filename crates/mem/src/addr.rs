@@ -43,6 +43,15 @@ impl Addr {
     }
 }
 
+impl wb_kernel::Snap for Addr {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(Addr(r.u64()?))
+    }
+}
+
 impl std::fmt::Display for Addr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{:#x}", self.0)
@@ -89,6 +98,15 @@ impl LineAddr {
             let mix = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
             ((mix as u128 * banks as u128) >> 64) as usize
         }
+    }
+}
+
+impl wb_kernel::Snap for LineAddr {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(LineAddr(r.u64()?))
     }
 }
 

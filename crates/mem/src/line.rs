@@ -51,6 +51,15 @@ impl LineData {
     }
 }
 
+impl wb_kernel::Snap for LineData {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.words.snap(w);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(LineData { words: <[u64; WORDS_PER_LINE]>::unsnap(r)? })
+    }
+}
+
 impl From<[u64; WORDS_PER_LINE]> for LineData {
     fn from(words: [u64; WORDS_PER_LINE]) -> Self {
         LineData { words }

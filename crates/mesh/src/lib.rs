@@ -85,6 +85,20 @@ impl VNet {
     }
 }
 
+impl wb_kernel::Snap for VNet {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u8(self.index() as u8);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        match r.u8()? {
+            0 => Ok(VNet::Request),
+            1 => Ok(VNet::Forward),
+            2 => Ok(VNet::Response),
+            t => Err(wb_kernel::SnapError::new(format!("bad VNet tag {t:#x}"))),
+        }
+    }
+}
+
 /// A message in flight, generic over the protocol payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeshMsg<T> {
@@ -121,6 +135,43 @@ struct Flight<T> {
     /// retransmission inherits the original injection cycle so the
     /// histogram reflects true protocol-visible latency.
     sent_at: Cycle,
+}
+
+impl<T: wb_kernel::Snap> wb_kernel::Snap for Flight<T> {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.src.snap(w);
+        self.dst.snap(w);
+        self.vnet.snap(w);
+        w.u32(self.flits);
+        self.payload.snap(w);
+        // The Box is a footprint optimization, not structure: serialize
+        // the header as a plain Option.
+        match &self.link {
+            Some(b) => {
+                w.bool(true);
+                b.snap(w);
+            }
+            None => w.bool(false),
+        }
+        w.u32(self.hops_left);
+        w.u64(self.ready_at);
+        w.u64(self.flow_seq);
+        w.u64(self.sent_at);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(Flight {
+            src: NodeId::unsnap(r)?,
+            dst: NodeId::unsnap(r)?,
+            vnet: VNet::unsnap(r)?,
+            flits: r.u32()?,
+            payload: Option::unsnap(r)?,
+            link: if r.bool()? { Some(Box::new(LinkCtl::unsnap(r)?)) } else { None },
+            hops_left: r.u32()?,
+            ready_at: r.u64()?,
+            flow_seq: r.u64()?,
+            sent_at: r.u64()?,
+        })
+    }
 }
 
 /// The mesh network.
@@ -408,6 +459,105 @@ impl<T> Mesh<T> {
             }
         }
         next
+    }
+
+    /// Re-seed every random stream in this mesh (routing jitter, chaos,
+    /// faults) as if it had been built with `seed` — the warm-start
+    /// forking primitive: restore one warmed snapshot, then `reseed`
+    /// per derived cell.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed ^ 0x4e74_776b);
+        if let Some(ch) = &mut self.chaos {
+            ch.reseed(seed);
+        }
+        if let Some(fe) = &mut self.fault {
+            fe.reseed(seed);
+        }
+    }
+}
+
+impl<T: wb_kernel::Snap> Mesh<T> {
+    /// Serialize every execution-visible field. Geometry and latency
+    /// knobs are configuration; the tracer, counter handles, and scratch
+    /// buffers (cleared at each use) carry no execution-visible state.
+    pub fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        use wb_kernel::Snap;
+        self.rng.state().snap(w);
+        self.in_flight.snap(w);
+        // HashMaps in sorted key order for determinism.
+        let mut busy: Vec<((NodeId, usize), Cycle)> =
+            self.link_busy.iter().map(|(&k, &c)| (k, c)).collect();
+        busy.sort_unstable();
+        busy.snap(w);
+        self.arrived.snap(w);
+        let mut flows: Vec<(FlowKey, u64)> =
+            self.next_flow_seq.iter().map(|(&k, &s)| (k, s)).collect();
+        flows.sort_unstable();
+        flows.snap(w);
+        let mut deliver: Vec<(FlowKey, u64)> =
+            self.next_deliver_seq.iter().map(|(&k, &s)| (k, s)).collect();
+        deliver.sort_unstable();
+        deliver.snap(w);
+        self.stats.snap(w);
+        // Optional layers: presence must match the restore target (both
+        // are installed from config before any traffic).
+        match &self.chaos {
+            Some(ch) => {
+                w.bool(true);
+                ch.snap(w);
+            }
+            None => w.bool(false),
+        }
+        match &self.reliable {
+            Some(rl) => {
+                w.bool(true);
+                rl.snap(w);
+            }
+            None => w.bool(false),
+        }
+        match &self.fault {
+            Some(fe) => {
+                w.bool(true);
+                fe.snap(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Inverse of [`Mesh::snap`], in place. Fails if the snapshot's
+    /// optional layers (chaos / reliable / fault) disagree with how this
+    /// mesh was configured.
+    pub fn restore(&mut self, r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<()> {
+        use wb_kernel::Snap;
+        self.rng = SimRng::from_state(<[u64; 4]>::unsnap(r)?);
+        self.in_flight = Vec::unsnap(r)?;
+        self.link_busy = Vec::<((NodeId, usize), Cycle)>::unsnap(r)?.into_iter().collect();
+        self.arrived = Vec::unsnap(r)?;
+        self.next_flow_seq = Vec::<(FlowKey, u64)>::unsnap(r)?.into_iter().collect();
+        self.next_deliver_seq = Vec::<(FlowKey, u64)>::unsnap(r)?.into_iter().collect();
+        let stats = Stats::unsnap(r)?;
+        self.stats.load(&stats);
+        let mismatch = |layer: &str| {
+            wb_kernel::SnapError::new(format!(
+                "snapshot and mesh disagree on the {layer} layer"
+            ))
+        };
+        match (r.bool()?, &mut self.chaos) {
+            (true, Some(ch)) => ch.restore(r)?,
+            (false, None) => {}
+            (_, _) => return Err(mismatch("chaos")),
+        }
+        match (r.bool()?, &mut self.reliable) {
+            (true, Some(rl)) => rl.restore(r)?,
+            (false, None) => {}
+            (_, _) => return Err(mismatch("reliable-link")),
+        }
+        match (r.bool()?, &mut self.fault) {
+            (true, Some(fe)) => fe.restore(r)?,
+            (false, None) => {}
+            (_, _) => return Err(mismatch("fault")),
+        }
+        Ok(())
     }
 }
 

@@ -197,6 +197,40 @@ impl<T> SetAssocArray<T> {
     }
 }
 
+impl<T: wb_kernel::Snap> wb_kernel::Snap for SetAssocArray<T> {
+    /// All three slot planes serialize positionally: LRU stamps decide
+    /// future victims and the way an entry occupies decides scan order,
+    /// so slot layout is execution-visible state, not an implementation
+    /// detail.
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.tags.snap(w);
+        self.stamps.snap(w);
+        self.slots.snap(w);
+        w.usize(self.num_sets);
+        w.usize(self.ways);
+        w.usize(self.len);
+    }
+
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        let a = SetAssocArray {
+            tags: Vec::unsnap(r)?,
+            stamps: Vec::unsnap(r)?,
+            slots: Vec::unsnap(r)?,
+            num_sets: r.usize()?,
+            ways: r.usize()?,
+            len: r.usize()?,
+        };
+        let n = a.num_sets.checked_mul(a.ways).unwrap_or(0);
+        if a.tags.len() != n || a.stamps.len() != n || a.slots.len() != n {
+            return Err(wb_kernel::SnapError::new(format!(
+                "cache array planes disagree with geometry {}x{}",
+                a.num_sets, a.ways
+            )));
+        }
+        Ok(a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,23 @@ pub struct ProtocolError {
     pub detail: String,
 }
 
+impl wb_kernel::Snap for ProtocolError {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.str(&self.at);
+        w.u64(self.line);
+        w.str(&self.context);
+        w.str(&self.detail);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(ProtocolError {
+            at: r.str()?,
+            line: r.u64()?,
+            context: r.str()?,
+            detail: r.str()?,
+        })
+    }
+}
+
 impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

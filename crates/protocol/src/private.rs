@@ -32,6 +32,15 @@ use wb_mem::{Addr, HomeMap, LineAddr, LineData};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReadTag(pub u64);
 
+impl wb_kernel::Snap for ReadTag {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u64(self.0);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(ReadTag(r.u64()?))
+    }
+}
+
 /// Outcome of a [`PrivateCache::load_access`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoadAccess {
@@ -956,6 +965,142 @@ impl PrivateCache {
                 self.note_lockdown_begin(now, line);
                 self.send_dir(home, ProtoMsg::Nack { line, from: self.node, data: Some(data) });
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpointing
+    // ------------------------------------------------------------------
+
+    /// Serialize every execution-visible field. Configuration-derived
+    /// fields (`node`, `home`, geometry, latencies) and observability
+    /// state (the tracer) are not written: restore targets a cache built
+    /// from the same [`wb_kernel::config::SystemConfig`].
+    pub fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        use wb_kernel::Snap;
+        self.l1.snap(w);
+        self.l2.snap(w);
+        self.mshrs.snap(w);
+        self.evict_buf.snap(w);
+        self.pending_fills.snap(w);
+        self.outbox.snap(w);
+        self.completions.snap(w);
+        self.stats.snap(w);
+        // HashMap: serialize in sorted line order for determinism.
+        let mut locks: Vec<(LineAddr, Cycle)> =
+            self.lockdown_since.iter().map(|(&l, &c)| (l, c)).collect();
+        locks.sort_unstable_by_key(|(l, _)| l.0);
+        locks.snap(w);
+        self.hot.snap(w);
+        self.fault.snap(w);
+    }
+
+    /// Inverse of [`PrivateCache::snap`], in place.
+    pub fn restore(&mut self, r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<()> {
+        use wb_kernel::Snap;
+        self.l1 = SetAssocArray::unsnap(r)?;
+        self.l2 = SetAssocArray::unsnap(r)?;
+        self.mshrs = MshrFile::unsnap(r)?;
+        self.evict_buf = Vec::unsnap(r)?;
+        self.pending_fills = Vec::unsnap(r)?;
+        self.outbox = Vec::unsnap(r)?;
+        self.completions = Vec::unsnap(r)?;
+        let stats = Stats::unsnap(r)?;
+        self.stats.load(&stats);
+        let locks: Vec<(LineAddr, Cycle)> = Vec::unsnap(r)?;
+        self.lockdown_since = locks.into_iter().collect();
+        self.hot = HeavyHitters::unsnap(r)?;
+        self.fault = Option::unsnap(r)?;
+        Ok(())
+    }
+}
+
+impl wb_kernel::Snap for PState {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        w.u8(match self {
+            PState::S => 0,
+            PState::E => 1,
+            PState::M => 2,
+            PState::SmAd => 3,
+        });
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        match r.u8()? {
+            0 => Ok(PState::S),
+            1 => Ok(PState::E),
+            2 => Ok(PState::M),
+            3 => Ok(PState::SmAd),
+            t => Err(wb_kernel::SnapError::new(format!("bad PState tag {t:#x}"))),
+        }
+    }
+}
+
+impl wb_kernel::Snap for L2Line {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.state.snap(w);
+        self.data.snap(w);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(L2Line { state: PState::unsnap(r)?, data: LineData::unsnap(r)? })
+    }
+}
+
+impl wb_kernel::Snap for EvictBufEntry {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.line.snap(w);
+        self.data.snap(w);
+        w.bool(self.superseded);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(EvictBufEntry {
+            line: LineAddr::unsnap(r)?,
+            data: LineData::unsnap(r)?,
+            superseded: r.bool()?,
+        })
+    }
+}
+
+impl wb_kernel::Snap for PendingFill {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.line.snap(w);
+        self.data.snap(w);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(PendingFill { line: LineAddr::unsnap(r)?, data: LineData::unsnap(r)? })
+    }
+}
+
+impl wb_kernel::Snap for Completion {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        match self {
+            Completion::LoadData { tags, line, data, cacheable } => {
+                w.u8(0);
+                tags.snap(w);
+                line.snap(w);
+                data.snap(w);
+                w.bool(*cacheable);
+            }
+            Completion::WriteReady { line } => {
+                w.u8(1);
+                line.snap(w);
+            }
+            Completion::WriteBlocked { line } => {
+                w.u8(2);
+                line.snap(w);
+            }
+        }
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        match r.u8()? {
+            0 => Ok(Completion::LoadData {
+                tags: Vec::unsnap(r)?,
+                line: LineAddr::unsnap(r)?,
+                data: LineData::unsnap(r)?,
+                cacheable: r.bool()?,
+            }),
+            1 => Ok(Completion::WriteReady { line: LineAddr::unsnap(r)? }),
+            2 => Ok(Completion::WriteBlocked { line: LineAddr::unsnap(r)? }),
+            t => Err(wb_kernel::SnapError::new(format!("bad Completion tag {t:#x}"))),
         }
     }
 }

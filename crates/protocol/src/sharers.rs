@@ -147,6 +147,15 @@ impl IntoIterator for SharerSet {
     }
 }
 
+impl wb_kernel::Snap for SharerSet {
+    fn snap(&self, w: &mut wb_kernel::SnapWriter) {
+        self.words.snap(w);
+    }
+    fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
+        Ok(SharerSet { words: <[u64; WORDS]>::unsnap(r)? })
+    }
+}
+
 impl std::fmt::Debug for SharerSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_set().entries(self.iter().map(|n| n.0)).finish()

@@ -68,6 +68,16 @@ if awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' crates/kernel/src/attr.rs \
     exit 1
 fi
 
+# Determinism discipline: snapshot and campaign code must never read
+# host time — a resumed campaign replays byte-identically only if every
+# input comes from the spec. (Wall-clock sampling belongs to the ledger
+# driver, bin/ledger.rs, which is deliberately outside this list.)
+if grep -rn --include='*.rs' -E 'std::time|SystemTime' \
+    crates/kernel/src/snap.rs crates/bench/src/campaign.rs crates/bench/src/bin/campaign.rs; then
+    echo "ERROR: host-time read in snapshot/campaign code (results must be pure functions of the spec)" >&2
+    exit 1
+fi
+
 # Observability discipline: component crates must not print directly.
 # The only sanctioned call sites are the trace sink / stderr_line escape
 # hatch in wb_kernel::trace and the bench harness's report output
@@ -125,17 +135,43 @@ trap 'rm -rf "$tracedir" "$scalingdir"' EXIT
 WB_BENCH_DIR="$scalingdir" cargo run -q --release --offline -p wb-bench --bin scaling -- --smoke
 grep -q 'dir_bank_occupancy' "$scalingdir/BENCH_scaling.json"
 
+# Campaign smoke: the crash-resume contract end to end. Run a tiny
+# campaign to completion for reference, run the same spec with the
+# kill-after-3-cells hook (the process dies as abruptly as a kill -9),
+# resume it, and require a complete manifest plus a merged.jsonl that is
+# byte-identical to the uninterrupted run.
+campdir="$(mktemp -d)"
+trap 'rm -rf "$tracedir" "$scalingdir" "$campdir"' EXIT
+cat > "$campdir/spec.json" <<'EOF'
+{ "name": "smoke", "cores": 2, "engine": "skip", "budget": 20000000,
+  "workloads": ["mp", "sb"], "arms": ["wb-ooo"],
+  "chaos": ["off", "delay-storm"], "faults": ["off"], "seeds": [1, 2] }
+EOF
+cargo run -q --release --offline -p wb-bench --bin campaign -- \
+    "$campdir/spec.json" --out "$campdir/ref" --threads 2
+if WB_CAMPAIGN_KILL_AFTER=3 cargo run -q --release --offline -p wb-bench --bin campaign -- \
+    "$campdir/spec.json" --out "$campdir/cut" --threads 2 2>/dev/null; then
+    echo "ERROR: campaign survived WB_CAMPAIGN_KILL_AFTER (kill hook broken)" >&2
+    exit 1
+fi
+test "$(wc -l < "$campdir/cut/manifest")" -eq 3
+cargo run -q --release --offline -p wb-bench --bin campaign -- \
+    "$campdir/spec.json" --out "$campdir/cut" --threads 2
+test "$(wc -l < "$campdir/cut/manifest")" -eq 8
+cmp "$campdir/ref/merged.jsonl" "$campdir/cut/merged.jsonl"
+
 # Ledger smoke: the perf-regression gate run twice at the same revision
-# must produce two parseable JSONL entries and a clean second verdict —
+# must produce two parseable JSONL entries per group per run (smoke +
+# campaign) and a clean second verdict —
 # every gated metric is deterministic, so any nonzero exit here means
 # either real nondeterminism or a broken comparison. The synthetic
 # must-fail direction (a 20% slowdown exits nonzero) is pinned by the
 # wb_bench::ledger unit tests above.
 ledgerdir="$(mktemp -d)"
-trap 'rm -rf "$tracedir" "$scalingdir" "$ledgerdir"' EXIT
+trap 'rm -rf "$tracedir" "$scalingdir" "$campdir" "$ledgerdir"' EXIT
 WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
 WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
-test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 2
+test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 4
 # And the real gate: current build vs the committed baseline (copied
 # aside so verification never mutates the tracked ledger). A nonzero
 # exit means a deterministic metric regressed — either fix it, or
@@ -144,4 +180,4 @@ test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 2
 cp results/ledger.jsonl "$ledgerdir/baseline.jsonl"
 WB_LEDGER_PATH="$ledgerdir/baseline.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling + ledger smoke tests)"
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling + campaign crash-resume + ledger smoke tests)"
