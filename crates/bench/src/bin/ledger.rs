@@ -2,11 +2,13 @@
 //! result to `results/ledger.jsonl`, and fail if any deterministic
 //! metric regressed against the committed baseline.
 //!
-//! Three cheap cells anchor the suite — the `mp` litmus race (the
+//! Four cheap cells anchor the suite — the `mp` litmus race (the
 //! paper's core reordering scenario), a 4-core `fft` (barrier-heavy
-//! kernel) and a 4-core barrier storm (directory-bank pressure) — all
-//! on the cycle-skipping engine, so every simulated metric is
-//! byte-reproducible on a given revision. Wall-clock medians ride
+//! kernel), a 4-core barrier storm (directory-bank pressure) and the
+//! same `fft` under accelerated background soft-error radiation
+//! (detection/recovery and audit overhead) — all on the cycle-skipping
+//! engine, so every simulated metric is byte-reproducible on a given
+//! revision. Wall-clock medians ride
 //! along as advisory rows (see [`wb_bench::ledger`] for the gating
 //! policy).
 //!
@@ -24,6 +26,7 @@ use wb_bench::ledger::{self, LedgerEntry};
 use wb_bench::timing::BenchResult;
 use wb_isa::Workload;
 use wb_kernel::config::{CommitMode, CoreClass, EngineMode, SystemConfig};
+use wb_kernel::soft::SoftPlan;
 use wb_workloads::{barrier_storm, splash, Scale};
 use writersblock::{RunOutcome, System};
 
@@ -61,6 +64,15 @@ fn cells() -> Vec<Cell> {
         Cell { name: "mp", workload: wb_tso::litmus::mp().workload, cfg: smoke_cfg(2) },
         Cell { name: "fft4", workload: splash::fft(4, Scale::Test), cfg: smoke_cfg(4) },
         Cell { name: "barrier4", workload: barrier_storm(4, 2), cfg: smoke_cfg(4) },
+        // Soft-error anchor: fft under accelerated background radiation.
+        // Gates the detection/recovery counters and the audit overhead —
+        // a regression here means flips started escaping or the scrub
+        // got slower.
+        Cell {
+            name: "soft4",
+            workload: splash::fft(4, Scale::Test),
+            cfg: smoke_cfg(4).with_soft(SoftPlan::background_radiation().accelerated(10)),
+        },
     ]
 }
 
@@ -109,7 +121,12 @@ fn run_cell(cell: &Cell, metrics: &mut BTreeMap<String, u64>) {
         );
         last = Some(sys);
     }
-    let sys = last.expect("at least one sample"); // allow(panic): bench driver
+    let mut sys = last.expect("at least one sample"); // allow(panic): bench driver
+    // Soft cells scrub latent wounds with a final audit before metrics
+    // are read, so `soft_silent` gates at a hard zero.
+    if cell.cfg.soft.is_some() {
+        sys.run_audit(true).assert_clean(cell.name);
+    }
     let r = BenchResult { name: cell.name.to_owned(), samples_ns, stats: None };
     let report = sys.report();
     let key = |k: &str| format!("{}_{k}", cell.name);
@@ -124,6 +141,23 @@ fn run_cell(cell: &Cell, metrics: &mut BTreeMap<String, u64>) {
         (key("wall_ns"), r.median_ns() as u64),
     ] {
         metrics.insert(k, v);
+    }
+    if cell.cfg.soft.is_some() {
+        let (injected, _) = sys.soft_injected();
+        for (k, v) in [
+            (key("soft_injected"), injected),
+            (key("soft_detected"), report.stats.get("soft_detected")),
+            (key("soft_recovered"), report.stats.get("soft_recovered")),
+            (key("soft_silent"), sys.soft_silent()),
+            (key("audit_runs"), report.stats.get("audit_runs")),
+            (key("audit_violations"), report.stats.get("audit_violations")),
+            (
+                key("soft_detect_p90"),
+                report.stats.hist("soft_detect_latency").map_or(0, |h| h.p90()),
+            ),
+        ] {
+            metrics.insert(k, v);
+        }
     }
     eprintln!(
         "{:<10} {:>10} cycles   {:>12} ns median",

@@ -1,7 +1,8 @@
 //! Crash-resumable campaign farm.
 //!
 //! A *campaign* is a matrix of simulation cells — workload × protocol
-//! arm × chaos plan × fault plan × seed — described by a JSON spec
+//! arm × chaos plan × fault plan × soft-error plan × seed — described
+//! by a JSON spec
 //! (parsed with the in-tree [`wb_kernel::json`] parser) and executed on
 //! the deterministic sweep runner ([`crate::sweep`]). Results stream to
 //! `<out>/results.jsonl` in completion order; after every flushed
@@ -21,10 +22,14 @@
 //!   that one snapshot and [`writersblock::System::reseed`]s itself —
 //!   thousands of seeds for the price of one warm-up.
 //! * **Fuzzing** ([`run_fuzz`]): mines torture/litmus cells under the
-//!   chaos and fault matrices with a tightened watchdog, and dedupes
-//!   any wedge or fault by [`WedgeReport::signature`] into
+//!   chaos, fault and soft-error matrices with a tightened watchdog,
+//!   and dedupes any wedge or fault by [`WedgeReport::signature`] into
 //!   `<out>/wedges.jsonl` — each line a distinct failure mode with its
-//!   one-command reproducer.
+//!   one-command reproducer. Soft cells that *complete* still pass
+//!   through a corruption oracle (final coherence audit +
+//!   silent-flip accounting), so an undetected bit flip is mined as a
+//!   `silent-corruption|…` signature instead of slipping through as a
+//!   clean run.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs::{self, OpenOptions};
@@ -38,6 +43,7 @@ use wb_kernel::chaos::ChaosPlan;
 use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
 use wb_kernel::fault::FaultPlan;
 use wb_kernel::json::{self, Json};
+use wb_kernel::soft::SoftPlan;
 use wb_kernel::SimRng;
 use writersblock::{RunOutcome, System};
 
@@ -74,6 +80,7 @@ pub struct CampaignSpec {
     pub arms: Vec<String>,
     pub chaos: Vec<String>,
     pub faults: Vec<String>,
+    pub softs: Vec<String>,
     pub seeds: Vec<u64>,
 }
 
@@ -113,6 +120,7 @@ impl CampaignSpec {
             arms: vec!["wb-ooo".to_owned()],
             chaos: vec!["off".to_owned()],
             faults: vec!["off".to_owned()],
+            softs: vec!["off".to_owned()],
             seeds: vec![1],
         };
         for (k, v) in obj {
@@ -148,6 +156,7 @@ impl CampaignSpec {
                 "arms" => spec.arms = want_str_list(v, k)?,
                 "chaos" => spec.chaos = want_str_list(v, k)?,
                 "faults" => spec.faults = want_str_list(v, k)?,
+                "softs" => spec.softs = want_str_list(v, k)?,
                 "seeds" => {
                     // Either an explicit list, or {"first": F, "count": N}
                     // for warm-start fleets of thousands.
@@ -190,6 +199,9 @@ impl CampaignSpec {
         }
         for f in &spec.faults {
             fault_by_name(f)?;
+        }
+        for s in &spec.softs {
+            soft_by_name(s)?;
         }
         for w in spec.budgets.keys() {
             if !spec.workloads.contains(w) {
@@ -276,6 +288,39 @@ pub fn fault_by_name(name: &str) -> Result<Option<FaultPlan>, String> {
     }))
 }
 
+/// Resolve a soft-error plan name (`"off"` = none). A `-xN` suffix
+/// accelerates every clause rate `N`-fold (mean gaps divided) — e.g.
+/// `"background-radiation-x20"` — because the standard matrix rates
+/// are soak-tuned and short campaign cells would otherwise finish
+/// before a single strike lands.
+pub fn soft_by_name(name: &str) -> Result<Option<SoftPlan>, String> {
+    if name == "off" {
+        return Ok(None);
+    }
+    let (base, accel) = match name.rsplit_once("-x") {
+        Some((b, n)) if !n.is_empty() && n.bytes().all(|c| c.is_ascii_digit()) => {
+            let n: u64 = n.parse().map_err(|_| format!("bad acceleration in `{name}`"))?;
+            if n == 0 {
+                return Err(format!("zero acceleration in `{name}`"));
+            }
+            (b, n)
+        }
+        _ => (name, 1),
+    };
+    let plan = match base {
+        "none" => SoftPlan::none(),
+        "cache-state-storm" => SoftPlan::cache_state_storm(),
+        "tag-flips" => SoftPlan::tag_flips(),
+        "dir-state-storm" => SoftPlan::dir_state_storm(),
+        "sharer-bits" => SoftPlan::sharer_bits(),
+        "mshr-fields" => SoftPlan::mshr_fields(),
+        "background-radiation" => SoftPlan::background_radiation(),
+        "double-entry" => SoftPlan::double_entry(),
+        other => return Err(format!("unknown soft plan `{other}`")),
+    };
+    Ok(Some(if accel > 1 { plan.accelerated(accel) } else { plan }))
+}
+
 // ---------------------------------------------------------------------------
 // Cells
 // ---------------------------------------------------------------------------
@@ -289,6 +334,7 @@ pub struct Cell {
     pub arm: String,
     pub chaos: String,
     pub fault: String,
+    pub soft: String,
     pub seed: u64,
     pub budget: u64,
 }
@@ -296,7 +342,7 @@ pub struct Cell {
 impl Cell {
     /// Warm-start group key: everything but the seed.
     fn group(&self) -> String {
-        format!("{}+{}+{}+{}", self.workload, self.arm, self.chaos, self.fault)
+        format!("{}+{}+{}+{}+{}", self.workload, self.arm, self.chaos, self.fault, self.soft)
     }
 }
 
@@ -310,16 +356,19 @@ pub fn cells(spec: &CampaignSpec) -> Vec<Cell> {
         for arm in &spec.arms {
             for chaos in &spec.chaos {
                 for fault in &spec.faults {
-                    for &seed in &spec.seeds {
-                        out.push(Cell {
-                            id: format!("{w}+{arm}+{chaos}+{fault}+s{seed}"),
-                            workload: w.clone(),
-                            arm: arm.clone(),
-                            chaos: chaos.clone(),
-                            fault: fault.clone(),
-                            seed,
-                            budget,
-                        });
+                    for soft in &spec.softs {
+                        for &seed in &spec.seeds {
+                            out.push(Cell {
+                                id: format!("{w}+{arm}+{chaos}+{fault}+{soft}+s{seed}"),
+                                workload: w.clone(),
+                                arm: arm.clone(),
+                                chaos: chaos.clone(),
+                                fault: fault.clone(),
+                                soft: soft.clone(),
+                                seed,
+                                budget,
+                            });
+                        }
                     }
                 }
             }
@@ -346,6 +395,9 @@ pub fn cell_config(spec: &CampaignSpec, cell: &Cell, cores: usize, seed: u64) ->
     }
     if let Some(p) = fault_by_name(&cell.fault).expect("fault validated at parse") {
         cfg = cfg.with_fault(p);
+    }
+    if let Some(p) = soft_by_name(&cell.soft).expect("soft validated at parse") {
+        cfg = cfg.with_soft(p);
     }
     cfg
 }
@@ -670,12 +722,20 @@ fn fuzz_config(seed: u64) -> SystemConfig {
     cfg
 }
 
-/// Mine chaos/fault/litmus cells for failures and dedupe them by wedge
-/// signature into `<out>/wedges.jsonl`. Each round draws a fresh seed
-/// (`seed0 + round`) and sweeps the full chaos and fault matrices over
-/// a torture workload plus the `mp`/`sb` litmus races; any wedge or
-/// fault whose [`WedgeReport::signature`] has not been seen before is
-/// appended with its reproducer.
+/// Mine chaos/fault/soft/litmus cells for failures and dedupe them by
+/// wedge signature into `<out>/wedges.jsonl`. Each round draws a fresh
+/// seed (`seed0 + round`) and sweeps the full chaos, fault and
+/// accelerated soft-error matrices over a torture workload plus the
+/// `mp`/`sb` litmus races; any wedge or fault whose
+/// [`WedgeReport::signature`] has not been seen before is appended
+/// with its reproducer.
+///
+/// Soft cells get a second oracle: a *completed* run is still a
+/// failure if the final coherence audit finds violations or any
+/// injected flip was never detected (`soft_silent > 0`). Those mine a
+/// normalized `silent-corruption|<plan>|<violation kinds>` signature,
+/// keyed by plan and violation class — not by seed — so each
+/// corruption mode dedupes to one line.
 ///
 /// [`WedgeReport::signature`]: wb_kernel::wedge::WedgeReport::signature
 pub fn run_fuzz(
@@ -715,23 +775,57 @@ pub fn run_fuzz(
             let cfg = fuzz_config(seed).with_fault(FaultPlan::drop_everywhere(1, 12));
             jobs.push((format!("litmus:{name}"), cfg, w));
         }
+        for (i, sp) in SoftPlan::matrix().into_iter().filter(|p| !p.is_none()).enumerate() {
+            // Matrix rates are soak-tuned; accelerate so every fuzz
+            // cell takes a real barrage inside FUZZ_BUDGET.
+            let sp = sp.accelerated(20);
+            let label = format!("soft:{sp}");
+            let w = fuzz_workload(2, seed ^ (0x2000 + i as u64), 15);
+            jobs.push((label, fuzz_config(seed).with_soft(sp), w));
+        }
         report.cells += jobs.len();
         let hits = sweep::run_on(threads, jobs, |(label, cfg, w)| {
+            let soft_plan = cfg.soft.clone();
+            let cfg_seed = cfg.seed;
             let mut sys = System::new(cfg, &w);
             match sys.run(FUZZ_BUDGET) {
-                RunOutcome::Wedge(r) | RunOutcome::Fault(r) => Some((label, r)),
-                _ => None,
+                RunOutcome::Wedge(r) | RunOutcome::Fault(r) => {
+                    Some((label, r.signature(), r.reproducer.clone()))
+                }
+                _ => {
+                    // Corruption oracle: a run that *finishes* under
+                    // soft errors must also audit clean and account
+                    // for every flip, or it mined a real failure.
+                    let plan = soft_plan?;
+                    let audit = sys.run_audit(true);
+                    if audit.clean() && sys.soft_silent() == 0 {
+                        return None;
+                    }
+                    let mut kinds: Vec<&str> =
+                        audit.violations.iter().map(|v| v.kind.label()).collect();
+                    if sys.soft_silent() > 0 {
+                        kinds.push("silent-flip");
+                    }
+                    kinds.sort_unstable();
+                    kinds.dedup();
+                    let sig = format!("silent-corruption|{}|{}", plan.name, kinds.join(","));
+                    let repro = format!(
+                        "workload={} seed={cfg_seed:#x} cores={} soft={plan}",
+                        w.name,
+                        w.cores(),
+                    );
+                    Some((label, sig, repro))
+                }
             }
         });
-        for (label, r) in hits.into_iter().flatten() {
+        for (label, sig, repro) in hits.into_iter().flatten() {
             report.hits += 1;
-            let sig = r.signature();
             if known.insert(sig.clone()) {
                 let line = format!(
                     "{{\"sig\":\"{}\",\"cell\":\"{}\",\"repro\":\"{}\"}}",
                     json_escape(&sig),
                     json_escape(&label),
-                    json_escape(&r.reproducer),
+                    json_escape(&repro),
                 );
                 writeln!(wedges, "{line}")
                     .and_then(|()| wedges.sync_data())
@@ -775,6 +869,8 @@ mod tests {
             (r#"{"workloads":["mp"],"arms":["x"]}"#, "unknown arm"),
             (r#"{"workloads":["mp"],"chaos":["x"]}"#, "unknown chaos"),
             (r#"{"workloads":["mp"],"faults":["drop-1-0"]}"#, "bad drop rate"),
+            (r#"{"workloads":["mp"],"softs":["x"]}"#, "unknown soft plan"),
+            (r#"{"workloads":["mp"],"softs":["tag-flips-x0"]}"#, "zero acceleration"),
             (r#"{"workloads":["mp"],"frobnicate":1}"#, "unknown spec key"),
             (r#"{"workloads":["mp"],"budgets":{"fft":1}}"#, "not in `workloads`"),
             (r#"{}"#, "`workloads` is required"),
@@ -797,7 +893,27 @@ mod tests {
         assert_eq!(cs[2].seed, 12);
         assert_eq!(cs[0].budget, 500);
         assert_eq!(cs[5].budget, 900);
-        assert_eq!(cs[0].id, "mp+wb-ooo+off+off+s10");
+        assert_eq!(cs[0].id, "mp+wb-ooo+off+off+off+s10");
+    }
+
+    /// The soft axis expands like chaos/faults, resolves accelerated
+    /// names, and lands in the cell configuration.
+    #[test]
+    fn soft_axis_expands_and_resolves() {
+        let spec = CampaignSpec::parse(
+            r#"{"workloads":["mp"],"softs":["off","background-radiation-x20"],"seeds":[3]}"#,
+        )
+        .expect("parses");
+        let cs = cells(&spec);
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].id, "mp+wb-ooo+off+off+off+s3");
+        assert_eq!(cs[1].id, "mp+wb-ooo+off+off+background-radiation-x20+s3");
+        assert!(cell_config(&spec, &cs[0], 2, 3).soft.is_none());
+        let plan = cell_config(&spec, &cs[1], 2, 3).soft.expect("soft plan installed");
+        assert_eq!(plan.name, "background_radiation");
+        assert_eq!(plan.clauses[0].mean_gap, 400, "x20 acceleration applied");
+        assert!(soft_by_name("tag-flips").expect("known").is_some());
+        assert!(soft_by_name("off").expect("off").is_none());
     }
 
     /// The committed standard campaign spec stays valid, covers the

@@ -4,16 +4,18 @@ use crate::report::Report;
 use std::collections::VecDeque;
 use wb_cpu::Core;
 use wb_isa::{Reg, Workload};
+use wb_kernel::audit::{AuditKind, AuditReport, AuditViolation};
 use wb_kernel::chaos::ChaosEngine;
 use wb_kernel::config::{EngineMode, SystemConfig};
 use wb_kernel::fault::FaultEngine;
+use wb_kernel::soft::{SoftEngine, SoftTarget};
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
 use wb_kernel::{Cycle, HeavyHitters, NodeId, Stats, Timeline};
 use wb_mem::{Addr, HomeMap};
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
-use wb_protocol::{Directory, PrivateCache, ProtoMsg, ProtocolError};
+use wb_protocol::{Directory, PrivateCache, ProtoMsg, ProtocolError, SharerSet};
 use wb_tso::{CheckError, ExecutionLog, TsoChecker};
 
 /// How a [`System::run`] ended.
@@ -112,6 +114,21 @@ pub struct System {
     /// densely — exactness never depends on the throttle.
     probe_stride: u64,
     next_probe_at: Cycle,
+    /// Soft-error injector (`None` when `cfg.soft` is absent or the
+    /// empty plan — both leave runs byte-identical to a soft-free
+    /// build). Flips are applied at the top of `tick`, and the firing
+    /// schedule is merged into `quiescent_until` so Skip never jumps
+    /// over one.
+    soft: Option<SoftEngine>,
+    /// Online-auditor cadence in cycles (0 = periodic audits off; the
+    /// end-of-run audit is always available via [`System::run_audit`]).
+    audit_every: u64,
+    /// Next scheduled periodic audit, merged into `quiescent_until`
+    /// like the timeline sampler so Skip stays cycle-exact.
+    next_audit_at: Option<Cycle>,
+    /// Auditor outcome counters, merged into [`System::report`] stats.
+    audit_runs: u64,
+    audit_violations: u64,
 }
 
 impl std::fmt::Debug for System {
@@ -150,7 +167,7 @@ impl System {
             })
             .collect();
         let home = HomeMap::new(n, cfg.memory.dir_banks_per_node);
-        let caches = (0..n)
+        let caches: Vec<PrivateCache> = (0..n)
             .map(|i| PrivateCache::new(NodeId(i as u16), home, &cfg.memory, cfg.protocol))
             .collect();
         let mut dirs: Vec<Directory> =
@@ -172,6 +189,27 @@ impl System {
             mesh.set_fault(Some(FaultEngine::new(plan.clone(), cfg.seed)));
         }
         let chaos_wants_signal = mesh.chaos_wants_signal();
+        let soft = match &cfg.soft {
+            Some(plan) if !plan.is_none() => Some(SoftEngine::new(plan.clone(), cfg.seed)),
+            _ => None,
+        };
+        let mut caches = caches;
+        if soft.is_some() {
+            // Guards are maintained (and flips possible) only with a
+            // live plan; `SoftPlan::none()` keeps every guard word 0 so
+            // its snapshots stay byte-identical to `soft: None`.
+            for c in &mut caches {
+                c.set_soft(true);
+            }
+            for d in &mut dirs {
+                d.set_soft(true, n);
+            }
+        }
+        // With flips landing, detection must not depend on the workload
+        // happening to touch the wounded line: a periodic audit scrub
+        // bounds every wound's lifetime well below the wedge watchdog.
+        let audit_every = if soft.is_some() { 10_000 } else { 0 };
+        let next_audit_at = (audit_every > 0).then_some(audit_every);
         System {
             now: 0,
             mesh,
@@ -192,8 +230,23 @@ impl System {
             skip_windows: 0,
             probe_stride: 1,
             next_probe_at: 0,
+            soft,
+            audit_every,
+            next_audit_at,
+            audit_runs: 0,
+            audit_violations: 0,
             cfg,
         }
+    }
+
+    /// Enable (or retime) the periodic online audit: every `every`
+    /// cycles the auditor scrubs wounds and checks the coherence
+    /// invariants. `0` disables periodic runs. Scheduled like the
+    /// timeline sampler — merged into the skip engine's `next_event`
+    /// set, so audits land on identical cycles in every engine mode.
+    pub fn enable_audit(&mut self, every: u64) {
+        self.audit_every = every;
+        self.next_audit_at = (every > 0).then(|| self.now + every);
     }
 
     /// Ceiling for the adaptive probe throttle. Worst case a quiescent
@@ -359,6 +412,34 @@ impl System {
             }
         }
         let n = self.cores.len();
+        // Soft-error strikes land between cycles, before any component
+        // interprets its stored state this cycle. The schedule is a pure
+        // function of (seed, plan), so every engine mode flips the same
+        // bits on the same cycles.
+        if let Some(mut eng) = self.soft.take() {
+            for target in eng.fire(self.now) {
+                let applied = match target {
+                    SoftTarget::CacheState | SoftTarget::CacheTag | SoftTarget::Mshr => {
+                        let i = eng.rng_mut().below(n as u64) as usize;
+                        self.caches[i].soft_flip(self.now, target, eng.rng_mut())
+                    }
+                    SoftTarget::DirState | SoftTarget::Sharers => {
+                        let b = eng.rng_mut().below(self.dirs.len() as u64) as usize;
+                        self.dirs[b].soft_flip(self.now, target, eng.rng_mut())
+                    }
+                };
+                if applied {
+                    eng.note_applied();
+                } else {
+                    eng.note_missed();
+                }
+            }
+            self.soft = Some(eng);
+        }
+        if self.next_audit_at.is_some_and(|at| self.now >= at) {
+            self.run_audit(false);
+            self.next_audit_at = Some(self.now + self.audit_every);
+        }
         if self.chaos_wants_signal {
             let lockdown_live = self.caches.iter().any(|c| c.active_lockdowns() > 0);
             self.mesh.set_chaos_signal(lockdown_live);
@@ -590,6 +671,14 @@ impl System {
             if merge(Some(tl.next_sample_at())) {
                 return Some(now);
             }
+        }
+        if let Some(eng) = &self.soft {
+            if merge(eng.next_fire()) {
+                return Some(now);
+            }
+        }
+        if merge(self.next_audit_at) {
+            return Some(now);
         }
         for c in &self.caches {
             if merge(c.next_event(now)) {
@@ -844,6 +933,10 @@ impl System {
             Some(p) => s.push_str(&format!(" fault={p}")),
             None => s.push_str(" fault=off"),
         }
+        match &c.soft {
+            Some(p) => s.push_str(&format!(" soft={p}")),
+            None => s.push_str(" soft=off"),
+        }
         s
     }
 
@@ -938,9 +1031,18 @@ impl System {
         edges.sort_by(|a, b| (a.from, a.to, &a.why).cmp(&(b.from, b.to, &b.why)));
         edges.dedup_by(|a, b| a.from == b.from && a.to == b.to);
 
+        // Under a soft plan, audit before classifying: a wedge caused by
+        // an undetected flip should read as corruption, not deadlock.
+        let wedge_audit = self.soft.is_some().then(|| self.run_audit(false));
+        let corrupted = wedge_audit.as_ref().is_some_and(|a| {
+            !a.violations.is_empty() || a.scrub_repairs > 0
+        }) || self.soft_silent() > 0;
+
         let cycle = wedge::find_cycle(&edges);
         let class = if error.is_some() {
             WedgeClass::ProtocolFault
+        } else if corrupted {
+            WedgeClass::SilentCorruption
         } else if retries_in_window >= livelock_retries {
             WedgeClass::Livelock
         } else if cycle.is_some() {
@@ -1002,6 +1104,33 @@ impl System {
                 st.get("link_backpressure_msgs"),
             ));
         }
+        if let Some(a) = &wedge_audit {
+            let (injected, missed) = self.soft_injected();
+            let st = self.aggregate_stats();
+            notes.push(format!(
+                "soft errors: {injected} injected ({missed} strikes missed), {} detected, \
+                 {} masked, {} silent",
+                st.get("soft_detected"),
+                st.get("soft_masked"),
+                self.soft_silent(),
+            ));
+            notes.push(format!(
+                "audit at wedge: {} checks, {} scrub repairs, {} violations",
+                a.checks,
+                a.scrub_repairs,
+                a.violations.len(),
+            ));
+            if a.scrub_repairs > 0 {
+                notes.push(
+                    "  unrepaired wound found live at wedge time — corruption was in \
+                     flight when the machine stalled"
+                        .to_string(),
+                );
+            }
+            for v in a.violations.iter().take(6) {
+                notes.push(format!("  {}: {}", v.kind.label(), v.detail));
+            }
+        }
 
         let mut report = WedgeReport {
             class,
@@ -1049,6 +1178,255 @@ impl System {
     /// fault engine so far — `(0, 0, 0)` without a fault plan.
     pub fn fault_injected(&self) -> (u64, u64, u64) {
         self.mesh.fault_injected()
+    }
+
+    /// `(injected, missed)` soft-error strikes so far — `(0, 0)`
+    /// without a live soft plan.
+    pub fn soft_injected(&self) -> (u64, u64) {
+        self.soft.as_ref().map_or((0, 0), |e| (e.injected, e.missed))
+    }
+
+    /// Soft flips whose detection is still outstanding: injected minus
+    /// (detected + masked). Nonzero at end of run — after the final
+    /// audit scrub — means a corruption escaped every guard.
+    pub fn soft_silent(&self) -> u64 {
+        let s = self.aggregate_stats();
+        s.get("soft_injected").saturating_sub(s.get("soft_detected") + s.get("soft_masked"))
+    }
+
+    /// One pass of the online coherence invariant auditor.
+    ///
+    /// Phase 1 (soft plan active only) scrubs: every cache detects and
+    /// repairs its outstanding wounds synchronously, and every wounded
+    /// directory entry is rebuilt from direct cache probes (the same
+    /// `(present, excl)` encoding the async [`ProtoMsg::AuditProbe`]
+    /// path uses). Phase 2 checks the global invariants — SWMR,
+    /// directory–cache agreement on quiet lines, MSHR / eviction-buffer
+    /// occupancy bounds, ARQ window sanity. `final_run` additionally
+    /// requires every transient structure to have drained.
+    ///
+    /// Scrub repairs are the recovery path doing its job, not
+    /// violations; a non-clean report means the machine reached a state
+    /// the protocol must never produce.
+    pub fn run_audit(&mut self, final_run: bool) -> AuditReport {
+        let now = self.now;
+        let mut checks: u64 = 0;
+        let mut scrub_repairs: u64 = 0;
+        let mut violations: Vec<AuditViolation> = Vec::new();
+        if self.soft.is_some() {
+            for i in 0..self.cores.len() {
+                scrub_repairs += self.caches[i].audit_scrub(now, &mut self.cores[i]);
+            }
+            for b in 0..self.dirs.len() {
+                for line in self.dirs[b].audit_wounds() {
+                    let mut owner: Option<NodeId> = None;
+                    let mut sharers = SharerSet::EMPTY;
+                    let mut parked = SharerSet::EMPTY;
+                    for (i, c) in self.caches.iter().enumerate() {
+                        let node = NodeId(i as u16);
+                        match c.probe_line(line) {
+                            (true, true) => {
+                                if let Some(prev) = owner {
+                                    violations.push(AuditViolation {
+                                        kind: AuditKind::MultipleWriters,
+                                        detail: format!(
+                                            "line {line}: exclusive at {prev} and {node} \
+                                             during wound rebuild"
+                                        ),
+                                    });
+                                }
+                                owner = Some(node);
+                            }
+                            (true, false) => sharers.insert(node),
+                            (false, true) => parked.insert(node),
+                            (false, false) => {}
+                        }
+                    }
+                    if self.dirs[b].audit_repair(now, line, owner, sharers, parked) {
+                        scrub_repairs += 1;
+                    }
+                }
+            }
+            if final_run {
+                // Repairing a dirty line resynchronises it with the home
+                // through the ordinary eviction path (PutM/PutAck), so a
+                // final scrub leaves real protocol traffic in flight.
+                // Drain it — with further strikes and periodic audits
+                // suspended — before passing the verdict below.
+                let eng = self.soft.take();
+                let next_audit = self.next_audit_at.take();
+                let mut fuel = 100_000u64;
+                while !self.done() && fuel > 0 {
+                    self.tick();
+                    fuel -= 1;
+                }
+                self.soft = eng;
+                self.next_audit_at = next_audit;
+                if fuel == 0 {
+                    violations.push(AuditViolation {
+                        kind: AuditKind::UnrepairedWound,
+                        detail: "recovery traffic failed to drain after the final scrub"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        // Lines with any in-flight activity are exempt from agreement
+        // checks: their books are allowed to disagree mid-transaction.
+        let mut busy: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        {
+            let mut mark = |l: wb_mem::LineAddr| {
+                busy.insert(l.0);
+            };
+            for c in &self.caches {
+                c.audit_busy_lines(&mut mark);
+            }
+            for d in &self.dirs {
+                d.audit_busy_lines(&mut mark);
+            }
+            self.mesh.for_each_payload(|(_, msg)| mark(msg.line()));
+        }
+        // SWMR: at most one cache may hold a line writable, busy or not
+        // — the protocol never grants two exclusive copies.
+        let mut residents: std::collections::BTreeMap<u64, Vec<(u16, bool)>> =
+            std::collections::BTreeMap::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            for (line, excl) in c.resident_lines() {
+                residents.entry(line.0).or_default().push((i as u16, excl));
+            }
+        }
+        for (line, holders) in &residents {
+            checks += 1;
+            let excl: Vec<u16> =
+                holders.iter().filter(|(_, e)| *e).map(|(n, _)| *n).collect();
+            if excl.len() > 1 {
+                violations.push(AuditViolation {
+                    kind: AuditKind::MultipleWriters,
+                    detail: format!("line {line:#x}: exclusive at cores {excl:?}"),
+                });
+            }
+        }
+        // Directory–cache agreement on quiet lines.
+        for d in &self.dirs {
+            for (line, code, owner, sharers) in d.audit_entries() {
+                if busy.contains(&line.0) {
+                    continue;
+                }
+                checks += 1;
+                let holders = residents.get(&line.0).map_or(&[][..], |v| &v[..]);
+                match code {
+                    0 => {
+                        if !holders.is_empty() {
+                            violations.push(AuditViolation {
+                                kind: AuditKind::DirCacheDisagree,
+                                detail: format!(
+                                    "line {line}: home says Uncached, copies at {holders:?}"
+                                ),
+                            });
+                        }
+                    }
+                    1 => {
+                        for &(node, excl) in holders {
+                            if excl {
+                                violations.push(AuditViolation {
+                                    kind: AuditKind::DirCacheDisagree,
+                                    detail: format!(
+                                        "line {line}: home says Shared, dirty copy at n{node}"
+                                    ),
+                                });
+                            } else if !sharers.contains(NodeId(node)) {
+                                violations.push(AuditViolation {
+                                    kind: AuditKind::DirCacheDisagree,
+                                    detail: format!(
+                                        "line {line}: copy at n{node} outside the sharer set"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    _ => {
+                        let Some(o) = owner else {
+                            violations.push(AuditViolation {
+                                kind: AuditKind::DirCacheDisagree,
+                                detail: format!("line {line}: Owned entry without an owner"),
+                            });
+                            continue;
+                        };
+                        for &(node, _) in holders {
+                            if node != o.0 {
+                                violations.push(AuditViolation {
+                                    kind: AuditKind::DirCacheDisagree,
+                                    detail: format!(
+                                        "line {line}: home says owned by {o}, copy at n{node}"
+                                    ),
+                                });
+                            }
+                        }
+                        if self.caches[o.index()].resident_excl(line) != Some(true) {
+                            violations.push(AuditViolation {
+                                kind: AuditKind::DirCacheDisagree,
+                                detail: format!(
+                                    "line {line}: home says owned by {o}, which holds no \
+                                     writable copy"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Occupancy / leak bounds.
+        for (i, c) in self.caches.iter().enumerate() {
+            checks += 1;
+            let (used, cap) = c.mshr_usage();
+            if used > cap {
+                violations.push(AuditViolation {
+                    kind: AuditKind::MshrLeak,
+                    detail: format!("cache {i}: {used} MSHRs in use, capacity {cap}"),
+                });
+            }
+            if final_run && used > 0 {
+                violations.push(AuditViolation {
+                    kind: AuditKind::MshrLeak,
+                    detail: format!("cache {i}: {used} MSHRs still allocated at end of run"),
+                });
+            }
+            if final_run && c.evict_buf_len() > 0 {
+                violations.push(AuditViolation {
+                    kind: AuditKind::EvictBufLeak,
+                    detail: format!(
+                        "cache {i}: {} eviction-buffer entries at end of run",
+                        c.evict_buf_len()
+                    ),
+                });
+            }
+        }
+        for d in &self.dirs {
+            checks += 1;
+            let (used, cap) = d.evict_buf_usage();
+            if used > cap {
+                violations.push(AuditViolation {
+                    kind: AuditKind::EvictBufLeak,
+                    detail: format!("dir bank {}: {used} parked evictions, capacity {cap}", d.bank()),
+                });
+            }
+            if final_run && used > 0 {
+                violations.push(AuditViolation {
+                    kind: AuditKind::EvictBufLeak,
+                    detail: format!(
+                        "dir bank {}: {used} parked evictions at end of run",
+                        d.bank()
+                    ),
+                });
+            }
+        }
+        checks += 1;
+        for detail in self.mesh.audit_reliable() {
+            violations.push(AuditViolation { kind: AuditKind::ArqWindow, detail });
+        }
+        self.audit_runs += 1;
+        self.audit_violations += violations.len() as u64;
+        AuditReport { at_cycle: now, final_run, checks, scrub_repairs, violations }
     }
 
     /// Total instructions retired across all cores.
@@ -1117,6 +1495,13 @@ impl System {
             CheckError::TsoViolation => None,
         };
         self.sink.emit(&format!("TSO check FAILED: {e}"));
+        let silent = self.soft_silent();
+        if silent > 0 {
+            self.sink.emit(&format!(
+                "note: silent corruption suspected — {silent} soft flip(s) were never \
+                 detected; this failure may be a soft error, not a protocol bug"
+            ));
+        }
         if !self.tracer.filter().enabled() {
             self.sink.emit("(event tracing was off; call System::set_trace before the run for protocol history)");
             return;
@@ -1165,6 +1550,11 @@ impl System {
             stats.merge(d.stats());
         }
         stats.merge(self.mesh.stats());
+        if let Some(eng) = &self.soft {
+            stats.add("soft_strikes_missed", eng.missed);
+        }
+        stats.add("audit_runs", self.audit_runs);
+        stats.add("audit_violations", self.audit_violations);
         stats
     }
 
@@ -1192,7 +1582,7 @@ impl System {
 
     /// Layout version of the `System` payload inside the WBSNAP frame.
     /// Bump whenever any component's wire layout changes.
-    const SNAP_LAYOUT: u16 = 1;
+    const SNAP_LAYOUT: u16 = 2;
 
     /// Configuration fingerprint stored in every snapshot and compared
     /// on restore: a snapshot only restores into a system built from
@@ -1203,7 +1593,7 @@ impl System {
         let c = &self.cfg;
         format!(
             "workload={} seed={:#x} cores={} banks={} protocol={:?} commit={:?} jitter={} \
-             option1={} chaos={} fault={}",
+             option1={} chaos={} fault={} soft={}",
             self.workload_name,
             c.seed,
             c.num_cores,
@@ -1214,6 +1604,7 @@ impl System {
             c.wb_cacheable_reads,
             c.chaos.as_ref().map_or_else(|| "off".to_string(), |p| p.to_string()),
             c.fault.as_ref().map_or_else(|| "off".to_string(), |p| p.to_string()),
+            c.soft.as_ref().map_or_else(|| "off".to_string(), |p| p.to_string()),
         )
     }
 
@@ -1246,6 +1637,17 @@ impl System {
             w.u64(self.skip_windows);
             w.u64(self.probe_stride);
             w.u64(self.next_probe_at);
+            w.u64(self.audit_every);
+            self.next_audit_at.snap(w);
+            w.u64(self.audit_runs);
+            w.u64(self.audit_violations);
+            match &self.soft {
+                Some(eng) => {
+                    w.bool(true);
+                    eng.snap(w);
+                }
+                None => w.bool(false),
+            }
         })
     }
 
@@ -1318,6 +1720,17 @@ impl System {
         self.skip_windows = r.u64()?;
         self.probe_stride = r.u64()?;
         self.next_probe_at = r.u64()?;
+        self.audit_every = r.u64()?;
+        self.next_audit_at = Option::unsnap(&mut r)?;
+        self.audit_runs = r.u64()?;
+        self.audit_violations = r.u64()?;
+        if r.bool()? {
+            // Fingerprint equality guarantees both sides carry a plan.
+            let eng = self.soft.as_mut().ok_or_else(|| {
+                wb_kernel::SnapError::new("snapshot carries a soft engine, system has none")
+            })?;
+            eng.restore(&mut r)?;
+        }
         r.finish()
     }
 
@@ -1340,6 +1753,9 @@ impl System {
     pub fn reseed(&mut self, seed: u64) {
         self.cfg.seed = seed;
         self.mesh.reseed(seed);
+        if let Some(eng) = &mut self.soft {
+            eng.reseed(seed, self.now);
+        }
     }
 
     /// Aggregate statistics report, including the hot-lines leaderboard

@@ -374,6 +374,12 @@ pub struct SystemConfig {
     /// — enables the reliable-delivery sublayer; `None` leaves the mesh
     /// byte-identical to a fault-free build.
     pub fault: Option<crate::fault::FaultPlan>,
+    /// Soft-error schedule: seeded bit flips into stored protocol state
+    /// (cache line state/tags, directory entries, sharer sets, MSHRs),
+    /// detected by guard hashes and recovered via poison/re-fetch.
+    /// `None` *and* the empty [`crate::soft::SoftPlan::none`] both leave
+    /// runs byte-identical to a soft-error-free build.
+    pub soft: Option<crate::soft::SoftPlan>,
     /// Wedge-watchdog thresholds (see [`WatchdogConfig`]).
     pub watchdog: WatchdogConfig,
     /// Simulation engine (dense reference, event-driven skip, or
@@ -396,6 +402,7 @@ impl SystemConfig {
             record_events: true,
             chaos: None,
             fault: None,
+            soft: None,
             watchdog: WatchdogConfig::default(),
             engine: EngineMode::Dense,
         }
@@ -465,6 +472,13 @@ impl SystemConfig {
     /// the reliable-delivery sublayer).
     pub fn with_fault(mut self, plan: crate::fault::FaultPlan) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Builder-style: install a soft-error (stored-state bit-flip)
+    /// schedule with guard-hash detection and poison/recovery.
+    pub fn with_soft(mut self, plan: crate::soft::SoftPlan) -> Self {
+        self.soft = Some(plan);
         self
     }
 
@@ -562,6 +576,9 @@ impl SystemConfig {
         assert!(self.core.width >= 1);
         assert!(self.memory.line_bytes.is_power_of_two());
         if let Some(p) = &self.fault {
+            p.validate();
+        }
+        if let Some(p) = &self.soft {
             p.validate();
         }
         let link = &self.network.link;

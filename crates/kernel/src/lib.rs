@@ -26,7 +26,11 @@
 //!   cycle attribution (top-K contended lines / directory banks),
 //! - [`snap`], the versioned binary snapshot codec behind deterministic
 //!   checkpoint/restore (with a strict-JSON hex envelope validated
-//!   through [`json`]).
+//!   through [`json`]),
+//! - [`soft`], seeded soft-error (bit-flip) injection into stored
+//!   protocol state plus the guard-hash parity/ECC model that detects it,
+//! - [`audit`], the typed violation reports of the online coherence
+//!   invariant auditor (`System::run_audit`).
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 //! ```
 
 pub mod attr;
+pub mod audit;
 pub mod chaos;
 pub mod check;
 pub mod config;
@@ -47,15 +52,18 @@ pub mod hist;
 pub mod json;
 pub mod rng;
 pub mod snap;
+pub mod soft;
 pub mod stats;
 pub mod timeline;
 pub mod trace;
 pub mod wedge;
 
 pub use attr::{HeavyHitters, HotEntry};
+pub use audit::{AuditKind, AuditReport, AuditViolation};
 pub use chaos::{ChaosClause, ChaosEffect, ChaosEngine, ChaosPlan, FlowMatch};
 pub use config::{CommitMode, CoreClass, LinkConfig, ProtocolKind, SystemConfig, WatchdogConfig};
 pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
+pub use soft::{SoftClause, SoftEngine, SoftPlan, SoftTarget};
 pub use hist::Hist;
 pub use rng::SimRng;
 pub use snap::{Snap, SnapError, SnapReader, SnapResult, SnapWriter};

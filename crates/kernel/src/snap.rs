@@ -32,7 +32,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 pub const MAGIC: &[u8; 6] = b"WBSNAP";
 
 /// Current snapshot layout version. Bump on any layout change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: soft-error layer (guard/tag words in cache lines and directory
+/// entries, MSHR ECC shadows, `DirState::Poisoned`, the `AuditProbe`/
+/// `AuditReply` messages, and the engine/auditor state in `System`).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -121,6 +121,10 @@ pub enum WedgeClass {
     Livelock,
     Starvation,
     ProtocolFault,
+    /// An undetected soft error (bit flip that escaped the parity
+    /// guards) is the suspected cause: state or results diverged without
+    /// any protocol-level fault firing.
+    SilentCorruption,
 }
 
 impl fmt::Display for WedgeClass {
@@ -132,6 +136,9 @@ impl fmt::Display for WedgeClass {
             }
             WedgeClass::Starvation => write!(f, "starvation (no cycle, no retry storm)"),
             WedgeClass::ProtocolFault => write!(f, "protocol fault (impossible state reached)"),
+            WedgeClass::SilentCorruption => {
+                write!(f, "silent corruption (undetected soft error suspected)")
+            }
         }
     }
 }
@@ -178,7 +185,7 @@ impl WedgeReport {
     pub fn signature(&self) -> String {
         fn normalise(why: &str) -> &str {
             let mut w = why;
-            for marker in [" since cycle ", " (seq "] {
+            for marker in [" since cycle ", " (seq ", " bit "] {
                 if let Some(i) = w.find(marker) {
                     w = &w[..i];
                 }
@@ -190,6 +197,7 @@ impl WedgeReport {
             WedgeClass::Livelock => "livelock",
             WedgeClass::Starvation => "starvation",
             WedgeClass::ProtocolFault => "fault",
+            WedgeClass::SilentCorruption => "silent-corruption",
         };
         let mut parties: Vec<String> = self.participants.iter().map(|p| p.to_string()).collect();
         parties.sort();
@@ -381,5 +389,28 @@ mod tests {
         let mut e = mk(100, 1, 5, 2);
         e.class = WedgeClass::Deadlock;
         assert_ne!(a.signature(), e.signature());
+    }
+
+    #[test]
+    fn silent_corruption_signature_normalises_bit_positions() {
+        let mk = |bit: u32| WedgeReport {
+            class: WedgeClass::SilentCorruption,
+            at_cycle: 500,
+            reproducer: "workload=t seed=0x1 cores=4".to_string(),
+            stalled_cores: vec![],
+            retries_in_window: 0,
+            edges: vec![WaitEdge {
+                from: Core(0),
+                to: Line(0x80),
+                why: format!("flipped sharer bit {bit}"),
+            }],
+            participants: vec![Core(0), Line(0x80)],
+            error: None,
+            notes: vec![],
+        };
+        let a = mk(3);
+        let b = mk(61);
+        assert_eq!(a.signature(), b.signature(), "flipped-bit positions must not split bugs");
+        assert!(a.signature().starts_with("silent-corruption|"));
     }
 }

@@ -413,6 +413,90 @@ impl<T> Mesh<T> {
         v
     }
 
+    /// Visit every protocol payload the mesh is still responsible for:
+    /// traversing flights, arrived-but-undrained messages, and (with the
+    /// reliable sublayer) unacked retransmit copies and backpressured
+    /// pending sends. Standalone ack frames carry no payload and are
+    /// skipped. The online auditor uses this to mark lines with
+    /// in-transit traffic as busy (exempt from agreement checks).
+    pub fn for_each_payload(&self, mut f: impl FnMut(&T)) {
+        for fl in &self.in_flight {
+            if let Some(p) = &fl.payload {
+                f(p);
+            }
+        }
+        for q in &self.arrived {
+            for fl in q {
+                if let Some(p) = &fl.payload {
+                    f(p);
+                }
+            }
+        }
+        if let Some(rl) = &self.reliable {
+            for sf in rl.send_flows.values() {
+                for u in &sf.unacked {
+                    f(&u.payload);
+                }
+                for p in &sf.pending {
+                    f(&p.payload);
+                }
+            }
+        }
+    }
+
+    /// Sanity-check the reliable sublayer's bookkeeping: window bounds
+    /// respected, per-flow retransmit queues sequence-ordered, the
+    /// owed-ack count consistent with per-flow state. Returns one line
+    /// per violation (empty = healthy); the online auditor folds these
+    /// into its ARQ-window check.
+    pub fn audit_reliable(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let Some(rl) = &self.reliable else { return out };
+        for (key, sf) in &rl.send_flows {
+            if sf.unacked.len() > rl.cfg.window {
+                out.push(format!(
+                    "flow {key:?}: {} unacked frames exceed window {}",
+                    sf.unacked.len(),
+                    rl.cfg.window
+                ));
+            }
+            if !sf.pending.is_empty() && sf.unacked.len() < rl.cfg.window {
+                out.push(format!(
+                    "flow {key:?}: {} sends backpressured with window space free",
+                    sf.pending.len()
+                ));
+            }
+            let mut prev: Option<u64> = None;
+            for u in &sf.unacked {
+                if prev.is_some_and(|p| p >= u.seq) {
+                    out.push(format!("flow {key:?}: unacked seqs out of order at {}", u.seq));
+                    break;
+                }
+                prev = Some(u.seq);
+            }
+        }
+        for (key, r) in &rl.recv_flows {
+            if r.ooo.iter().next().is_some_and(|&s| s <= r.next_expected) {
+                out.push(format!(
+                    "flow {key:?}: out-of-order set overlaps cumulative frontier {}",
+                    r.next_expected
+                ));
+            }
+            if r.ooo.len() > rl.cfg.window {
+                out.push(format!(
+                    "flow {key:?}: {} out-of-order frames exceed window {}",
+                    r.ooo.len(),
+                    rl.cfg.window
+                ));
+            }
+        }
+        let owed = rl.recv_flows.values().filter(|r| r.owed_since.is_some()).count();
+        if owed != rl.owed_count {
+            out.push(format!("owed-ack count {} disagrees with per-flow state {owed}", rl.owed_count));
+        }
+        out
+    }
+
     /// True when nothing is in flight, nothing awaits draining, and
     /// (with the reliable sublayer) no frame awaits an ack and no ack is
     /// owed — a lossy run is only over once retransmission settles.

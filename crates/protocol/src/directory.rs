@@ -63,6 +63,13 @@ enum DirState {
     },
     /// Waiting for main memory.
     Fetching,
+    /// A soft error was detected in this entry (guard mismatch): the
+    /// sharer set and owner are being rebuilt by probing every core
+    /// ([`ProtoMsg::AuditProbe`]). All requests queue until `pending`
+    /// replies arrive. `parked` accumulates caches whose only claim is a
+    /// non-superseded evict-buffer entry (possibly stale); `owner_hint`
+    /// is the guard-decoded pre-flip owner used to disambiguate them.
+    Poisoned { pending: u32, parked: SharerSet, owner_hint: Option<NodeId> },
 }
 
 #[derive(Debug, Clone)]
@@ -72,12 +79,36 @@ struct DirEntry {
     owner: Option<NodeId>,
     data: LineData,
     queued: VecDeque<ProtoMsg>,
+    /// Guard hash over (state code, owner, sharer words) — the
+    /// parity/ECC word of the soft-error model. Maintained (and
+    /// meaningful) only for stable states while soft errors are on; 0
+    /// otherwise, so `SoftPlan::none()` stays byte-identical to no plan.
+    guard: u64,
 }
 
 impl DirEntry {
     fn stable(&self) -> bool {
         matches!(self.state, DirState::Uncached | DirState::Shared | DirState::Owned)
     }
+
+    /// Guard-hash input code of a stable state.
+    fn stable_code(&self) -> Option<u64> {
+        match self.state {
+            DirState::Uncached => Some(0),
+            DirState::Shared => Some(1),
+            DirState::Owned => Some(2),
+            _ => None,
+        }
+    }
+}
+
+/// Guard hash over a directory entry's protected words: stable-state
+/// code, owner (0 = none, 1 + index otherwise), and the four sharer
+/// bitset words.
+fn dir_guard(code: u64, owner: Option<NodeId>, sharers: &SharerSet) -> u64 {
+    let w = sharers.guard_words();
+    let o = owner.map_or(0, |n| 1 + n.index() as u64);
+    wb_kernel::soft::guard_hash(&[code, o, w[0], w[1], w[2], w[3]])
 }
 
 /// A directory entry parked mid-eviction (Section 3.5.1). While parked it
@@ -155,6 +186,13 @@ pub struct Directory {
     /// O(k). Surfaced through [`Directory::hot_lines`] into the report
     /// leaderboard and wedge notes.
     hot: HeavyHitters,
+    /// True when a non-empty soft-error plan is active (guards
+    /// maintained and checked).
+    soft_on: bool,
+    /// Number of cores to probe when rebuilding a poisoned entry.
+    num_cores: usize,
+    /// Cycle each still-undetected soft flip landed, keyed by line.
+    wounds: HashMap<LineAddr, Cycle>,
     /// Pre-resolved handles for the counters on the request hot path
     /// (PR 5's `CounterHandle` pattern: no BTreeMap lookup per bump).
     h_gets: CounterHandle,
@@ -219,6 +257,9 @@ impl Directory {
             retry_counts: HashMap::new(),
             tearoff_counts: HashMap::new(),
             hot: HeavyHitters::new(HOT_LINES_TRACKED),
+            soft_on: false,
+            num_cores: 0,
+            wounds: HashMap::new(),
             h_gets,
             h_getx,
             h_tearoff_replies,
@@ -290,6 +331,7 @@ impl Directory {
                 DirState::BusyWrite { wb: true, writer, .. } => ("BusyWrite.wb", Some(writer.0)),
                 DirState::BusyWrite { writer, .. } => ("BusyWrite", Some(writer.0)),
                 DirState::Fetching => ("Fetching", None),
+                DirState::Poisoned { .. } => ("Poisoned", None),
                 DirState::Uncached => ("Uncached", None),
                 DirState::Shared => ("Shared", None),
                 DirState::Owned => ("Owned", e.owner.map(|o| o.0)),
@@ -344,6 +386,7 @@ impl Directory {
             Some(DirState::BusyWrite { wb: true, .. }) => "BusyWrite.wb",
             Some(DirState::BusyWrite { .. }) => "BusyWrite",
             Some(DirState::Fetching) => "Fetching",
+            Some(DirState::Poisoned { .. }) => "Poisoned",
         }
     }
 
@@ -451,11 +494,306 @@ impl Directory {
     }
 
     /// True when no event, transient entry or parked eviction is pending.
+    /// A `Poisoned` entry is not stable, so an in-flight rebuild keeps
+    /// the bank (and the run) alive until its probes resolve.
     pub fn is_idle(&self) -> bool {
         self.ingress.is_empty()
             && self.events.is_empty()
             && self.evict_buf.is_empty()
             && self.l3.iter().all(|(_, e)| e.stable() && e.queued.is_empty())
+    }
+
+    // ------------------------------------------------------------------
+    // Soft errors: guards, poison, probe-rebuild
+    // ------------------------------------------------------------------
+
+    /// Enable the soft-error guard machinery; `num_cores` bounds the
+    /// probe fan-out when a poisoned entry rebuilds its sharer set.
+    pub fn set_soft(&mut self, on: bool, num_cores: usize) {
+        self.soft_on = on;
+        self.num_cores = num_cores;
+    }
+
+    /// The guard a stable entry should carry right now.
+    fn entry_guard(e: &DirEntry) -> Option<u64> {
+        e.stable_code().map(|c| dir_guard(c, e.owner, &e.sharers))
+    }
+
+    /// Is this stable entry's guard consistent with its protected words?
+    fn guard_ok(e: &DirEntry) -> bool {
+        match Self::entry_guard(e) {
+            Some(h) => e.guard == h,
+            None => true, // transient entries carry no valid guard
+        }
+    }
+
+    /// Refresh the guard of `line` after an event legitimately mutated
+    /// the entry (no-op for transient states; they reguard on return to
+    /// stability).
+    fn reguard(&mut self, line: LineAddr) {
+        if !self.soft_on {
+            return;
+        }
+        if let Some(e) = self.l3.get_mut(line) {
+            if let Some(h) = Self::entry_guard(e) {
+                e.guard = h;
+            }
+        }
+    }
+
+    /// Guard-decode the pre-flip owner: if hashing the protected words
+    /// with the `Owned` code reproduces the stored guard, the entry was
+    /// Owned before the flip and the (untouched) owner field is the true
+    /// owner. Used to tell a genuine parked owner from a stale
+    /// evict-buffer claim during rebuild.
+    fn decode_owner_hint(e: &DirEntry) -> Option<NodeId> {
+        if e.guard == dir_guard(2, e.owner, &e.sharers) {
+            e.owner
+        } else {
+            None
+        }
+    }
+
+    /// Check the guard of `line` before interpreting its stored state.
+    /// On a mismatch the flip is counted as detected and the entry
+    /// enters `Poisoned`: sharers/owner reset to rebuild accumulators
+    /// and every core is probed. Requests arriving meanwhile queue.
+    fn check_guard(&mut self, now: Cycle, line: LineAddr) {
+        if !self.soft_on {
+            return;
+        }
+        let Some(e) = self.l3.get(line) else { return };
+        if !e.stable() || Self::guard_ok(e) {
+            return;
+        }
+        if let Some(t0) = self.wounds.remove(&line) {
+            self.stats.record("soft_detect_latency", now.saturating_sub(t0));
+        }
+        self.stats.inc("soft_detected");
+        self.stats.inc("dir_poisoned");
+        let cores = self.num_cores as u32;
+        debug_assert!(cores > 0, "set_soft must provide the core count");
+        let e = self.l3.get_mut(line).expect("just checked");
+        let owner_hint = Self::decode_owner_hint(e);
+        e.sharers = SharerSet::EMPTY;
+        e.owner = None;
+        e.state = DirState::Poisoned { pending: cores, parked: SharerSet::EMPTY, owner_hint };
+        for i in 0..self.num_cores {
+            self.send(NodeId(i as u16), ProtoMsg::AuditProbe { line });
+        }
+    }
+
+    /// One [`ProtoMsg::AuditReply`] for a poisoned entry: accumulate the
+    /// core's claim and resolve the entry when the last reply lands.
+    fn on_audit_reply(&mut self, now: Cycle, line: LineAddr, from: NodeId, present: bool, excl: bool) {
+        let Some(e) = self.l3.get_mut(line) else {
+            self.stats.inc("dir_stray_audit_replies");
+            return;
+        };
+        let DirState::Poisoned { pending, parked, .. } = &mut e.state else {
+            self.stats.inc("dir_stray_audit_replies");
+            return;
+        };
+        let mut swmr_violation = false;
+        if present && excl {
+            swmr_violation = e.owner.is_some();
+            e.owner = Some(from);
+        } else if present {
+            e.sharers.insert(from);
+        } else if excl {
+            parked.insert(from);
+        }
+        *pending = pending.saturating_sub(1);
+        let done = *pending == 0;
+        if swmr_violation {
+            self.record_fault(line, "AuditReply", "two resident exclusive holders".to_string());
+        }
+        if done {
+            self.finish_rebuild(now, line);
+        }
+    }
+
+    /// Resolve a fully-rebuilt poisoned entry from the accumulated
+    /// probe replies: a resident exclusive holder wins; otherwise
+    /// resident sharers make the entry Shared; otherwise a parked claim
+    /// matching the guard-decoded owner is the genuine (mid-PutM) owner;
+    /// otherwise the line is Uncached. Queued requests then drain.
+    fn finish_rebuild(&mut self, now: Cycle, line: LineAddr) {
+        let Some(e) = self.l3.get_mut(line) else { return };
+        let DirState::Poisoned { parked, owner_hint, .. } = e.state.clone() else { return };
+        if let Some(owner) = e.owner {
+            if !e.sharers.is_empty() {
+                let detail = format!("owner {owner} with residual sharers {:?}", e.sharers);
+                e.sharers = SharerSet::EMPTY;
+                e.state = DirState::Owned;
+                self.reguard(line);
+                self.record_fault(line, "rebuild", detail);
+            } else {
+                e.state = DirState::Owned;
+                self.reguard(line);
+            }
+        } else if !e.sharers.is_empty() {
+            e.state = DirState::Shared;
+            self.reguard(line);
+        } else if let Some(h) = owner_hint.filter(|h| parked.contains(*h)) {
+            // The pre-flip owner's PutM is still in flight (queued here
+            // or in the mesh); restoring Owned lets it land normally.
+            e.owner = Some(h);
+            e.state = DirState::Owned;
+            self.reguard(line);
+        } else {
+            // No copies anywhere (any parked claims are stale PutAck
+            // races): the LLC data is authoritative.
+            e.owner = None;
+            e.state = DirState::Uncached;
+            self.reguard(line);
+        }
+        self.stats.inc("soft_recovered");
+        self.stats.inc("dir_rebuilds");
+        self.drain_queued(now, line);
+    }
+
+    /// Apply one soft flip of `target` kind to this bank's stored
+    /// directory state. Victims are stable entries with empty queues and
+    /// healthy guards; returns `false` when none qualify.
+    pub fn soft_flip(&mut self, now: Cycle, target: wb_kernel::SoftTarget, rng: &mut wb_kernel::SimRng) -> bool {
+        use wb_kernel::SoftTarget;
+        let want_shared = target == SoftTarget::Sharers;
+        let candidates: Vec<LineAddr> = self
+            .l3
+            .iter()
+            .filter(|(_, e)| {
+                e.stable()
+                    && e.queued.is_empty()
+                    && Self::guard_ok(e)
+                    && (!want_shared || matches!(e.state, DirState::Shared))
+            })
+            .map(|(l, _)| l)
+            .collect();
+        match target {
+            SoftTarget::DirState => {
+                if candidates.is_empty() {
+                    return false;
+                }
+                let line = candidates[rng.below_usize(candidates.len())];
+                let e = self.l3.get_mut(line).expect("candidate resident");
+                let others: Vec<DirState> = [DirState::Uncached, DirState::Shared, DirState::Owned]
+                    .into_iter()
+                    .filter(|s| *s != e.state)
+                    .collect();
+                e.state = others[rng.below_usize(others.len())].clone();
+                self.wounds.insert(line, now);
+                self.stats.inc("soft_injected");
+                true
+            }
+            SoftTarget::Sharers => {
+                if candidates.is_empty() {
+                    return false;
+                }
+                let line = candidates[rng.below_usize(candidates.len())];
+                let victim = NodeId(rng.below(self.num_cores as u64) as u16);
+                let e = self.l3.get_mut(line).expect("candidate resident");
+                e.sharers.toggle(victim);
+                self.wounds.insert(line, now);
+                self.stats.inc("soft_injected");
+                true
+            }
+            // Cache-side targets are routed to private caches.
+            SoftTarget::CacheState | SoftTarget::CacheTag | SoftTarget::Mshr => false,
+        }
+    }
+
+    /// Stable entries whose guard currently mismatches (undetected
+    /// wounds), in deterministic array order — the online auditor's
+    /// scrub worklist.
+    pub fn audit_wounds(&self) -> Vec<LineAddr> {
+        if !self.soft_on {
+            return Vec::new();
+        }
+        self.l3
+            .iter()
+            .filter(|(_, e)| e.stable() && !Self::guard_ok(e))
+            .map(|(l, _)| l)
+            .collect()
+    }
+
+    /// Synchronous repair for the online auditor: the system gathers
+    /// probe answers from every cache directly (same `(present, excl)`
+    /// encoding as [`ProtoMsg::AuditReply`]) and hands them in; the
+    /// entry resolves through the same rebuild path as the async
+    /// message-based recovery. Returns true when a wound was repaired.
+    pub fn audit_repair(
+        &mut self,
+        now: Cycle,
+        line: LineAddr,
+        owner: Option<NodeId>,
+        sharers: SharerSet,
+        parked: SharerSet,
+    ) -> bool {
+        if !self.soft_on {
+            return false;
+        }
+        let Some(e) = self.l3.get(line) else { return false };
+        if !e.stable() || Self::guard_ok(e) {
+            return false;
+        }
+        if let Some(t0) = self.wounds.remove(&line) {
+            self.stats.record("soft_detect_latency", now.saturating_sub(t0));
+        }
+        self.stats.inc("soft_detected");
+        let e = self.l3.get_mut(line).expect("just checked");
+        let owner_hint = Self::decode_owner_hint(e);
+        e.owner = owner;
+        e.sharers = sharers;
+        e.state = DirState::Poisoned { pending: 0, parked, owner_hint };
+        self.finish_rebuild(now, line);
+        true
+    }
+
+    /// Mark every line with in-flight directory-side activity; the
+    /// auditor only checks directory–cache agreement on unmarked lines.
+    pub fn audit_busy_lines(&self, mark: &mut dyn FnMut(LineAddr)) {
+        for (l, e) in self.l3.iter() {
+            if !e.stable() || !e.queued.is_empty() {
+                mark(l);
+            }
+        }
+        for p in &self.evict_buf {
+            mark(p.line);
+        }
+        for (_, msg) in &self.ingress {
+            mark(msg.line());
+        }
+        for (_, ev) in &self.events {
+            match ev {
+                Event::Process(m) => mark(m.line()),
+                Event::MemReady { line } | Event::UncachedMemRead { line, .. } => mark(*line),
+            }
+        }
+        for (_, msg) in &self.outbox {
+            mark(msg.line());
+        }
+        for l in self.stray_unblocks.keys() {
+            mark(*l);
+        }
+        for l in self.wounds.keys() {
+            mark(*l);
+        }
+    }
+
+    /// The auditor's view of every stable entry: `(line, state code,
+    /// owner, sharers)` with code 0 = Uncached, 1 = Shared, 2 = Owned.
+    pub fn audit_entries(&self) -> Vec<(LineAddr, u64, Option<NodeId>, SharerSet)> {
+        self.l3
+            .iter()
+            .filter_map(|(l, e)| e.stable_code().map(|c| (l, c, e.owner, e.sharers)))
+            .collect()
+    }
+
+    /// Eviction-buffer occupancy against its configured capacity, for
+    /// the auditor's leak bound.
+    pub fn evict_buf_usage(&self) -> (usize, usize) {
+        (self.evict_buf.len(), self.evict_cap)
     }
 
     /// Advance one cycle: accept waiting requests through the bank's
@@ -516,7 +854,21 @@ impl Directory {
             None
         };
         let before = traced_line.map(|l| self.state_name(l));
+        let guard_line = match (&ev, self.soft_on) {
+            (Event::Process(msg), true) => Some(msg.line()),
+            (Event::MemReady { line }, true) => Some(*line),
+            _ => None,
+        };
+        if let Some(l) = guard_line {
+            // Scrub before interpreting stored state: a flipped entry
+            // poisons (queueing this event's request if it targets the
+            // line) instead of being acted on.
+            self.check_guard(now, l);
+        }
         self.handle_inner(now, ev);
+        if let Some(l) = guard_line {
+            self.reguard(l);
+        }
         if let (Some(line), Some(before)) = (traced_line, before) {
             let after = self.state_name(line);
             if after != before {
@@ -561,6 +913,9 @@ impl Directory {
             ProtoMsg::InvAck { line, from } => self.on_inv_ack(now, line, from),
             ProtoMsg::DataWb { line, from, data } => self.on_datawb(now, line, from, data),
             ProtoMsg::Unblock { line, from } => self.on_unblock(now, line, from),
+            ProtoMsg::AuditReply { line, from, present, excl } => {
+                self.on_audit_reply(now, line, from, present, excl)
+            }
             other => {
                 let line = other.line();
                 self.record_fault(line, "receive", format!("unexpected message {other:?}"));
@@ -714,7 +1069,10 @@ impl Directory {
                     self.tear_off_reply(line, requester, data);
                 }
             }
-            DirState::BusyRead { .. } | DirState::BusyWrite { .. } | DirState::Fetching => {
+            DirState::BusyRead { .. }
+            | DirState::BusyWrite { .. }
+            | DirState::Fetching
+            | DirState::Poisoned { .. } => {
                 let entry = self.l3.get_mut(line).expect("entry still present");
                 entry.queued.push_back(ProtoMsg::GetS { line, requester, kind });
             }
@@ -830,7 +1188,7 @@ impl Directory {
                 let entry = self.l3.get_mut(line).expect("entry still present");
                 entry.queued.push_back(ProtoMsg::GetX { line, requester });
             }
-            DirState::BusyRead { .. } | DirState::Fetching => {
+            DirState::BusyRead { .. } | DirState::Fetching | DirState::Poisoned { .. } => {
                 let entry = self.l3.get_mut(line).expect("entry still present");
                 entry.queued.push_back(ProtoMsg::GetX { line, requester });
             }
@@ -1246,11 +1604,17 @@ impl Directory {
             owner: None,
             data: LineData::new(),
             queued: VecDeque::new(),
+            guard: 0,
         };
+        let soft_on = self.soft_on;
         let res = self.l3.insert(line, fresh, now, |_, e| {
             // Busy entries are never evictable; Shared/Owned victims need
-            // an eviction-buffer slot for their protocol action.
-            e.stable() && (matches!(e.state, DirState::Uncached) || buffer_free)
+            // an eviction-buffer slot for their protocol action. A wounded
+            // entry (guard mismatch) is pinned until detection repairs it —
+            // evicting it would act on corrupt state.
+            e.stable()
+                && (matches!(e.state, DirState::Uncached) || buffer_free)
+                && (!soft_on || Self::guard_ok(e))
         });
         match res {
             Insert::Done => true,
@@ -1367,6 +1731,7 @@ impl Directory {
         sorted(&self.retry_counts).snap(w);
         sorted(&self.tearoff_counts).snap(w);
         self.hot.snap(w);
+        sorted(&self.wounds).snap(w);
     }
 
     /// Inverse of [`Directory::snap`], in place.
@@ -1386,6 +1751,7 @@ impl Directory {
         self.retry_counts = Vec::<(LineAddr, u64)>::unsnap(r)?.into_iter().collect();
         self.tearoff_counts = Vec::<(LineAddr, u64)>::unsnap(r)?.into_iter().collect();
         self.hot = HeavyHitters::unsnap(r)?;
+        self.wounds = Vec::<(LineAddr, Cycle)>::unsnap(r)?.into_iter().collect();
         Ok(())
     }
 }
@@ -1412,6 +1778,12 @@ impl wb_kernel::Snap for DirState {
                 w.u32(*deferred_redirs);
             }
             DirState::Fetching => w.u8(5),
+            DirState::Poisoned { pending, parked, owner_hint } => {
+                w.u8(6);
+                w.u32(*pending);
+                parked.snap(w);
+                owner_hint.snap(w);
+            }
         }
     }
     fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
@@ -1433,6 +1805,11 @@ impl wb_kernel::Snap for DirState {
                 deferred_redirs: r.u32()?,
             }),
             5 => Ok(DirState::Fetching),
+            6 => Ok(DirState::Poisoned {
+                pending: r.u32()?,
+                parked: SharerSet::unsnap(r)?,
+                owner_hint: Option::unsnap(r)?,
+            }),
             t => Err(wb_kernel::SnapError::new(format!("bad DirState tag {t:#x}"))),
         }
     }
@@ -1445,6 +1822,10 @@ impl wb_kernel::Snap for DirEntry {
         self.owner.snap(w);
         self.data.snap(w);
         self.queued.snap(w);
+        // The guard must round-trip verbatim: a snapshot taken between a
+        // flip and its detection carries the (now-mismatched) guard, and
+        // the restored run must detect it on the same cycle.
+        w.u64(self.guard);
     }
     fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
         Ok(DirEntry {
@@ -1453,6 +1834,7 @@ impl wb_kernel::Snap for DirEntry {
             owner: Option::unsnap(r)?,
             data: LineData::unsnap(r)?,
             queued: VecDeque::unsnap(r)?,
+            guard: r.u64()?,
         })
     }
 }
@@ -1504,5 +1886,65 @@ impl wb_kernel::Snap for Event {
             }),
             t => Err(wb_kernel::SnapError::new(format!("bad dir Event tag {t:#x}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(state: DirState, owner: Option<NodeId>, sharers: SharerSet) -> DirEntry {
+        let mut e = DirEntry {
+            state,
+            sharers,
+            owner,
+            data: LineData::new(),
+            queued: VecDeque::new(),
+            guard: 0,
+        };
+        if let Some(c) = e.stable_code() {
+            e.guard = dir_guard(c, e.owner, &e.sharers);
+        }
+        e
+    }
+
+    #[test]
+    fn guard_detects_every_single_field_flip() {
+        let base = entry(DirState::Shared, None, SharerSet::solo(NodeId(3)));
+        assert!(Directory::guard_ok(&base));
+
+        let mut state_flip = base.clone();
+        state_flip.state = DirState::Owned;
+        assert!(!Directory::guard_ok(&state_flip));
+
+        let mut sharer_flip = base.clone();
+        sharer_flip.sharers.toggle(NodeId(100));
+        assert!(!Directory::guard_ok(&sharer_flip));
+
+        let mut drop_flip = base.clone();
+        drop_flip.sharers.toggle(NodeId(3));
+        assert!(!Directory::guard_ok(&drop_flip));
+    }
+
+    #[test]
+    fn owner_hint_decodes_only_true_owned() {
+        // Owned entry whose state word was scrambled to Shared: the
+        // guard still hashes as Owned over the untouched owner field.
+        let mut e = entry(DirState::Owned, Some(NodeId(7)), SharerSet::EMPTY);
+        e.state = DirState::Shared;
+        assert_eq!(Directory::decode_owner_hint(&e), Some(NodeId(7)));
+
+        // Uncached entry scrambled to Owned: the hint must NOT claim an
+        // owner that never existed.
+        let mut u = entry(DirState::Uncached, None, SharerSet::EMPTY);
+        u.state = DirState::Owned;
+        assert_eq!(Directory::decode_owner_hint(&u), None);
+    }
+
+    #[test]
+    fn transient_entries_skip_guard_checks() {
+        let e = entry(DirState::Fetching, None, SharerSet::EMPTY);
+        assert!(Directory::guard_ok(&e));
+        assert_eq!(Directory::entry_guard(&e), None);
     }
 }

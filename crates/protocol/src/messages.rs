@@ -5,8 +5,8 @@
 //! | vnet      | messages |
 //! |-----------|----------|
 //! | Request   | `GetS`, `GetX`, `PutM` |
-//! | Forward   | `Inv`, `FwdGetS`, `FwdGetX`, `Recall` |
-//! | Response  | `Data`, `InvAck`, `Nack`, `LockdownAck`, `RedirAck`, `Unblock`, `PutAck`, `WbHint`, `DataWb` |
+//! | Forward   | `Inv`, `FwdGetS`, `FwdGetX`, `Recall`, `AuditProbe` |
+//! | Response  | `Data`, `InvAck`, `Nack`, `LockdownAck`, `RedirAck`, `Unblock`, `PutAck`, `WbHint`, `DataWb`, `AuditReply` |
 //!
 //! Compared to a textbook MESI directory protocol, the WritersBlock
 //! extension adds exactly the red arrows of Figure 3/4 of the paper:
@@ -86,6 +86,11 @@ pub enum ProtoMsg {
     /// Directory-eviction recall of the exclusive copy: send data to the
     /// directory and invalidate (or Nack under a lockdown).
     Recall { line: LineAddr },
+    /// Soft-error recovery: a directory bank that detected corruption in
+    /// one of its entries asks a cache what it actually holds for `line`.
+    /// Forward vnet like the other home-to-cache messages; answered
+    /// immediately (no cache state changes), so it cannot deadlock.
+    AuditProbe { line: LineAddr },
 
     // ----------------------------------------------------- responses (vnet2)
     /// Line data. `acks_expected` tells a writer how many invalidation
@@ -127,6 +132,11 @@ pub enum ProtoMsg {
     /// Owner's copy of the data sent back to the directory on a FwdGetS
     /// downgrade (keeps the LLC up to date).
     DataWb { line: LineAddr, from: NodeId, data: LineData },
+    /// Answer to an [`ProtoMsg::AuditProbe`]: whether the cache holds a
+    /// copy of the line (`present`) and whether that copy is writable or
+    /// an in-flight writeback it still owns (`excl`). The poisoned
+    /// directory entry rebuilds its sharer set / owner from these.
+    AuditReply { line: LineAddr, from: NodeId, present: bool, excl: bool },
 }
 
 impl ProtoMsg {
@@ -149,7 +159,9 @@ impl ProtoMsg {
             | ProtoMsg::Unblock { line, .. }
             | ProtoMsg::PutAck { line }
             | ProtoMsg::WbHint { line }
-            | ProtoMsg::DataWb { line, .. } => line,
+            | ProtoMsg::DataWb { line, .. }
+            | ProtoMsg::AuditProbe { line }
+            | ProtoMsg::AuditReply { line, .. } => line,
         }
     }
 
@@ -163,7 +175,8 @@ impl ProtoMsg {
             ProtoMsg::Inv { .. }
             | ProtoMsg::FwdGetS { .. }
             | ProtoMsg::FwdGetX { .. }
-            | ProtoMsg::Recall { .. } => VNet::Forward,
+            | ProtoMsg::Recall { .. }
+            | ProtoMsg::AuditProbe { .. } => VNet::Forward,
             _ => VNet::Response,
         }
     }
@@ -225,6 +238,8 @@ impl ProtoMsg {
             ProtoMsg::PutAck { .. } => "PutAck",
             ProtoMsg::WbHint { .. } => "WbHint",
             ProtoMsg::DataWb { .. } => "DataWb",
+            ProtoMsg::AuditProbe { .. } => "AuditProbe",
+            ProtoMsg::AuditReply { .. } => "AuditReply",
         }
     }
 }
@@ -364,6 +379,17 @@ impl wb_kernel::Snap for ProtoMsg {
                 from.snap(w);
                 data.snap(w);
             }
+            ProtoMsg::AuditProbe { line } => {
+                w.u8(17);
+                line.snap(w);
+            }
+            ProtoMsg::AuditReply { line, from, present, excl } => {
+                w.u8(18);
+                line.snap(w);
+                from.snap(w);
+                w.bool(*present);
+                w.bool(*excl);
+            }
         }
     }
 
@@ -407,6 +433,13 @@ impl wb_kernel::Snap for ProtoMsg {
             14 => ProtoMsg::PutAck { line },
             15 => ProtoMsg::WbHint { line },
             16 => ProtoMsg::DataWb { line, from: NodeId::unsnap(r)?, data: LineData::unsnap(r)? },
+            17 => ProtoMsg::AuditProbe { line },
+            18 => ProtoMsg::AuditReply {
+                line,
+                from: NodeId::unsnap(r)?,
+                present: r.bool()?,
+                excl: r.bool()?,
+            },
             t => return Err(wb_kernel::SnapError::new(format!("bad ProtoMsg tag {t:#x}"))),
         })
     }
@@ -427,6 +460,13 @@ mod tests {
         assert_eq!(ProtoMsg::InvAck { line: line(), from: NodeId(1) }.vnet(), VNet::Response);
         assert_eq!(ProtoMsg::Recall { line: line() }.vnet(), VNet::Forward);
         assert_eq!(ProtoMsg::Unblock { line: line(), from: NodeId(0) }.vnet(), VNet::Response);
+        assert_eq!(ProtoMsg::AuditProbe { line: line() }.vnet(), VNet::Forward);
+        let reply = ProtoMsg::AuditReply { line: line(), from: NodeId(3), present: true, excl: false };
+        assert_eq!(reply.vnet(), VNet::Response);
+        assert!(!reply.carries_data(), "probe replies are control-sized");
+        assert_eq!(reply.requester(), None);
+        assert_eq!(reply.mnemonic(), "AuditReply");
+        assert_eq!(ProtoMsg::AuditProbe { line: line() }.mnemonic(), "AuditProbe");
     }
 
     #[test]

@@ -56,13 +56,46 @@ pub struct Mshr {
     /// Cycle at which the first WritersBlock hint arrived, if any
     /// (for the blocked-write stall-duration histogram).
     pub blocked_at: Option<u64>,
+    /// ECC shadow: a packed copy ([`Mshr::pack`]) of the ack/flag
+    /// bookkeeping, refreshed after every legitimate mutation. A
+    /// soft-error flip leaves the live fields and the shadow
+    /// disagreeing; the scrub restores the fields from the shadow.
+    pub shadow: u64,
 }
+
+/// Bits in the packed ack/flag image ([`Mshr::pack`]).
+pub const MSHR_PACK_BITS: u32 = 35;
 
 impl Mshr {
     /// A write transaction is complete when its data arrived and every
     /// expected invalidation acknowledgement has been counted.
     pub fn write_complete(&self) -> bool {
         self.data_received && self.acks_expected.is_some_and(|n| self.acks_received >= n)
+    }
+
+    /// Pack the soft-error-protected fields — the ack counters and
+    /// flags that decide [`Mshr::write_complete`] — into one word.
+    pub fn pack(&self) -> u64 {
+        (self.acks_expected.unwrap_or(0) as u64 & 0xffff)
+            | (self.acks_expected.is_some() as u64) << 16
+            | (self.acks_received as u64 & 0xffff) << 17
+            | (self.data_received as u64) << 33
+            | (self.blocked_hint as u64) << 34
+    }
+
+    /// Overwrite the protected fields from a packed image — used both
+    /// by the injector (apply a flipped image) and by the scrub
+    /// (restore the shadow).
+    pub fn unpack_into(&mut self, p: u64) {
+        self.acks_expected = if p >> 16 & 1 != 0 { Some((p & 0xffff) as u32) } else { None };
+        self.acks_received = (p >> 17 & 0xffff) as u32;
+        self.data_received = p >> 33 & 1 != 0;
+        self.blocked_hint = p >> 34 & 1 != 0;
+    }
+
+    /// Refresh the ECC shadow after a legitimate mutation.
+    pub fn reshadow(&mut self) {
+        self.shadow = self.pack();
     }
 }
 
@@ -130,8 +163,11 @@ impl MshrFile {
             pending_data: None,
             issued_at: now,
             blocked_at: None,
+            shadow: 0,
         });
-        self.entries.last_mut()
+        let m = self.entries.last_mut().expect("just pushed");
+        m.reshadow();
+        Some(m)
     }
 
     /// Free the register for `(line, kind)`, returning it (with its
@@ -154,6 +190,47 @@ impl MshrFile {
     /// Iterate over occupied registers.
     pub fn iter(&self) -> impl Iterator<Item = &Mshr> {
         self.entries.iter()
+    }
+
+    /// Registers the file may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// ECC scrub: restore any register whose live fields disagree with
+    /// its shadow, returning the lines corrected (normally empty). Runs
+    /// at message/tick entry so a flip never reaches a protocol
+    /// decision.
+    pub fn scrub(&mut self) -> Vec<LineAddr> {
+        let mut corrected = Vec::new();
+        for m in &mut self.entries {
+            if m.pack() != m.shadow {
+                let shadow = m.shadow;
+                m.unpack_into(shadow);
+                corrected.push(m.line);
+            }
+        }
+        corrected
+    }
+
+    /// Refresh every shadow after a batch of legitimate mutations.
+    pub fn reshadow_all(&mut self) {
+        for m in &mut self.entries {
+            m.reshadow();
+        }
+    }
+
+    /// Soft-error injection: flip one random bit of the `idx`-th
+    /// register's packed ack/flag image, leaving the shadow stale so the
+    /// scrub can detect (and correct) it. Returns the victim line, or
+    /// `None` when the flip landed in don't-care storage (e.g. the
+    /// `acks_expected` value bits while the field is `None`): such a
+    /// strike is physically absorbed and counts as a miss.
+    pub fn soft_flip_nth(&mut self, idx: usize, rng: &mut wb_kernel::SimRng) -> Option<LineAddr> {
+        let m = self.entries.get_mut(idx)?;
+        let before = m.pack();
+        m.unpack_into(before ^ 1u64 << rng.below(MSHR_PACK_BITS as u64));
+        (m.pack() != before).then_some(m.line)
     }
 }
 
@@ -188,6 +265,7 @@ impl wb_kernel::Snap for Mshr {
         self.pending_data.snap(w);
         w.u64(self.issued_at);
         self.blocked_at.snap(w);
+        w.u64(self.shadow);
     }
 
     fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
@@ -202,6 +280,7 @@ impl wb_kernel::Snap for Mshr {
             pending_data: Option::unsnap(r)?,
             issued_at: r.u64()?,
             blocked_at: Option::unsnap(r)?,
+            shadow: r.u64()?,
         })
     }
 }
@@ -275,5 +354,59 @@ mod tests {
     #[should_panic(expected = ">= 2 MSHRs")]
     fn tiny_file_rejected() {
         let _ = MshrFile::new(1);
+    }
+
+    #[test]
+    fn pack_round_trips_protected_fields() {
+        let mut f = MshrFile::new(2);
+        let m = f.alloc(LineAddr(1), MshrKind::Write, false, 0).unwrap();
+        m.acks_expected = Some(3);
+        m.acks_received = 2;
+        m.data_received = true;
+        m.blocked_hint = true;
+        let p = m.pack();
+        let mut clean = f.free(LineAddr(1), MshrKind::Write).unwrap();
+        clean.unpack_into(0);
+        assert_eq!((clean.acks_expected, clean.acks_received), (None, 0));
+        clean.unpack_into(p);
+        assert_eq!(clean.acks_expected, Some(3));
+        assert_eq!(clean.acks_received, 2);
+        assert!(clean.data_received && clean.blocked_hint);
+    }
+
+    #[test]
+    fn every_flipped_bit_is_scrubbed() {
+        for bit in 0..MSHR_PACK_BITS {
+            let mut f = MshrFile::new(4);
+            let m = f.alloc(LineAddr(9), MshrKind::Write, false, 0).unwrap();
+            m.acks_expected = Some(2);
+            m.acks_received = 1;
+            m.data_received = true;
+            m.reshadow();
+            let want = m.pack();
+            let corrupt = want ^ 1u64 << bit;
+            m.unpack_into(corrupt);
+            let corrected = f.scrub();
+            assert_eq!(corrected, vec![LineAddr(9)], "bit {bit} undetected");
+            assert_eq!(f.find(LineAddr(9), MshrKind::Write).unwrap().pack(), want);
+            assert!(f.scrub().is_empty(), "scrub must converge");
+        }
+    }
+
+    #[test]
+    fn soft_flip_is_detectable() {
+        let mut rng = wb_kernel::SimRng::new(11);
+        let mut f = MshrFile::new(4);
+        // Populate every protected field so no strike lands in
+        // don't-care storage (a None acks_expected absorbs value bits).
+        let m = f.alloc(LineAddr(5), MshrKind::Write, false, 0).unwrap();
+        m.acks_expected = Some(3);
+        m.acks_received = 1;
+        m.reshadow();
+        assert!(f.scrub().is_empty(), "fresh register is clean");
+        let victim = f.soft_flip_nth(0, &mut rng).unwrap();
+        assert_eq!(victim, LineAddr(5));
+        assert_eq!(f.scrub(), vec![LineAddr(5)]);
+        assert!(f.soft_flip_nth(7, &mut rng).is_none(), "bad index is a miss");
     }
 }

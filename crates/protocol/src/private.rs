@@ -89,12 +89,39 @@ impl PState {
     fn exclusive(self) -> bool {
         matches!(self, PState::E | PState::M)
     }
+
+    /// Code word fed to the guard hash (distinct per state).
+    fn code(self) -> u64 {
+        match self {
+            PState::S => 0,
+            PState::E => 1,
+            PState::M => 2,
+            PState::SmAd => 3,
+        }
+    }
+}
+
+/// Guard hash protecting a line's stored tag and coherence state — the
+/// per-line parity/ECC word of the soft-error model. 64 bits also let
+/// detection *decode* the true pre-flip state: the array key is the
+/// true tag, so re-hashing the key against each candidate state finds
+/// the unique one the guard was computed over.
+fn line_guard(tag: u64, state: PState) -> u64 {
+    wb_kernel::soft::guard_hash(&[tag, state.code()])
 }
 
 #[derive(Debug, Clone, Copy)]
 struct L2Line {
     state: PState,
     data: LineData,
+    /// Redundant stored tag (the line address), the soft-error target of
+    /// [`wb_kernel::SoftTarget::CacheTag`]. The array's lookup key plane
+    /// is never flipped, so a corrupted stored tag is detectable against
+    /// it via the guard.
+    tag: u64,
+    /// Guard hash over (tag, state); refreshed on every legitimate
+    /// write, checked before every use while soft errors are enabled.
+    guard: u64,
 }
 
 /// A line parked after eviction, awaiting PutAck (MI_A) or already
@@ -146,6 +173,16 @@ pub struct PrivateCache {
     /// First "impossible state" seen by this cache; the offending
     /// message is dropped and the system surfaces `RunOutcome::Fault`.
     fault: Option<ProtocolError>,
+    /// True when a non-empty soft-error plan is active: guards are
+    /// computed, checked, and repaired. False keeps every guard word 0
+    /// so `SoftPlan::none()` runs are byte-identical to `soft: None`.
+    soft_on: bool,
+    /// Cycle each still-undetected soft flip landed, keyed by line —
+    /// feeds the `soft_detect_latency` histogram at detection time.
+    wounds: HashMap<LineAddr, Cycle>,
+    /// Lines whose guard mismatch has been detected (and counted) but
+    /// not yet repaired; accesses NACK until the next repair pass.
+    poisoned: Vec<LineAddr>,
     /// Pre-resolved handles for the per-access hot-path counters
     /// (PR 5's `CounterHandle` pattern: no BTreeMap lookup per bump).
     h_load_accesses: CounterHandle,
@@ -197,6 +234,9 @@ impl PrivateCache {
             lockdown_since: HashMap::new(),
             hot: HeavyHitters::new(HOT_LINES_TRACKED),
             fault: None,
+            soft_on: false,
+            wounds: HashMap::new(),
+            poisoned: Vec::new(),
             h_load_accesses,
             h_l1_hits,
             h_l2_hits,
@@ -355,7 +395,10 @@ impl PrivateCache {
     /// advance on incoming messages, which the mesh's own `next_event`
     /// tracks.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        if !self.outbox.is_empty() || !self.completions.is_empty() || !self.pending_fills.is_empty()
+        if !self.outbox.is_empty()
+            || !self.completions.is_empty()
+            || !self.pending_fills.is_empty()
+            || !self.poisoned.is_empty()
         {
             Some(now)
         } else {
@@ -395,7 +438,311 @@ impl PrivateCache {
     /// True when no transaction, parked eviction or deferred fill is
     /// outstanding.
     pub fn is_idle(&self) -> bool {
-        self.mshrs.is_empty() && self.evict_buf.is_empty() && self.pending_fills.is_empty()
+        self.mshrs.is_empty()
+            && self.evict_buf.is_empty()
+            && self.pending_fills.is_empty()
+            && self.poisoned.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Soft errors: guards, poison, repair
+    // ------------------------------------------------------------------
+
+    /// Enable or disable the soft-error guard machinery. Called by the
+    /// system when a non-empty [`wb_kernel::SoftPlan`] is configured;
+    /// disabled caches keep every guard word at 0 so `SoftPlan::none()`
+    /// snapshots are byte-identical to `soft: None`.
+    pub fn set_soft(&mut self, on: bool) {
+        self.soft_on = on;
+    }
+
+    /// Is the stored (tag, state, guard) triple of a resident line
+    /// self-consistent? The array key `l` is the true tag.
+    fn guard_ok(l: LineAddr, pl: &L2Line) -> bool {
+        pl.tag == l.0 && pl.guard == line_guard(pl.tag, pl.state)
+    }
+
+    /// Build a fresh line with its guard (0 while soft errors are off).
+    fn mk_line(&self, line: LineAddr, state: PState, data: LineData) -> L2Line {
+        let guard = if self.soft_on { line_guard(line.0, state) } else { 0 };
+        L2Line { state, data, tag: line.0, guard }
+    }
+
+    /// Refresh the guard of `line` after a legitimate state write.
+    fn reguard(&mut self, line: LineAddr) {
+        if !self.soft_on {
+            return;
+        }
+        if let Some(l2) = self.l2.get_mut(line) {
+            l2.tag = line.0;
+            l2.guard = line_guard(line.0, l2.state);
+        }
+    }
+
+    /// Check the guard of `line` before acting on its stored state.
+    /// Returns `true` when healthy (or soft errors are off / the line is
+    /// not resident). On a mismatch the flip is counted as detected, the
+    /// line enters the poison list, and the access must NACK (`false`).
+    fn check_guard(&mut self, now: Cycle, line: LineAddr) -> bool {
+        if !self.soft_on {
+            return true;
+        }
+        let Some(pl) = self.l2.get(line) else { return true };
+        if Self::guard_ok(line, pl) {
+            return true;
+        }
+        if !self.poisoned.contains(&line) {
+            if let Some(t0) = self.wounds.remove(&line) {
+                self.stats.record("soft_detect_latency", now.saturating_sub(t0));
+            }
+            self.stats.inc("soft_detected");
+            self.poisoned.push(line);
+        }
+        self.stats.inc("soft_poison_nacks");
+        false
+    }
+
+    /// Scrub the MSHR file against its ECC shadows; every corrected
+    /// entry counts as detected + recovered in one step.
+    fn scrub_mshrs(&mut self, now: Cycle) -> u64 {
+        let fixed = self.mshrs.scrub();
+        let n = fixed.len() as u64;
+        for line in fixed {
+            if let Some(t0) = self.wounds.remove(&line) {
+                self.stats.record("soft_detect_latency", now.saturating_sub(t0));
+            }
+            self.stats.inc("soft_detected");
+            self.stats.inc("soft_recovered");
+        }
+        n
+    }
+
+    /// Repair every poisoned line; returns how many were repaired.
+    fn repair_poisoned(&mut self, now: Cycle, core: &mut dyn CoreSide) -> u64 {
+        if self.poisoned.is_empty() {
+            return 0;
+        }
+        let lines = std::mem::take(&mut self.poisoned);
+        let n = lines.len() as u64;
+        for line in lines {
+            self.repair_line(now, line, core);
+        }
+        n
+    }
+
+    /// Repair one poisoned line by guard decoding: the array key is the
+    /// true tag, so re-hashing it against each candidate state finds the
+    /// pre-flip state. Tag-only flips are fixed in place; a true-S line
+    /// is silently dropped (re-fetched from the home on demand); a true
+    /// E/M line is written back through the normal PutM eviction path so
+    /// no dirty data is lost.
+    fn repair_line(&mut self, now: Cycle, line: LineAddr, core: &mut dyn CoreSide) {
+        self.stats.inc("soft_recovered");
+        let Some((stored, guard)) = self.l2.get(line).map(|l| (l.state, l.guard)) else {
+            // Dropped by an invalidation between detect and repair: the
+            // corrupted copy is already gone.
+            return;
+        };
+        let decoded = [PState::S, PState::E, PState::M, PState::SmAd]
+            .into_iter()
+            .find(|s| guard == line_guard(line.0, *s));
+        match decoded {
+            Some(s) if s == stored => {
+                // Tag-only flip: the state is intact; restore the tag.
+                if let Some(l2) = self.l2.get_mut(line) {
+                    l2.tag = line.0;
+                }
+            }
+            Some(PState::S) => {
+                // True state S: silent drop; we stay in the directory's
+                // sharer list, the next access re-fetches from the home.
+                self.drop_line(line);
+            }
+            Some(s @ (PState::E | PState::M)) => {
+                // True state E/M: the data words were never flipped, so
+                // write the line back through the ordinary eviction path
+                // (evict buffer + PutM) to resynchronise with the home.
+                let v = {
+                    let l2 = self.l2.get_mut(line).expect("resident");
+                    l2.state = s;
+                    l2.tag = line.0;
+                    l2.guard = line_guard(line.0, s);
+                    *l2
+                };
+                self.drop_line(line);
+                self.handle_victim(now, line, v, core);
+            }
+            Some(PState::SmAd) => {
+                // Transient upgrade in flight: repair in place.
+                if let Some(l2) = self.l2.get_mut(line) {
+                    l2.state = PState::SmAd;
+                    l2.tag = line.0;
+                    l2.guard = line_guard(line.0, PState::SmAd);
+                }
+            }
+            None => {
+                // Undecodable (outside the single-flip model): drop the
+                // line defensively and count it.
+                self.stats.inc("soft_undecodable");
+                self.drop_line(line);
+            }
+        }
+    }
+
+    /// Apply one soft flip of `target` kind to this cache's stored
+    /// state, drawing victims from `rng`. Returns `false` when no
+    /// eligible victim exists (the engine counts it as missed).
+    ///
+    /// Eligibility keeps the model honest without double-wounding:
+    /// stable resident lines only (no transients), healthy guard, no
+    /// outstanding MSHR on the line, no lockdown, not parked in the
+    /// evict buffer.
+    pub fn soft_flip(&mut self, now: Cycle, target: wb_kernel::SoftTarget, rng: &mut wb_kernel::SimRng) -> bool {
+        use wb_kernel::SoftTarget;
+        match target {
+            SoftTarget::CacheState | SoftTarget::CacheTag => {
+                let candidates: Vec<LineAddr> = self
+                    .l2
+                    .iter()
+                    .filter(|(l, pl)| {
+                        matches!(pl.state, PState::S | PState::E | PState::M)
+                            && Self::guard_ok(*l, pl)
+                            && !self.mshrs.iter().any(|m| m.line == *l)
+                            && !self.lockdown_since.contains_key(l)
+                            && !self.evict_buf.iter().any(|e| e.line == *l)
+                    })
+                    .map(|(l, _)| l)
+                    .collect();
+                if candidates.is_empty() {
+                    return false;
+                }
+                let line = candidates[rng.below_usize(candidates.len())];
+                let l2 = self.l2.get_mut(line).expect("candidate resident");
+                if target == SoftTarget::CacheState {
+                    let others: Vec<PState> = [PState::S, PState::E, PState::M]
+                        .into_iter()
+                        .filter(|s| *s != l2.state)
+                        .collect();
+                    l2.state = others[rng.below_usize(others.len())];
+                } else {
+                    l2.tag ^= 1u64 << rng.below(64);
+                }
+                self.wounds.insert(line, now);
+                self.stats.inc("soft_injected");
+                true
+            }
+            SoftTarget::Mshr => {
+                let n = self.mshrs.in_use();
+                if n == 0 {
+                    return false;
+                }
+                let idx = rng.below_usize(n);
+                match self.mshrs.soft_flip_nth(idx, rng) {
+                    Some(line) => {
+                        self.wounds.insert(line, now);
+                        self.stats.inc("soft_injected");
+                        true
+                    }
+                    None => false,
+                }
+            }
+            // Directory targets are routed to directory banks.
+            SoftTarget::DirState | SoftTarget::Sharers => false,
+        }
+    }
+
+    /// Answer an [`ProtoMsg::AuditProbe`]: does this cache hold `line`,
+    /// and exclusively? The `(present, excl)` pair encodes three cases:
+    /// `(true, excl)` for a resident copy, `(false, true)` for a
+    /// *parked* ownership claim (a non-superseded evict-buffer entry
+    /// whose PutM/PutAck handshake is still in flight — possibly already
+    /// stale at the directory), `(false, false)` for no copy.
+    pub fn probe_line(&self, line: LineAddr) -> (bool, bool) {
+        if let Some(l2) = self.l2.get(line) {
+            return (true, l2.state.exclusive());
+        }
+        if self.evict_buf.iter().any(|e| e.line == line && !e.superseded) {
+            return (false, true);
+        }
+        (false, false)
+    }
+
+    /// Residency of `line` for the auditor: `Some(exclusive)` when
+    /// resident, `None` otherwise.
+    pub fn resident_excl(&self, line: LineAddr) -> Option<bool> {
+        self.l2.get(line).map(|l| l.state.exclusive())
+    }
+
+    /// Every resident line with its exclusivity, in deterministic array
+    /// order — the auditor's view for SWMR and agreement checks.
+    pub fn resident_lines(&self) -> Vec<(LineAddr, bool)> {
+        self.l2.iter().map(|(l, pl)| (l, pl.state.exclusive())).collect()
+    }
+
+    /// Mark every line with in-flight cache-side activity; the auditor
+    /// only checks directory–cache agreement on lines no one marks.
+    pub fn audit_busy_lines(&self, mark: &mut dyn FnMut(LineAddr)) {
+        for m in self.mshrs.iter() {
+            mark(m.line);
+        }
+        for e in &self.evict_buf {
+            mark(e.line);
+        }
+        for f in &self.pending_fills {
+            mark(f.line);
+        }
+        for (_, m) in &self.outbox {
+            mark(m.line());
+        }
+        for c in &self.completions {
+            match c {
+                Completion::LoadData { line, .. }
+                | Completion::WriteReady { line }
+                | Completion::WriteBlocked { line } => mark(*line),
+            }
+        }
+        for l in self.lockdown_since.keys() {
+            mark(*l);
+        }
+        for l in &self.poisoned {
+            mark(*l);
+        }
+        for l in self.wounds.keys() {
+            mark(*l);
+        }
+    }
+
+    /// MSHR occupancy against the file's capacity, for the auditor's
+    /// leak bound.
+    pub fn mshr_usage(&self) -> (usize, usize) {
+        (self.mshrs.in_use(), self.mshrs.capacity())
+    }
+
+    /// Entries parked in the eviction buffer (superseded ones included),
+    /// for the auditor's end-of-run drain check.
+    pub fn evict_buf_len(&self) -> usize {
+        self.evict_buf.len()
+    }
+
+    /// Synchronous scrub for the online auditor: detect and repair every
+    /// outstanding wound (guard scan + MSHR ECC scrub + poison repair).
+    /// Returns the number of repairs performed.
+    pub fn audit_scrub(&mut self, now: Cycle, core: &mut dyn CoreSide) -> u64 {
+        if !self.soft_on {
+            return 0;
+        }
+        let mut n = self.scrub_mshrs(now);
+        let wounded: Vec<LineAddr> = self
+            .l2
+            .iter()
+            .filter(|(l, pl)| !Self::guard_ok(*l, pl))
+            .map(|(l, _)| l)
+            .collect();
+        for line in wounded {
+            let _ = self.check_guard(now, line);
+        }
+        n += self.repair_poisoned(now, core);
+        n
     }
 
     // ------------------------------------------------------------------
@@ -408,6 +755,10 @@ impl PrivateCache {
     pub fn load_access(&mut self, now: Cycle, tag: ReadTag, addr: Addr, sos: bool) -> LoadAccess {
         let line = addr.line();
         self.stats.inc_h(self.h_load_accesses);
+        if !self.check_guard(now, line) {
+            // Poisoned: NACK the access until the next repair pass.
+            return LoadAccess::Blocked;
+        }
         if let Some(l2) = self.l2.get(line) {
             if l2.state.readable() {
                 let value = l2.data.word(addr.word_index());
@@ -484,6 +835,9 @@ impl PrivateCache {
     /// it already is; otherwise issues a GetX (write-permission prefetch)
     /// if none is outstanding and returns `false`.
     pub fn ensure_writable(&mut self, now: Cycle, line: LineAddr) -> bool {
+        if !self.check_guard(now, line) {
+            return false;
+        }
         if self.is_writable(line) {
             return true;
         }
@@ -499,6 +853,7 @@ impl PrivateCache {
         if let Some(l2) = self.l2.get_mut(line) {
             debug_assert_eq!(l2.state, PState::S);
             l2.state = PState::SmAd;
+            self.reguard(line);
         }
         let home = self.home(line);
         self.send_dir(home, ProtoMsg::GetX { line, requester: self.node });
@@ -510,12 +865,16 @@ impl PrivateCache {
     /// On success the line is M and the store is globally visible.
     pub fn store_perform(&mut self, now: Cycle, addr: Addr, value: u64) -> bool {
         let line = addr.line();
+        if !self.check_guard(now, line) {
+            return false;
+        }
         let Some(l2) = self.l2.get_mut(line) else { return false };
         if !l2.state.exclusive() {
             return false;
         }
         l2.state = PState::M;
         l2.data.set_word(addr.word_index(), value);
+        self.reguard(line);
         self.l2.touch(line, now);
         self.stats.inc_h(self.h_stores_performed);
         true
@@ -525,6 +884,9 @@ impl PrivateCache {
     /// value if write permission is held, applying `new` as replacement.
     pub fn rmw_perform(&mut self, now: Cycle, addr: Addr, new: impl FnOnce(u64) -> u64) -> Option<u64> {
         let line = addr.line();
+        if !self.check_guard(now, line) {
+            return None;
+        }
         let l2 = self.l2.get_mut(line)?;
         if !l2.state.exclusive() {
             return None;
@@ -532,6 +894,7 @@ impl PrivateCache {
         let old = l2.data.word(addr.word_index());
         l2.state = PState::M;
         l2.data.set_word(addr.word_index(), new(old));
+        self.reguard(line);
         self.l2.touch(line, now);
         self.stats.inc("cache_rmws_performed");
         Some(old)
@@ -596,14 +959,24 @@ impl PrivateCache {
         if let Some(l2) = self.l2.get_mut(line) {
             l2.data = data;
             l2.state = state;
+            self.reguard(line);
+            if self.soft_on && self.wounds.remove(&line).is_some() {
+                // A legitimate overwrite destroyed the flipped bits
+                // before detection: count the wound as masked, not
+                // silent (it can no longer corrupt anything).
+                self.stats.inc("soft_masked");
+                self.poisoned.retain(|l| *l != line);
+            }
             self.l2.touch(line, now);
             self.fill_l1(line, now);
             return true;
         }
         // Choose a victim: stable lines only; under WritersBlock, lines
         // protecting a lockdown are pinned (Section 3.8 — no squash, and a
-        // dirty line cannot leave silently).
+        // dirty line cannot leave silently); wounded lines are pinned
+        // until repaired (evicting on flipped state could lose data).
         let protocol = self.protocol;
+        let soft_on = self.soft_on;
         let pinned: Vec<LineAddr> = self
             .l2
             .iter()
@@ -612,10 +985,12 @@ impl PrivateCache {
                     || (protocol == ProtocolKind::WritersBlock
                         && pl.state.exclusive()
                         && core.has_mspec(*l))
+                    || (soft_on && !Self::guard_ok(*l, pl))
             })
             .map(|(l, _)| l)
             .collect();
-        match self.l2.insert(line, L2Line { state, data }, now, |l, _| !pinned.contains(&l)) {
+        let fresh = self.mk_line(line, state, data);
+        match self.l2.insert(line, fresh, now, |l, _| !pinned.contains(&l)) {
             Insert::Done => {
                 self.fill_l1(line, now);
                 true
@@ -711,8 +1086,13 @@ impl PrivateCache {
         self.stats.inc("cache_writes_completed");
     }
 
-    /// Retry deferred fills; call once per cycle.
+    /// Retry deferred fills (and, under soft errors, scrub the MSHR
+    /// shadows and repair poisoned lines); call once per cycle.
     pub fn tick(&mut self, now: Cycle, core: &mut dyn CoreSide) {
+        if self.soft_on {
+            self.scrub_mshrs(now);
+            self.repair_poisoned(now, core);
+        }
         if self.pending_fills.is_empty() {
             return;
         }
@@ -736,6 +1116,14 @@ impl PrivateCache {
     /// provably cannot own) — these indicate simulator bugs, not workload
     /// behaviour.
     pub fn handle_msg(&mut self, now: Cycle, msg: ProtoMsg, core: &mut dyn CoreSide) {
+        if self.soft_on {
+            // Scrub the MSHR shadows and repair any wound on the line
+            // this message touches before interpreting stored state.
+            self.scrub_mshrs(now);
+            if !self.check_guard(now, msg.line()) {
+                self.repair_poisoned(now, core);
+            }
+        }
         match msg {
             ProtoMsg::Data { line, data, acks_expected, exclusive, cacheable, for_write } => {
                 self.on_data(now, line, data, acks_expected, exclusive, cacheable, for_write, core);
@@ -769,10 +1157,20 @@ impl PrivateCache {
                     self.evict_buf.swap_remove(i);
                 }
             }
+            ProtoMsg::AuditProbe { line } => {
+                let (present, excl) = self.probe_line(line);
+                let home = self.home(line);
+                self.send_dir(home, ProtoMsg::AuditReply { line, from: self.node, present, excl });
+            }
             other => {
                 let line = other.line();
                 self.record_fault(line, "receive", format!("unexpected message {other:?}"));
             }
+        }
+        if self.soft_on {
+            // Message handling may have mutated MSHR protected fields
+            // (acks, data, hints): refresh every ECC shadow.
+            self.mshrs.reshadow_all();
         }
     }
 
@@ -914,6 +1312,7 @@ impl PrivateCache {
                 if !from_buf {
                     if let Some(l2) = self.l2.get_mut(line) {
                         l2.state = PState::S;
+                        self.reguard(line);
                         self.l2.touch(line, now);
                     }
                 }
@@ -993,6 +1392,13 @@ impl PrivateCache {
         locks.snap(w);
         self.hot.snap(w);
         self.fault.snap(w);
+        // Soft-error layer (v2): undetected wounds (sorted) and the
+        // poison list. Corrupted guards live inside the L2 lines above.
+        let mut wounds: Vec<(LineAddr, Cycle)> =
+            self.wounds.iter().map(|(&l, &c)| (l, c)).collect();
+        wounds.sort_unstable_by_key(|(l, _)| l.0);
+        wounds.snap(w);
+        self.poisoned.snap(w);
     }
 
     /// Inverse of [`PrivateCache::snap`], in place.
@@ -1011,6 +1417,9 @@ impl PrivateCache {
         self.lockdown_since = locks.into_iter().collect();
         self.hot = HeavyHitters::unsnap(r)?;
         self.fault = Option::unsnap(r)?;
+        let wounds: Vec<(LineAddr, Cycle)> = Vec::unsnap(r)?;
+        self.wounds = wounds.into_iter().collect();
+        self.poisoned = Vec::unsnap(r)?;
         Ok(())
     }
 }
@@ -1039,9 +1448,18 @@ impl wb_kernel::Snap for L2Line {
     fn snap(&self, w: &mut wb_kernel::SnapWriter) {
         self.state.snap(w);
         self.data.snap(w);
+        // v2: the redundant tag and its guard word must round-trip
+        // verbatim — a snapshot may capture an undetected wound.
+        w.u64(self.tag);
+        w.u64(self.guard);
     }
     fn unsnap(r: &mut wb_kernel::SnapReader) -> wb_kernel::SnapResult<Self> {
-        Ok(L2Line { state: PState::unsnap(r)?, data: LineData::unsnap(r)? })
+        Ok(L2Line {
+            state: PState::unsnap(r)?,
+            data: LineData::unsnap(r)?,
+            tag: r.u64()?,
+            guard: r.u64()?,
+        })
     }
 }
 

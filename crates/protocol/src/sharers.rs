@@ -110,6 +110,22 @@ impl SharerSet {
         std::mem::replace(self, Self::EMPTY)
     }
 
+    /// Flip `n`'s membership bit — the soft-error layer's particle
+    /// strike. Keeps raw word access confined to this module.
+    #[inline]
+    pub fn toggle(&mut self, n: NodeId) {
+        let (w, b) = Self::slot(n);
+        self.words[w] ^= b;
+    }
+
+    /// A copy of the backing words for guard hashing (read-only; the
+    /// parity code covers every sharer bit without exposing the layout
+    /// for mutation).
+    #[inline]
+    pub fn guard_words(&self) -> [u64; 4] {
+        self.words
+    }
+
     /// Members in ascending node order.
     pub fn iter(&self) -> SharerIter {
         SharerIter { words: self.words, word: 0 }
@@ -217,6 +233,20 @@ mod tests {
         let old = s.take();
         assert!(s.is_empty());
         assert!(old.contains(NodeId(5)));
+    }
+
+    #[test]
+    fn toggle_flips_membership() {
+        let mut s = SharerSet::solo(NodeId(70));
+        s.toggle(NodeId(70));
+        assert!(s.is_empty());
+        s.toggle(NodeId(200));
+        assert!(s.contains(NodeId(200)));
+        // Guard words see every toggle.
+        let before = SharerSet::solo(NodeId(9)).guard_words();
+        let mut t = SharerSet::solo(NodeId(9));
+        t.toggle(NodeId(9));
+        assert_ne!(before, t.guard_words());
     }
 
     #[test]

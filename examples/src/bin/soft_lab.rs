@@ -1,0 +1,162 @@
+//! Soft-error lab: flip bits inside the coherence protocol's own stored
+//! state — cache line states and tags, directory states and sharer
+//! sets, MSHR bookkeeping — and show that the guard-hash detectors plus
+//! the poison/recovery path catch every strike before it becomes
+//! architecturally visible.
+//!
+//! ```text
+//! cargo run -p wb-examples --bin soft_lab
+//! ```
+//!
+//! Three kinds of scenario run here:
+//!
+//! 1. Every plan in the standard soft matrix (state storms, tag flips,
+//!    sharer-set bits, MSHR fields, double-entry, background radiation)
+//!    against a racing workload on the paper's WritersBlock +
+//!    OoO-commit configuration: each run must drain, pass a clean final
+//!    coherence audit, account for every injected flip
+//!    (`soft_silent == 0`) and stay TSO-green.
+//! 2. Soft errors *and* a lossy interconnect at the same time — the
+//!    recovery path re-fetches over links that are themselves dropping.
+//! 3. A strike-rate sweep — acceleration x1..x50 over background
+//!    radiation x 3 seeds — printing injected/detected/recovered counts
+//!    and detection-latency percentiles from the `soft_detect_latency`
+//!    histogram (the table in EXPERIMENTS.md).
+//!
+//! Each passing scenario prints a `soft smoke OK:` line; the script
+//! `scripts/verify.sh` greps for the final summary line.
+
+use writersblock::prelude::*;
+use writersblock::System;
+
+/// Writer/reader pairs racing on one hot line plus cold-line chases —
+/// the same mixture fault_lab uses. Contention keeps the protocol books
+/// busy, so flips land on state that is actually consulted.
+fn racing_workload() -> Workload {
+    let hot = 0x1000u64;
+    let mk_reader = |colds: &[u64]| {
+        let mut p = Program::builder();
+        p.imm(Reg(1), hot);
+        p.load(Reg(5), Reg(1), 0);
+        for (i, c) in colds.iter().enumerate() {
+            p.imm(Reg(2), *c);
+            p.load(Reg(3), Reg(2), 0);
+            p.load(Reg(4), Reg(1), 0);
+            p.alui(AluOp::Add, Reg(6), Reg(6), i as u64);
+        }
+        p.halt();
+        p.build()
+    };
+    let mut writer = Program::builder();
+    writer.imm(Reg(1), hot).imm(Reg(3), 1).imm(Reg(6), 1);
+    for _ in 0..40 {
+        writer.alui(AluOp::Mul, Reg(6), Reg(6), 1);
+    }
+    writer.store(Reg(3), Reg(1), 0);
+    writer.halt();
+    let colds: Vec<u64> = (1..10).map(|i| 0x1000 + i * 0x4000).collect();
+    Workload::new("soft-racing", vec![mk_reader(&colds), writer.build(), mk_reader(&colds)])
+}
+
+fn base_cfg(seed: u64) -> SystemConfig {
+    SystemConfig::new(CoreClass::Slm)
+        .with_cores(3)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(seed)
+        .with_jitter(20)
+}
+
+/// Run one scenario to completion, insist on a clean final audit, zero
+/// silent flips and TSO-green, and return the finished system.
+fn run_green(label: &str, w: &Workload, cfg: SystemConfig) -> System {
+    let plan = cfg.soft.as_ref().map(ToString::to_string).unwrap_or_else(|| "off".into());
+    let mut sys = System::new(cfg, w);
+    let out = sys.run(8_000_000);
+    assert!(out.is_done(), "{label} [{plan}] wedged:\n{out}");
+    sys.run_audit(true).assert_clean(&format!("{label} [{plan}]"));
+    let silent = sys.soft_silent();
+    assert_eq!(silent, 0, "{label} [{plan}]: {silent} flip(s) escaped detection");
+    sys.check_tso().unwrap_or_else(|e| panic!("{label} [{plan}] TSO violation: {e}"));
+    let s = sys.report().stats;
+    let (injected, _) = sys.soft_injected();
+    println!(
+        "soft smoke OK: {label} [{plan}] drained in {} cycles, audit clean, tso green \
+         (flips {}, detected {}, masked {}, recovered {}, audits {})",
+        sys.now(),
+        injected,
+        s.get("soft_detected"),
+        s.get("soft_masked"),
+        s.get("soft_recovered"),
+        s.get("audit_runs"),
+    );
+    sys
+}
+
+fn main() {
+    // 1. The whole standard soft matrix over the racing workload. The
+    //    matrix rates are soak-tuned; x20 acceleration lands a real
+    //    barrage inside this short run.
+    for plan in SoftPlan::matrix() {
+        run_green("matrix", &racing_workload(), base_cfg(11).with_soft(plan.accelerated(20)));
+    }
+
+    // 2. Bit flips in the books while the links drop packets under
+    //    them: recovery re-fetches must survive a lossy mesh.
+    run_green(
+        "soft+fault",
+        &racing_workload(),
+        base_cfg(13)
+            .with_soft(SoftPlan::background_radiation().accelerated(20))
+            .with_fault(FaultPlan::drop_everywhere(1, 50)),
+    );
+    run_green(
+        "soft+chaos",
+        &racing_workload(),
+        base_cfg(17)
+            .with_soft(SoftPlan::double_entry().accelerated(20))
+            .with_chaos(ChaosPlan::reorder_amplify()),
+    );
+
+    // 3. Strike-rate sweep: background radiation accelerated x1..x50,
+    //    3 seeds each, with detection-latency percentiles.
+    println!();
+    println!("strike-rate sweep (WritersBlock, OoO-commit, racing workload):");
+    println!(
+        "{:>6} {:>6} {:>9} {:>7} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9}",
+        "accel", "seed", "cycles", "flips", "detected", "recovered", "audits", "det p50", "det p90", "det p99"
+    );
+    for accel in [1u64, 5, 20, 50] {
+        for seed in [2u64, 3, 5] {
+            let plan = SoftPlan::background_radiation().accelerated(accel);
+            let w = racing_workload();
+            let mut sys = System::new(base_cfg(seed).with_soft(plan), &w);
+            let out = sys.run(8_000_000);
+            assert!(out.is_done(), "sweep x{accel} seed {seed} wedged:\n{out}");
+            sys.run_audit(true).assert_clean(&format!("sweep x{accel} seed {seed}"));
+            assert_eq!(sys.soft_silent(), 0, "sweep x{accel} seed {seed}: silent flips");
+            sys.check_tso().unwrap_or_else(|e| panic!("sweep x{accel} seed {seed}: {e}"));
+            let s = sys.report().stats;
+            let (p50, p90, p99) = s.hist("soft_detect_latency").map_or((0, 0, 0), |h| {
+                (h.percentile(50.0), h.percentile(90.0), h.percentile(99.0))
+            });
+            let (injected, _) = sys.soft_injected();
+            println!(
+                "{:>6} {:>6} {:>9} {:>7} {:>9} {:>9} {:>7} {:>9} {:>9} {:>9}",
+                format!("x{accel}"),
+                seed,
+                sys.now(),
+                injected,
+                s.get("soft_detected"),
+                s.get("soft_recovered"),
+                s.get("audit_runs"),
+                p50,
+                p90,
+                p99,
+            );
+        }
+    }
+
+    println!();
+    println!("soft lab: all scenarios OK");
+}

@@ -68,6 +68,27 @@ if awk '/#\[cfg\(test\)\]/{exit} {print FNR": "$0}' crates/kernel/src/attr.rs \
     exit 1
 fi
 
+# Guarded-state discipline: the coherence books (cache line state/tags,
+# directory owner + sharer sets) carry guard hashes that the soft-error
+# detectors check; every mutation must go through the protocol crate's
+# own helpers, which re-seal the guard (`reguard`). A raw field write
+# from outside crates/protocol/src would silently desynchronize the
+# guard and read as a false detection (or mask a real flip).
+if grep -rn --include='*.rs' -E '\.(sharers|owner|guard) = ' \
+    crates/kernel/src crates/core/src crates/cpu/src crates/mesh/src \
+    crates/mem/src crates/bench/src examples/src tests; then
+    echo "ERROR: raw write to a guarded protocol field outside crates/protocol/src (use the guarded helpers so the guard hash is re-sealed)" >&2
+    exit 1
+fi
+# Within the protocol crate the sharer-set storage is private to
+# sharers.rs: raw `.words` pokes elsewhere would bypass the guard-word
+# accounting the directory guard hash is built from.
+if grep -rn --include='*.rs' -E '\.words(\[| =)' crates/protocol/src \
+    | grep -v '^crates/protocol/src/sharers\.rs:'; then
+    echo "ERROR: raw SharerSet word access outside crates/protocol/src/sharers.rs (use the SharerSet API)" >&2
+    exit 1
+fi
+
 # Determinism discipline: snapshot and campaign code must never read
 # host time — a resumed campaign replays byte-identically only if every
 # input comes from the spec. (Wall-clock sampling belongs to the ledger
@@ -114,6 +135,14 @@ cargo run -q --release --offline -p wb-examples --bin chaos_lab \
 # internally and prints one OK line per scenario).
 cargo run -q --release --offline -p wb-examples --bin fault_lab \
     | grep -q 'fault lab: all scenarios OK'
+
+# Soft-error smoke test: the full stored-state bit-flip matrix, the
+# soft+fault / soft+chaos cross products, and the strike-rate sweep
+# must all drain with a clean final coherence audit, zero silent flips
+# and TSO-green (soft_lab asserts all of this internally and prints one
+# OK line per scenario).
+cargo run -q --release --offline -p wb-examples --bin soft_lab \
+    | grep -q 'soft lab: all scenarios OK'
 
 # Engine-equivalence smoke: the cycle-skipping engine must stay
 # cycle-exact against dense ticking — one litmus cell and one RTO-bound
@@ -180,4 +209,4 @@ test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 4
 cp results/ledger.jsonl "$ledgerdir/baseline.jsonl"
 WB_LEDGER_PATH="$ledgerdir/baseline.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
 
-echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + engine-equivalence + scaling + campaign crash-resume + ledger smoke tests)"
+echo "tier-1 verify: OK (offline build + full test suite + trace + chaos + fault + soft + engine-equivalence + scaling + campaign crash-resume + ledger smoke tests)"

@@ -48,6 +48,11 @@ fn run_with(engine: EngineMode, cfg: &SystemConfig, w: &Workload, budget: u64, t
         sys.set_trace(TraceFilter::all());
     }
     let outcome = sys.run(budget);
+    if outcome.is_done() {
+        // The end-of-run auditor is part of the equivalence contract:
+        // it must pass in every engine and count identically in stats.
+        sys.run_audit(true).assert_clean(&format!("{engine:?} final audit"));
+    }
     let trace_lines = sys.collect_trace().iter().map(ToString::to_string).collect();
     Observed {
         outcome,

@@ -84,6 +84,7 @@ fn run_cell(
     let out = sys.run(8_000_000);
     assert!(out.is_done(), "plan {plan} {protocol:?} {mode:?}:\n{out}");
     sys.check_tso().unwrap_or_else(|e| panic!("plan {plan} {protocol:?} {mode:?}: {e}"));
+    sys.run_audit(true).assert_clean("fault-torture final audit");
     sys.report().stats
 }
 
@@ -177,6 +178,7 @@ fn watchdog_near_miss_scaled_window_rides_out_retransmissions() {
     let out = sys.run(8_000_000);
     assert_eq!(out, RunOutcome::Done, "scaled window must ride out retransmissions:\n{out}");
     sys.check_tso().unwrap_or_else(|e| panic!("near-miss scaled run: {e}"));
+    sys.run_audit(true).assert_clean("fault-torture final audit");
     let stats = sys.report().stats;
     assert!(stats.get("link_retx") > 0, "the near-miss needs a real retransmission stall");
 

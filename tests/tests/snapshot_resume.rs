@@ -18,6 +18,7 @@ use wb_kernel::chaos::ChaosPlan;
 use wb_kernel::check::prelude::*;
 use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
 use wb_kernel::fault::FaultPlan;
+use wb_kernel::soft::SoftPlan;
 use wb_kernel::SimRng;
 use writersblock::{RunOutcome, System};
 
@@ -79,24 +80,28 @@ fn torture_workload(cores: usize, seed: u64, ops: usize) -> Workload {
 }
 
 /// The cell matrix the property test draws from: litmus, plain
-/// contention, chaos timing injection, and a lossy-link (ARQ-active)
-/// fault cell.
+/// contention, chaos timing injection, a lossy-link (ARQ-active) fault
+/// cell, and a soft-error cell (bit flips + guards + periodic audit).
 fn cell(kind: usize, seed: u64) -> (SystemConfig, Workload) {
     let base = SystemConfig::new(CoreClass::Slm)
         .with_commit(CommitMode::OutOfOrderWb)
         .with_protocol(ProtocolKind::WritersBlock)
         .with_seed(seed)
         .with_jitter(25);
-    match kind % 4 {
+    match kind % 5 {
         0 => (base.with_cores(2), wb_tso::litmus::mp().workload),
         1 => (base.with_cores(4), torture_workload(4, seed, 10)),
         2 => (
             base.with_cores(4).with_chaos(ChaosPlan::delay_storm()),
             torture_workload(4, seed, 8),
         ),
-        _ => (
+        3 => (
             base.with_cores(4).with_fault(FaultPlan::drop_everywhere(1, 10)),
             torture_workload(4, seed, 8),
+        ),
+        _ => (
+            base.with_cores(4).with_soft(SoftPlan::background_radiation().accelerated(20)),
+            torture_workload(4, seed, 10),
         ),
     }
 }
@@ -128,7 +133,7 @@ wb_proptest! {
     fn mid_run_snapshots_resume_byte_identically(
         seed in 0u64..1000,
         cut in 500u64..60_000,
-        kind in 0usize..4,
+        kind in 0usize..5,
     ) {
         let (cfg, w) = cell(kind, seed);
         for engine in [EngineMode::Dense, EngineMode::Skip, EngineMode::SkipVerify] {

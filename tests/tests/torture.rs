@@ -67,6 +67,7 @@ fn torture(mode: CommitMode, seeds: std::ops::Range<u64>) {
         let out = sys.run(2_000_000);
         assert_eq!(out, RunOutcome::Done, "seed {seed} under {mode:?}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed} under {mode:?}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
 
@@ -102,6 +103,7 @@ fn torture_ooo_wb_more_contention() {
         let mut sys = System::new(cfg, &w);
         assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
 
@@ -126,6 +128,7 @@ fn torture_inorder_wb_protocol() {
         let mut sys = System::new(cfg, &w);
         assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
 
@@ -146,6 +149,7 @@ fn torture_hsw_ooo_wb() {
         let mut sys = System::new(cfg, &w);
         assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
 
@@ -167,6 +171,7 @@ fn torture_fifo_lq() {
         let mut sys = System::new(cfg, &w);
         assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
 
@@ -212,6 +217,7 @@ fn torture_chaos_matrix() {
         let out = sys.run(8_000_000);
         assert!(out.is_done(), "plan {plan} {protocol:?} {mode:?}:\n{out}");
         sys.check_tso().unwrap_or_else(|e| panic!("plan {plan} {protocol:?} {mode:?}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     });
 }
 
@@ -233,5 +239,6 @@ fn torture_ecl() {
         let mut sys = System::new(cfg, &w);
         assert_eq!(sys.run(2_000_000), RunOutcome::Done, "seed {seed}");
         sys.check_tso().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        sys.run_audit(true).assert_clean("torture final audit");
     }
 }
