@@ -1,14 +1,19 @@
 //! Simulator throughput: dense ticking vs the event-driven
-//! cycle-skipping engine, and serial vs parallel sweep execution.
+//! cycle-skipping engine vs the activity-tracked sparse engine, and
+//! serial vs parallel sweep execution.
 //!
 //! Emits `BENCH_sim_throughput.json`. Three families of entries:
 //!
-//! - `engine/<cell>/<dense|skip>` — wall-clock per full run of one
-//!   cell under each engine, with the run's merged counters (including
-//!   a synthetic `sim_cycles` = final cycle) attached, so simulated
-//!   cycles per wall-second and the dense/skip speedup fall out of the
-//!   JSON. Both engines are cycle-exact (pinned by the
-//!   `engine_equivalence` integration suite), so the speedup is free.
+//! - `engine/<cell>/<dense|skip|sparse>` — wall-clock per full run of
+//!   one cell under each engine, with the run's merged counters
+//!   (including a synthetic `sim_cycles` = final cycle) attached, so
+//!   simulated cycles per wall-second and the dense/skip/sparse
+//!   speedups fall out of the JSON. All engines are cycle-exact
+//!   (pinned by the `engine_equivalence` integration suite), so the
+//!   speedup is free. The two 256-core scaling cells (`fft256`,
+//!   `barrier256`) are where the sparse engine earns its keep: the
+//!   machine is never globally quiescent, so skip barely helps, but
+//!   most components are individually asleep on any given cycle.
 //! - `sweep/fault_matrix/<n>threads` — the fault-torture matrix (every
 //!   standard fault plan on the paper's WritersBlock OoO configuration)
 //!   on 1 vs 4 worker threads through `wb_bench::sweep`.
@@ -24,7 +29,7 @@ use wb_isa::{AluOp, Program, Reg, Workload};
 use wb_kernel::config::{CommitMode, CoreClass, EngineMode, ProtocolKind, SystemConfig};
 use wb_kernel::fault::FaultPlan;
 use wb_kernel::{SimRng, Stats};
-use wb_workloads::{splash, Scale};
+use wb_workloads::{barrier_storm, splash, Scale};
 use writersblock::System;
 
 /// The torture random-program recipe (globally unique store values).
@@ -122,9 +127,31 @@ fn bench_engines(g: &mut BenchGroup) {
             &fft16,
         ),
     ];
+    let engines = [
+        ("dense", EngineMode::Dense),
+        ("skip", EngineMode::Skip),
+        ("sparse", EngineMode::Sparse),
+    ];
     for (name, cfg, w) in &cells {
-        for (label, engine) in [("dense", EngineMode::Dense), ("skip", EngineMode::Skip)] {
+        for (label, engine) in engines {
             g.bench_with_stats(&format!("engine/{name}/{label}"), || run_engine(engine, cfg, w));
+        }
+    }
+    // The two 256-core scaling anchors. One dense run of fft at this
+    // size costs ~40 s of wall-clock, so these cells are single-sample
+    // (the simulator is deterministic; repeats only re-measure the
+    // allocator) — the scaling bin's serial mode remains the clean
+    // source for ratios.
+    g.sample_size(1);
+    let fft256 = splash::fft(256, Scale::Test);
+    let storm256 = barrier_storm(256, 1);
+    let big = SystemConfig::new(CoreClass::Slm)
+        .with_cores(256)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .without_event_log();
+    for (name, w) in [("fft256", &fft256), ("barrier256", &storm256)] {
+        for (label, engine) in engines {
+            g.bench_with_stats(&format!("engine/{name}/{label}"), || run_engine(engine, &big, w));
         }
     }
 }

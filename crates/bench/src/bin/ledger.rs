@@ -40,6 +40,15 @@ const WALL_SAMPLES: usize = 3;
 /// knobs a farm regression would move. Simulated totals and snapshot
 /// bytes are deterministic and gated; wall rows are advisory.
 const CAMPAIGN_GROUP: &str = "campaign";
+
+/// Third metric group: the sparse engine's economics. The same anchor
+/// cells re-run under `EngineMode::Sparse`, recording how many
+/// component visits the activity scheduler actually paid for and how
+/// many cycles it fast-forwarded. Both counters are deterministic and
+/// gate at the tight tier: a visits regression means components stopped
+/// sleeping (the O(active) win eroded silently) even while outcomes —
+/// pinned byte-identical by the equivalence suite — stay green.
+const ENGINE_GROUP: &str = "engine";
 const CAMPAIGN_SPEC: &str = r#"{
   "name": "ledger-campaign", "cores": 2, "engine": "skip", "budget": 50000000,
   "workloads": ["mp", "sb", "fft"], "arms": ["wb-ooo"],
@@ -167,6 +176,30 @@ fn run_cell(cell: &Cell, metrics: &mut BTreeMap<String, u64>) {
     );
 }
 
+/// Run every anchor cell once under the sparse engine and collect its
+/// scheduler economics. Single runs: the counters are byte-reproducible
+/// on a given revision, so wall sampling would add nothing.
+fn engine_metrics(cells: &[Cell]) -> BTreeMap<String, u64> {
+    let mut metrics = BTreeMap::new();
+    for cell in cells {
+        let cfg = cell.cfg.clone().with_engine(EngineMode::Sparse);
+        let mut sys = System::new(cfg, &cell.workload);
+        let outcome = sys.run(RUN_BUDGET);
+        assert_eq!(
+            outcome,
+            RunOutcome::Done,
+            "engine cell {} ended with {outcome} at cycle {}", // allow(panic): bench driver
+            cell.name,
+            sys.now()
+        );
+        let key = |k: &str| format!("{}_{k}", cell.name);
+        metrics.insert(key("engine_visits"), sys.engine_visits());
+        metrics.insert(key("engine_skipped_cycles"), sys.skipped_cycles());
+        metrics.insert(key("sim_cycles"), sys.now());
+    }
+    metrics
+}
+
 /// Run the fixed ledger campaign fresh, then resume it as a no-op, and
 /// report the farm's metric group.
 fn campaign_metrics() -> BTreeMap<String, u64> {
@@ -246,7 +279,20 @@ fn main() {
             metrics: campaign_metrics(),
         }
     };
-    let entries = [smoke, farm];
+    let engine = {
+        // Same cells, different engine: fold the mode into the digest so
+        // the group re-baselines if the anchor matrix itself changes.
+        let mut h = std::hash::DefaultHasher::new();
+        config_digest(&cells).hash(&mut h);
+        "sparse".hash(&mut h);
+        LedgerEntry {
+            rev: rev.clone(),
+            config_digest: format!("{:016x}", h.finish()),
+            group: ENGINE_GROUP.to_owned(),
+            metrics: engine_metrics(&cells),
+        }
+    };
+    let entries = [smoke, farm, engine];
 
     let path =
         std::env::var("WB_LEDGER_PATH").unwrap_or_else(|_| "results/ledger.jsonl".to_owned());

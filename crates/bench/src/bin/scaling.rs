@@ -4,7 +4,7 @@
 //! aggressiveness: how the WritersBlock rates, Nack retry traffic and
 //! directory-bank contention evolve as the machine grows, and what the
 //! simulator itself sustains (simulated cycles per wall-second, dense
-//! vs skip) at each size.
+//! vs skip vs sparse) at each size.
 //!
 //! Two workloads anchor the sweep: `fft` (the barrier-heavy fig-8
 //! flagship) and `barrier-storm` (nothing but serialized fetch-adds —
@@ -65,6 +65,8 @@ fn engine_label(e: EngineMode) -> &'static str {
         EngineMode::Dense => "dense",
         EngineMode::Skip => "skip",
         EngineMode::SkipVerify => "skip-verify",
+        EngineMode::Sparse => "sparse",
+        EngineMode::SparseVerify => "sparse-verify",
     }
 }
 
@@ -97,6 +99,7 @@ fn run_cell(cell: Cell, bank_keys: &BankKeys) -> CellResult {
     stats.set("sim_cycles_per_sec", (cycles as u128 * 1_000_000_000 / wall_ns.max(1)) as u64);
     stats.set("engine_skipped_cycles", sys.skipped_cycles());
     stats.set("engine_skip_windows", sys.skip_windows());
+    stats.set("engine_visits", sys.engine_visits());
     for (bank, s) in sys.dir_stats() {
         let requests = s.get("dir_gets") + s.get("dir_getx");
         if requests > 0 {
@@ -163,30 +166,26 @@ fn main() {
         let mut v = Vec::new();
         for workload in ["fft", "barrier"] {
             for cores in [16usize, 64, 256] {
-                for engine in [EngineMode::Dense, EngineMode::Skip] {
+                for engine in [EngineMode::Dense, EngineMode::Skip, EngineMode::Sparse] {
                     v.push(Cell { workload, cores, engine, banks_per_node: 1, budget: RUN_BUDGET });
                 }
             }
         }
         // One sharded point: does splitting each home node into two
         // banks relieve the barrier line's port pressure at 256 cores?
-        v.push(Cell {
-            workload: "barrier",
-            cores: 256,
-            engine: EngineMode::Skip,
-            banks_per_node: 2,
-            budget: RUN_BUDGET,
-        });
+        for engine in [EngineMode::Skip, EngineMode::Sparse] {
+            v.push(Cell { workload: "barrier", cores: 256, engine, banks_per_node: 2, budget: RUN_BUDGET });
+        }
         if full {
             // Two more kernel shapes: radix (all-to-all permutation
             // traffic) and streamcluster (read-mostly sharing with hot
             // medoid lines). Dense ticking at 256 cores costs minutes of
             // wall-clock for no extra information — the equivalence
-            // suite already pins dense==skip — so the largest size runs
-            // skip-only.
+            // suite already pins dense==skip==sparse — so the largest
+            // size runs without the dense column.
             for workload in ["radix", "stream"] {
                 for cores in [16usize, 64, 256] {
-                    for engine in [EngineMode::Dense, EngineMode::Skip] {
+                    for engine in [EngineMode::Dense, EngineMode::Skip, EngineMode::Sparse] {
                         if cores == 256 && engine == EngineMode::Dense {
                             continue;
                         }

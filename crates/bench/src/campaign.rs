@@ -140,6 +140,8 @@ impl CampaignSpec {
                         "dense" => EngineMode::Dense,
                         "skip" => EngineMode::Skip,
                         "skip-verify" => EngineMode::SkipVerify,
+                        "sparse" => EngineMode::Sparse,
+                        "sparse-verify" => EngineMode::SparseVerify,
                         other => return Err(format!("unknown engine `{other}`")),
                     }
                 }

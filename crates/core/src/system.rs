@@ -11,7 +11,7 @@ use wb_kernel::fault::FaultEngine;
 use wb_kernel::soft::{SoftEngine, SoftTarget};
 use wb_kernel::trace::{self, Category, CompId, Record, TraceEvent, TraceFilter, TraceSink, Tracer};
 use wb_kernel::wedge::{self, WaitEdge, WaitParty, WedgeClass, WedgeReport};
-use wb_kernel::{Cycle, HeavyHitters, NodeId, Stats, Timeline};
+use wb_kernel::{ActivitySched, Cycle, HeavyHitters, NodeId, Stats, Timeline};
 use wb_mem::{Addr, HomeMap};
 use wb_mesh::{Mesh, MeshMsg};
 use wb_protocol::messages::Dest;
@@ -129,6 +129,36 @@ pub struct System {
     /// Auditor outcome counters, merged into [`System::report`] stats.
     audit_runs: u64,
     audit_violations: u64,
+    /// Calendar-wheel activity scheduler (see [`wb_kernel::sched`]).
+    /// Sized for every unit — core+cache pairs, directory banks, the
+    /// mesh, and per-node arrival-drain units — whenever the engine is
+    /// not Dense; zero-unit (dormant) otherwise. The skip engines use
+    /// it as the probe index behind `quiescent_until`; the sparse
+    /// engines drive the whole per-cycle visit set from it.
+    sched: ActivitySched,
+    /// Per-core exclusive idle-accounting frontier for the sparse
+    /// engines: every cycle below `charged_until[i]` is reflected in
+    /// core `i`'s counters, either by a real tick or by
+    /// [`Core::apply_idle_cycles`] bulk-charged at the core's next
+    /// activation. Flushed before any external stats read (timeline
+    /// samples, run exits), so observable state never carries debt.
+    charged_until: Vec<Cycle>,
+    /// Sparse-engine diagnostic: component visits actually executed
+    /// (pair, bank, mesh and drain visits). Like `skipped_cycles`,
+    /// engine diagnostics — never part of [`Report`] stats.
+    engine_visits: u64,
+    /// Scratch for the wheel's due set (reused, allocation-free).
+    scratch_due: Vec<u32>,
+    /// Sparse per-cycle active sets: membership flags plus insertion
+    /// lists, sorted before each phase so visit order matches the
+    /// dense engine's ascending iteration exactly.
+    active_pair: Vec<bool>,
+    active_dir: Vec<bool>,
+    /// Nodes hosting at least one active bank this cycle (the phase-4
+    /// injection gate alongside `active_pair`).
+    node_dir_live: Vec<bool>,
+    list_pairs: Vec<u32>,
+    list_dirs: Vec<u32>,
 }
 
 impl std::fmt::Debug for System {
@@ -210,6 +240,20 @@ impl System {
         // bounds every wound's lifetime well below the wedge watchdog.
         let audit_every = if soft.is_some() { 10_000 } else { 0 };
         let next_audit_at = (audit_every > 0).then_some(audit_every);
+        // Unit-id layout in the activity wheel: pairs (core+cache),
+        // then banks in global order, then the mesh, then one
+        // arrival-drain unit per node. Dense mode keeps the wheel
+        // empty (zero units) so every mark is a no-op.
+        let units = if cfg.engine.uses_wheel() { n + home.total_banks() + 1 + n } else { 0 };
+        let mut sched = ActivitySched::new(units);
+        if sched.units() != 0 {
+            sched.wake_all(0);
+        }
+        if cfg.engine.is_sparse() {
+            // Sparse engines learn which nodes received arrivals from
+            // the mesh's park log (wake-on-message for drain units).
+            mesh.set_park_log(true);
+        }
         System {
             now: 0,
             mesh,
@@ -235,6 +279,15 @@ impl System {
             next_audit_at,
             audit_runs: 0,
             audit_violations: 0,
+            sched,
+            charged_until: vec![0; n],
+            engine_visits: 0,
+            scratch_due: Vec::new(),
+            active_pair: vec![false; n],
+            active_dir: vec![false; home.total_banks()],
+            node_dir_live: vec![false; n],
+            list_pairs: Vec::new(),
+            list_dirs: Vec::new(),
             cfg,
         }
     }
@@ -264,6 +317,55 @@ impl System {
     /// Number of quiescent windows the engine jumped over.
     pub fn skip_windows(&self) -> u64 {
         self.skip_windows
+    }
+
+    /// Component visits executed by the sparse engines (0 elsewhere).
+    /// A dense tick visits every pair, bank, drain and the mesh each
+    /// cycle; this counter divided by cycles executed measures how much
+    /// of the machine was actually live. Diagnostic only — never part
+    /// of [`Report`] stats.
+    pub fn engine_visits(&self) -> u64 {
+        self.engine_visits
+    }
+
+    // ------------------------------------------------------------------
+    // Activity-wheel unit layout
+    // ------------------------------------------------------------------
+
+    /// Wheel unit of core+cache pair `i`. The two sleep and wake as one
+    /// unit because they are mutually coupled within a cycle
+    /// (`cache.tick(&mut core)` then `core.tick(&mut cache)`).
+    fn unit_pair(&self, i: usize) -> usize {
+        i
+    }
+
+    /// Wheel unit of directory bank `b` (global bank id).
+    fn unit_dir(&self, b: usize) -> usize {
+        self.cores.len() + b
+    }
+
+    /// Wheel unit of the mesh's internal machinery (flight movement,
+    /// ARQ deadlines) — arrival delivery belongs to the drain units.
+    fn unit_mesh(&self) -> usize {
+        self.cores.len() + self.dirs.len()
+    }
+
+    /// Wheel unit of node `i`'s arrival-drain step (dense phase 1).
+    /// One-shot: armed by the mesh park log at `park + 1`, never
+    /// rescheduled by the visit itself — a parked-but-blocked arrival
+    /// is released by the drain that its in-order filler re-arms.
+    fn unit_drain(&self, i: usize) -> usize {
+        self.cores.len() + self.dirs.len() + 1 + i
+    }
+
+    /// A pair's next event: the min of its two component hooks.
+    fn pair_next_event(&self, i: usize, now: Cycle) -> Option<Cycle> {
+        let cache = self.caches[i].next_event(now);
+        let core = self.cores[i].next_event(now, &self.caches[i]);
+        match (cache, core) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Enable timeline sampling: every `sample_every` cycles the delta
@@ -421,10 +523,19 @@ impl System {
                 let applied = match target {
                     SoftTarget::CacheState | SoftTarget::CacheTag | SoftTarget::Mshr => {
                         let i = eng.rng_mut().below(n as u64) as usize;
+                        if self.sched.units() != 0 {
+                            // A flip can change the struck component's
+                            // next event; wake it (spuriously on a miss
+                            // — harmless, one no-op visit).
+                            self.sched.wake_at(self.unit_pair(i), self.now);
+                        }
                         self.caches[i].soft_flip(self.now, target, eng.rng_mut())
                     }
                     SoftTarget::DirState | SoftTarget::Sharers => {
                         let b = eng.rng_mut().below(self.dirs.len() as u64) as usize;
+                        if self.sched.units() != 0 {
+                            self.sched.wake_at(self.unit_dir(b), self.now);
+                        }
                         self.dirs[b].soft_flip(self.now, target, eng.rng_mut())
                     }
                 };
@@ -468,11 +579,24 @@ impl System {
                     );
                 }
                 match dest {
-                    Dest::Cache(_) => self.caches[i].handle_msg(self.now, msg, &mut self.cores[i]),
+                    Dest::Cache(_) => {
+                        if self.sched.units() != 0 {
+                            // Wake-on-message: the recipient acts this
+                            // cycle regardless of its cached wake time.
+                            // (Unit ids inlined: pair i is unit i, bank
+                            // b is unit n + b — see `unit_pair`.)
+                            self.sched.wake_at(i, self.now);
+                        }
+                        self.caches[i].handle_msg(self.now, msg, &mut self.cores[i])
+                    }
                     // Routing delivers by node; the hosting tile
                     // dispatches to whichever of its banks owns the line.
                     Dest::Dir(_) => {
-                        self.dirs[self.home.bank_of(msg.line())].receive(self.now, msg)
+                        let b = self.home.bank_of(msg.line());
+                        if self.sched.units() != 0 {
+                            self.sched.wake_at(n + b, self.now);
+                        }
+                        self.dirs[b].receive(self.now, msg)
                     }
                 }
             }
@@ -492,6 +616,7 @@ impl System {
         // 4. Inject outbound protocol messages.
         let (data_flits, ctrl_flits) =
             (self.cfg.network.data_flits, self.cfg.network.control_flits);
+        let mut sent_any = false;
         for i in 0..n {
             let from = NodeId(i as u16);
             // Cache messages precede directory messages so the trace
@@ -529,11 +654,531 @@ impl System {
                     self.now,
                     MeshMsg { src: from, dst: dest.node(), vnet: msg.vnet(), flits, payload: (dest, msg) },
                 );
+                sent_any = true;
             }
         }
         // 5. The network.
         self.mesh.tick(self.now);
+        if self.sched.units() != 0 {
+            if sent_any {
+                self.sched.wake_at(self.unit_mesh(), self.now);
+            }
+            self.drain_park_log();
+        }
         self.now += 1;
+    }
+
+    /// Schedule a drain visit at `park + 1` for every node the mesh
+    /// parked an arrival at this cycle, then clear the log. The log is
+    /// only populated under the sparse engines (`set_park_log`);
+    /// elsewhere this is a no-op.
+    fn drain_park_log(&mut self) {
+        let drain_base = self.cores.len() + self.dirs.len() + 1;
+        let parks = self.mesh.parked_nodes().len();
+        for k in 0..parks {
+            let nd = self.mesh.parked_nodes()[k] as usize;
+            self.sched.wake_at(drain_base + nd, self.now + 1);
+        }
+        if parks != 0 {
+            self.mesh.clear_parked_nodes();
+        }
+    }
+
+    /// Advance one cycle visiting only live components
+    /// (`EngineMode::Sparse`). The wheel's due set plus everything a
+    /// delivery touches this cycle is the active set; every unit
+    /// outside it is provably inert (its `next_event` is in the
+    /// future, no message reached it, and a component tick before its
+    /// own next event is a no-op by contract), so skipping the visit
+    /// is byte-identical to the dense engine — including stats, which
+    /// are bulk-charged per core at its own activation.
+    fn tick_sparse(&mut self) {
+        let t = self.now;
+        let n = self.cores.len();
+        // Phase 0: system-level deadlines, in dense order. The sample
+        // must see fully charged idle counters.
+        if self.timeline.as_ref().is_some_and(|tl| tl.due(t)) {
+            self.flush_idle_charges();
+            let totals = self.aggregate_stats();
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.sample(t, &totals);
+            }
+        }
+        if let Some(mut eng) = self.soft.take() {
+            for target in eng.fire(t) {
+                let applied = match target {
+                    SoftTarget::CacheState | SoftTarget::CacheTag | SoftTarget::Mshr => {
+                        let i = eng.rng_mut().below(n as u64) as usize;
+                        self.sched.wake_at(self.unit_pair(i), t);
+                        self.caches[i].soft_flip(t, target, eng.rng_mut())
+                    }
+                    SoftTarget::DirState | SoftTarget::Sharers => {
+                        let b = eng.rng_mut().below(self.dirs.len() as u64) as usize;
+                        self.sched.wake_at(self.unit_dir(b), t);
+                        self.dirs[b].soft_flip(t, target, eng.rng_mut())
+                    }
+                };
+                if applied {
+                    eng.note_applied();
+                } else {
+                    eng.note_missed();
+                }
+            }
+            self.soft = Some(eng);
+        }
+        if self.next_audit_at.is_some_and(|at| t >= at) {
+            // `run_audit` ends with a full `wake_all`, so the scrub's
+            // repair traffic (and anything else it disturbed) turns
+            // this into a dense-equivalent full-visit cycle.
+            self.run_audit(false);
+            self.next_audit_at = Some(t + self.audit_every);
+        }
+        if self.chaos_wants_signal {
+            let lockdown_live = self.caches.iter().any(|c| c.active_lockdowns() > 0);
+            self.mesh.set_chaos_signal(lockdown_live);
+        }
+        // Pop the due set and split it into this cycle's active sets.
+        // After the loop `due` holds only the due drain *nodes*, sorted
+        // ascending so phase 1 visits them in dense node order.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        let mut pairs = std::mem::take(&mut self.list_pairs);
+        let mut dirs_l = std::mem::take(&mut self.list_dirs);
+        due.clear();
+        self.sched.take_due(t, &mut due);
+        let mesh_unit = n + self.dirs.len();
+        let mut mesh_due = false;
+        let mut nd = 0;
+        for k in 0..due.len() {
+            let u = due[k] as usize;
+            if u < n {
+                self.activate_pair(u, t, &mut pairs);
+            } else if u < mesh_unit {
+                self.activate_dir(u - n, &mut dirs_l);
+            } else if u == mesh_unit {
+                mesh_due = true;
+            } else {
+                due[nd] = (u - mesh_unit - 1) as u32;
+                nd += 1;
+            }
+        }
+        due.truncate(nd);
+        due.sort_unstable();
+        // Phase 1: deliver arrivals at nodes with a scheduled drain.
+        // Every recipient joins the active set (wake-on-message).
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        for k in 0..due.len() {
+            let i = due[k] as usize;
+            arrivals.clear();
+            self.mesh.drain_arrived_into(NodeId(i as u16), &mut arrivals);
+            for m in arrivals.drain(..) {
+                let (dest, msg) = m.payload;
+                if self.trace_line == Some(msg.line()) {
+                    self.sink.emit(&format!("[{:>8}] {} -> {:?}: {:?}", t, m.src, dest, msg));
+                }
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        t,
+                        TraceEvent::MsgRecv {
+                            msg: msg.mnemonic(),
+                            src: m.src.0,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                        },
+                    );
+                }
+                match dest {
+                    Dest::Cache(_) => {
+                        self.activate_pair(i, t, &mut pairs);
+                        self.caches[i].handle_msg(t, msg, &mut self.cores[i])
+                    }
+                    Dest::Dir(_) => {
+                        let b = self.home.bank_of(msg.line());
+                        self.activate_dir(b, &mut dirs_l);
+                        self.dirs[b].receive(t, msg)
+                    }
+                }
+            }
+        }
+        self.scratch_arrivals = arrivals;
+        // Phases 2–3: tick the active set in dense component order
+        // (banks, then caches, then cores; ascending ids).
+        pairs.sort_unstable();
+        dirs_l.sort_unstable();
+        for k in 0..dirs_l.len() {
+            self.dirs[dirs_l[k] as usize].tick(t);
+        }
+        for k in 0..pairs.len() {
+            let i = pairs[k] as usize;
+            let (cache, core) = (&mut self.caches[i], &mut self.cores[i]);
+            cache.tick(t, core);
+        }
+        for k in 0..pairs.len() {
+            let i = pairs[k] as usize;
+            self.cores[i].tick(t, &mut self.caches[i]);
+        }
+        // Phase 4: inject from nodes with an active pair or an active
+        // hosted bank. Inactive components cannot have queued messages:
+        // outboxes are filled only by the actions of active components
+        // and drained the same cycle.
+        for k in 0..dirs_l.len() {
+            self.node_dir_live[self.home.node_of(dirs_l[k] as usize)] = true;
+        }
+        let (data_flits, ctrl_flits) =
+            (self.cfg.network.data_flits, self.cfg.network.control_flits);
+        let mut sent_any = false;
+        for i in 0..n {
+            if !self.active_pair[i] && !self.node_dir_live[i] {
+                continue;
+            }
+            let from = NodeId(i as u16);
+            self.scratch_outbox.clear();
+            self.caches[i].drain_outbox_into(&mut self.scratch_outbox);
+            let cache_n = self.scratch_outbox.len();
+            for b in self.home.banks_at(i) {
+                self.dirs[b].drain_outbox_into(&mut self.scratch_outbox);
+            }
+            for (k, (dest, msg)) in self.scratch_outbox.drain(..).enumerate() {
+                let sender = if k < cache_n {
+                    CompId::Cache(i as u16)
+                } else {
+                    CompId::Dir(self.home.bank_of(msg.line()) as u16)
+                };
+                let flits = msg.flits(data_flits, ctrl_flits);
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        t,
+                        TraceEvent::MsgSend {
+                            msg: msg.mnemonic(),
+                            from: sender,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                            vnet: msg.vnet().index() as u8,
+                            flits,
+                        },
+                    );
+                }
+                self.mesh.send(
+                    t,
+                    MeshMsg { src: from, dst: dest.node(), vnet: msg.vnet(), flits, payload: (dest, msg) },
+                );
+                sent_any = true;
+            }
+        }
+        // Phase 5: the network runs when it has internal work or took
+        // new traffic this cycle; parked arrivals arm drain units.
+        let mesh_active = mesh_due || sent_any;
+        if mesh_active {
+            self.mesh.tick(t);
+            self.drain_park_log();
+        }
+        // Reschedule every visited unit from its fresh post-tick state
+        // and clear the active sets. Drain units are one-shot — only a
+        // new park re-arms them.
+        for k in 0..pairs.len() {
+            let i = pairs[k] as usize;
+            self.active_pair[i] = false;
+            self.charged_until[i] = t + 1;
+            let e = self.pair_next_event(i, t + 1);
+            self.sched.set(self.unit_pair(i), e);
+        }
+        for k in 0..dirs_l.len() {
+            let b = dirs_l[k] as usize;
+            self.active_dir[b] = false;
+            self.node_dir_live[self.home.node_of(b)] = false;
+            let e = self.dirs[b].next_event(t + 1);
+            self.sched.set(self.unit_dir(b), e);
+        }
+        if mesh_active {
+            let e = self.mesh.next_internal_event(t + 1);
+            self.sched.set(self.unit_mesh(), e);
+        }
+        self.engine_visits +=
+            (pairs.len() + dirs_l.len() + due.len() + usize::from(mesh_active)) as u64;
+        due.clear();
+        pairs.clear();
+        dirs_l.clear();
+        self.scratch_due = due;
+        self.list_pairs = pairs;
+        self.list_dirs = dirs_l;
+        self.now = t + 1;
+    }
+
+    /// `EngineMode::SparseVerify`: compute the sparse engine's active
+    /// set, then execute the *full* dense cycle, asserting every unit
+    /// the sparse engine would have skipped really was inert — its
+    /// sleep claim holds, its tick changes no stats, it releases no
+    /// arrivals and sends no messages, and each sleeping core's cycle
+    /// matches the bulk idle-charging prediction exactly.
+    fn tick_sparse_verify(&mut self) {
+        let t = self.now;
+        let n = self.cores.len();
+        // Phase 0 — identical to `tick_sparse`.
+        if self.timeline.as_ref().is_some_and(|tl| tl.due(t)) {
+            self.flush_idle_charges();
+            let totals = self.aggregate_stats();
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.sample(t, &totals);
+            }
+        }
+        if let Some(mut eng) = self.soft.take() {
+            for target in eng.fire(t) {
+                let applied = match target {
+                    SoftTarget::CacheState | SoftTarget::CacheTag | SoftTarget::Mshr => {
+                        let i = eng.rng_mut().below(n as u64) as usize;
+                        self.sched.wake_at(self.unit_pair(i), t);
+                        self.caches[i].soft_flip(t, target, eng.rng_mut())
+                    }
+                    SoftTarget::DirState | SoftTarget::Sharers => {
+                        let b = eng.rng_mut().below(self.dirs.len() as u64) as usize;
+                        self.sched.wake_at(self.unit_dir(b), t);
+                        self.dirs[b].soft_flip(t, target, eng.rng_mut())
+                    }
+                };
+                if applied {
+                    eng.note_applied();
+                } else {
+                    eng.note_missed();
+                }
+            }
+            self.soft = Some(eng);
+        }
+        if self.next_audit_at.is_some_and(|at| t >= at) {
+            self.run_audit(false);
+            self.next_audit_at = Some(t + self.audit_every);
+        }
+        if self.chaos_wants_signal {
+            let lockdown_live = self.caches.iter().any(|c| c.active_lockdowns() > 0);
+            self.mesh.set_chaos_signal(lockdown_live);
+        }
+        // The active set the sparse engine would compute.
+        let mut due = std::mem::take(&mut self.scratch_due);
+        let mut pairs = std::mem::take(&mut self.list_pairs);
+        let mut dirs_l = std::mem::take(&mut self.list_dirs);
+        due.clear();
+        self.sched.take_due(t, &mut due);
+        let mesh_unit = n + self.dirs.len();
+        let mut mesh_due = false;
+        let mut nd = 0;
+        for k in 0..due.len() {
+            let u = due[k] as usize;
+            if u < n {
+                self.activate_pair(u, t, &mut pairs);
+            } else if u < mesh_unit {
+                self.activate_dir(u - n, &mut dirs_l);
+            } else if u == mesh_unit {
+                mesh_due = true;
+            } else {
+                due[nd] = (u - mesh_unit - 1) as u32;
+                nd += 1;
+            }
+        }
+        due.truncate(nd);
+        due.sort_unstable();
+        // Phase 1: drain EVERY node; an unscheduled node must release
+        // nothing, or the sparse engine would have missed a delivery.
+        let mut arrivals = std::mem::take(&mut self.scratch_arrivals);
+        for i in 0..n {
+            let scheduled = due.binary_search(&(i as u32)).is_ok();
+            arrivals.clear();
+            self.mesh.drain_arrived_into(NodeId(i as u16), &mut arrivals);
+            assert!(
+                scheduled || arrivals.is_empty(),
+                "SparseVerify: node {i} released {} arrival(s) at cycle {t} with no drain scheduled",
+                arrivals.len()
+            );
+            for m in arrivals.drain(..) {
+                let (dest, msg) = m.payload;
+                if self.trace_line == Some(msg.line()) {
+                    self.sink.emit(&format!("[{:>8}] {} -> {:?}: {:?}", t, m.src, dest, msg));
+                }
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        t,
+                        TraceEvent::MsgRecv {
+                            msg: msg.mnemonic(),
+                            src: m.src.0,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                        },
+                    );
+                }
+                match dest {
+                    Dest::Cache(_) => {
+                        self.activate_pair(i, t, &mut pairs);
+                        self.caches[i].handle_msg(t, msg, &mut self.cores[i])
+                    }
+                    Dest::Dir(_) => {
+                        let b = self.home.bank_of(msg.line());
+                        self.activate_dir(b, &mut dirs_l);
+                        self.dirs[b].receive(t, msg)
+                    }
+                }
+            }
+        }
+        self.scratch_arrivals = arrivals;
+        // Phase 2: every bank and cache ticks; sleeping ones must hold
+        // their sleep claim and change nothing.
+        for b in 0..self.dirs.len() {
+            if self.active_dir[b] {
+                self.dirs[b].tick(t);
+            } else {
+                let claim = self.dirs[b].next_event(t);
+                assert!(
+                    claim.map_or(true, |c| c > t),
+                    "SparseVerify: bank {b} slept through its own event at cycle {t} ({claim:?})"
+                );
+                let pre = self.dirs[b].stats().clone();
+                self.dirs[b].tick(t);
+                assert_eq!(
+                    self.dirs[b].stats(),
+                    &pre,
+                    "SparseVerify: sleeping bank {b} acted at cycle {t}"
+                );
+                assert!(
+                    self.dirs[b].outbox_is_empty(),
+                    "SparseVerify: sleeping bank {b} queued a message at cycle {t}"
+                );
+            }
+        }
+        for i in 0..n {
+            if self.active_pair[i] {
+                let (cache, core) = (&mut self.caches[i], &mut self.cores[i]);
+                cache.tick(t, core);
+            } else {
+                let claim = self.pair_next_event(i, t);
+                assert!(
+                    claim.map_or(true, |c| c > t),
+                    "SparseVerify: pair {i} slept through its own event at cycle {t} ({claim:?})"
+                );
+                let pre = self.caches[i].stats().clone();
+                let (cache, core) = (&mut self.caches[i], &mut self.cores[i]);
+                cache.tick(t, core);
+                assert_eq!(
+                    self.caches[i].stats(),
+                    &pre,
+                    "SparseVerify: sleeping cache {i} acted at cycle {t}"
+                );
+                assert!(
+                    self.caches[i].outbox_is_empty(),
+                    "SparseVerify: sleeping cache {i} queued a message at cycle {t}"
+                );
+            }
+        }
+        // Phase 3: every core ticks; a sleeping core's cycle must match
+        // the bulk idle-charging prediction counter for counter.
+        for i in 0..n {
+            if self.active_pair[i] {
+                self.cores[i].tick(t, &mut self.caches[i]);
+            } else {
+                let pre_retired = self.cores[i].retired();
+                let mut predicted = self.cores[i].stats().clone();
+                for (key, v) in self.cores[i].idle_stat_deltas(1) {
+                    predicted.add(key, v);
+                }
+                self.cores[i].tick(t, &mut self.caches[i]);
+                assert_eq!(
+                    self.cores[i].retired(),
+                    pre_retired,
+                    "SparseVerify: sleeping core {i} retired at cycle {t}"
+                );
+                assert_eq!(
+                    self.cores[i].stats(),
+                    &predicted,
+                    "SparseVerify: sleeping core {i} diverged from idle accounting at cycle {t}"
+                );
+            }
+        }
+        // Phase 4: dense injection from every node (a sleeping node's
+        // outboxes were just asserted empty, so draining is a no-op).
+        let (data_flits, ctrl_flits) =
+            (self.cfg.network.data_flits, self.cfg.network.control_flits);
+        let mut sent_any = false;
+        for i in 0..n {
+            let from = NodeId(i as u16);
+            self.scratch_outbox.clear();
+            self.caches[i].drain_outbox_into(&mut self.scratch_outbox);
+            let cache_n = self.scratch_outbox.len();
+            for b in self.home.banks_at(i) {
+                self.dirs[b].drain_outbox_into(&mut self.scratch_outbox);
+            }
+            for (k, (dest, msg)) in self.scratch_outbox.drain(..).enumerate() {
+                let sender = if k < cache_n {
+                    CompId::Cache(i as u16)
+                } else {
+                    CompId::Dir(self.home.bank_of(msg.line()) as u16)
+                };
+                let flits = msg.flits(data_flits, ctrl_flits);
+                if self.tracer.wants(Category::Protocol) {
+                    self.tracer.record(
+                        t,
+                        TraceEvent::MsgSend {
+                            msg: msg.mnemonic(),
+                            from: sender,
+                            to: comp_of(dest),
+                            line: msg.line().0,
+                            vnet: msg.vnet().index() as u8,
+                            flits,
+                        },
+                    );
+                }
+                self.mesh.send(
+                    t,
+                    MeshMsg { src: from, dst: dest.node(), vnet: msg.vnet(), flits, payload: (dest, msg) },
+                );
+                sent_any = true;
+            }
+        }
+        // Phase 5: the mesh always ticks; when the sparse engine would
+        // have skipped it, it must do visibly nothing.
+        let mesh_active = mesh_due || sent_any;
+        if !mesh_active {
+            let claim = self.mesh.next_internal_event(t);
+            assert!(
+                claim.map_or(true, |c| c > t),
+                "SparseVerify: mesh slept through its own event at cycle {t} ({claim:?})"
+            );
+            let pre = self.mesh.stats().clone();
+            self.mesh.tick(t);
+            assert_eq!(self.mesh.stats(), &pre, "SparseVerify: sleeping mesh acted at cycle {t}");
+            assert!(
+                self.mesh.parked_nodes().is_empty(),
+                "SparseVerify: sleeping mesh parked an arrival at cycle {t}"
+            );
+        } else {
+            self.mesh.tick(t);
+        }
+        self.drain_park_log();
+        // Reschedule exactly the units the sparse engine would have
+        // visited — the others keep their (now verified) wheel state.
+        for k in 0..pairs.len() {
+            let i = pairs[k] as usize;
+            self.active_pair[i] = false;
+            let e = self.pair_next_event(i, t + 1);
+            self.sched.set(self.unit_pair(i), e);
+        }
+        for k in 0..dirs_l.len() {
+            let b = dirs_l[k] as usize;
+            self.active_dir[b] = false;
+            let e = self.dirs[b].next_event(t + 1);
+            self.sched.set(self.unit_dir(b), e);
+        }
+        if mesh_active {
+            let e = self.mesh.next_internal_event(t + 1);
+            self.sched.set(self.unit_mesh(), e);
+        }
+        self.engine_visits +=
+            (pairs.len() + dirs_l.len() + due.len() + usize::from(mesh_active)) as u64;
+        // Every core really ticked, so the idle frontier stays current.
+        for cu in &mut self.charged_until {
+            *cu = t + 1;
+        }
+        due.clear();
+        pairs.clear();
+        dirs_l.clear();
+        self.scratch_due = due;
+        self.list_pairs = pairs;
+        self.list_dirs = dirs_l;
+        self.now = t + 1;
     }
 
     /// Is everything finished and drained?
@@ -571,27 +1216,60 @@ impl System {
         let mut snaps: VecDeque<(Cycle, u64)> = VecDeque::with_capacity(SNAPS_KEPT + 1);
         snaps.push_back((self.now, self.retry_activity()));
         let deadline = self.now.saturating_add(max_cycles);
-        let skipping = self.cfg.engine != EngineMode::Dense;
+        let engine = self.cfg.engine;
+        if engine.is_sparse() {
+            // Any dense ticking between runs self-accounted its cycles;
+            // the sparse idle-charge frontier starts at `now`.
+            for cu in &mut self.charged_until {
+                *cu = self.now;
+            }
+        }
         while self.now < deadline {
             if self.done() {
+                self.flush_idle_charges();
                 return RunOutcome::Done;
             }
-            if skipping {
-                self.try_skip(
-                    &progress,
-                    &mut drained_since,
-                    stall_window,
-                    deadline,
-                    &mut snaps,
-                    SNAP_EVERY_MASK,
-                    SNAPS_KEPT,
-                );
-                if self.now >= deadline {
-                    break;
+            match engine {
+                EngineMode::Skip | EngineMode::SkipVerify => {
+                    self.try_skip(
+                        &progress,
+                        &mut drained_since,
+                        stall_window,
+                        deadline,
+                        &mut snaps,
+                        SNAP_EVERY_MASK,
+                        SNAPS_KEPT,
+                    );
+                    if self.now >= deadline {
+                        break;
+                    }
                 }
+                EngineMode::Sparse => {
+                    self.try_jump_sparse(
+                        &progress,
+                        &mut drained_since,
+                        stall_window,
+                        deadline,
+                        &mut snaps,
+                        SNAP_EVERY_MASK,
+                        SNAPS_KEPT,
+                    );
+                    if self.now >= deadline {
+                        break;
+                    }
+                }
+                // SparseVerify never jumps: it executes every cycle to
+                // check the sparse engine's sleep claims against dense
+                // reality.
+                EngineMode::Dense | EngineMode::SparseVerify => {}
             }
-            self.tick();
+            match engine {
+                EngineMode::Sparse => self.tick_sparse(),
+                EngineMode::SparseVerify => self.tick_sparse_verify(),
+                _ => self.tick(),
+            }
             if let Some(e) = self.protocol_fault() {
+                self.flush_idle_charges();
                 let stalled = self.stalled_cores(&progress, stall_window);
                 let report = self.diagnose(stalled, 0, Some(e));
                 return RunOutcome::Fault(Box::new(report));
@@ -624,6 +1302,7 @@ impl System {
                 }
             }
             if worst > stall_window {
+                self.flush_idle_charges();
                 let activity_now = self.retry_activity();
                 // Baseline: the newest snapshot at least a full stall
                 // window old (fall back to the oldest kept).
@@ -639,6 +1318,7 @@ impl System {
                 return RunOutcome::Wedge(Box::new(report));
             }
         }
+        self.flush_idle_charges();
         if self.done() {
             RunOutcome::Done
         } else {
@@ -646,59 +1326,112 @@ impl System {
         }
     }
 
+    /// Bulk-charge every core's outstanding sparse idle debt up to
+    /// `now` (exclusive). No-op outside the sparse engines and when the
+    /// frontier is already current. Called before every run exit and
+    /// before any externally visible stats read, so observable state is
+    /// byte-identical to dense accounting.
+    fn flush_idle_charges(&mut self) {
+        if !self.cfg.engine.is_sparse() {
+            return;
+        }
+        let t = self.now;
+        for (i, c) in self.cores.iter_mut().enumerate() {
+            let k = t.saturating_sub(self.charged_until[i]);
+            if k > 0 {
+                c.apply_idle_cycles(k);
+                self.charged_until[i] = t;
+            }
+        }
+    }
+
+    /// The earliest cycle at which any system-level deadline fires
+    /// (timeline sample, soft-error strike, periodic audit): `Some(now)`
+    /// if one is due this cycle, the minimum future deadline otherwise.
+    fn system_deadline(&self) -> Option<Cycle> {
+        let now = self.now;
+        let mut next: Option<Cycle> = None;
+        let deadlines = [
+            self.timeline.as_ref().map(|tl| tl.next_sample_at()),
+            self.soft.as_ref().and_then(SoftEngine::next_fire),
+            self.next_audit_at,
+        ];
+        for e in deadlines {
+            match e {
+                Some(c) if c <= now => return Some(now),
+                Some(c) => next = Some(next.map_or(c, |n| n.min(c))),
+                None => {}
+            }
+        }
+        next
+    }
+
     /// The earliest cycle at which any component can act: `Some(now)`
     /// when something is actionable this cycle, the minimum future
     /// event otherwise, `None` when the whole machine is quiescent.
     /// Between `now` and the returned cycle every `tick` is a no-op
     /// except for idle-cycle counter upkeep on the cores.
-    fn quiescent_until(&self) -> Option<Cycle> {
+    ///
+    /// Wheel-backed (the former linear min-scan over every component is
+    /// gone): only units whose cached wake is due are recomputed and
+    /// re-posted; sleeping units are never visited, so a probe costs
+    /// O(active) instead of O(cores + banks). Exactness is unchanged —
+    /// a sleeping unit's cached wake equals a fresh recompute because
+    /// its state cannot have changed since it was posted (deliveries
+    /// mark the wheel, and a component's own tick is a no-op before its
+    /// `next_event`; predictions are absolute cycles, so they are
+    /// temporally stable).
+    fn quiescent_until(&mut self) -> Option<Cycle> {
         let now = self.now;
         let mut next: Option<Cycle> = None;
-        // Returns true (busy this cycle) to short-circuit the scan:
-        // during active phases the probe must stay cheap, so the
-        // inexpensive checks run first.
-        let mut merge = |e: Option<Cycle>| -> bool {
-            match e {
-                Some(c) if c <= now => true,
-                Some(c) => {
-                    next = Some(next.map_or(c, |n| n.min(c)));
-                    false
-                }
-                None => false,
-            }
-        };
-        if let Some(tl) = &self.timeline {
-            if merge(Some(tl.next_sample_at())) {
-                return Some(now);
-            }
+        match self.system_deadline() {
+            Some(c) if c <= now => return Some(now),
+            Some(c) => next = Some(c),
+            None => {}
         }
-        if let Some(eng) = &self.soft {
-            if merge(eng.next_fire()) {
-                return Some(now);
-            }
+        let mut due = std::mem::take(&mut self.scratch_due);
+        due.clear();
+        self.sched.take_due(now, &mut due);
+        let mut busy = false;
+        for k in 0..due.len() {
+            let u = due[k] as usize;
+            let e = self.unit_probe_event(u, now);
+            busy |= matches!(e, Some(c) if c <= now);
+            self.sched.set(u, e);
         }
-        if merge(self.next_audit_at) {
+        due.clear();
+        self.scratch_due = due;
+        if busy {
             return Some(now);
         }
-        for c in &self.caches {
-            if merge(c.next_event(now)) {
-                return Some(now);
-            }
+        match self.sched.earliest() {
+            // Defensive: a stale lower bound surfacing as due would only
+            // make the probe conservatively report "busy" (no skip, one
+            // dense tick) — never an early jump.
+            Some(c) if c <= now => Some(now),
+            Some(c) => Some(next.map_or(c, |n| n.min(c))),
+            None => next,
         }
-        if merge(self.mesh.next_event(now)) {
-            return Some(now);
+    }
+
+    /// Fresh `next_event` recompute for one wheel unit, as used by the
+    /// skip-engine probe. Pairs and banks use their component hooks;
+    /// the mesh uses its *full* hook (parked arrivals included, since
+    /// the skip probe has no separate drain schedule); drain units are
+    /// never re-armed here — the full mesh hook already holds the probe
+    /// busy while arrivals are pending.
+    fn unit_probe_event(&self, u: usize, now: Cycle) -> Option<Cycle> {
+        let n = self.cores.len();
+        let nb = self.dirs.len();
+        if u < n {
+            self.pair_next_event(u, now)
+        } else if u < n + nb {
+            self.dirs[u - n].next_event(now)
+        } else if u == n + nb {
+            self.mesh.next_event(now)
+        } else {
+            None
         }
-        for d in &self.dirs {
-            if merge(d.next_event(now)) {
-                return Some(now);
-            }
-        }
-        for (c, cache) in self.cores.iter().zip(&self.caches) {
-            if merge(c.next_event(now, cache)) {
-                return Some(now);
-            }
-        }
-        next
     }
 
     /// Cycle-skipping fast-forward (`EngineMode::Skip` / `SkipVerify`):
@@ -770,7 +1503,9 @@ impl System {
         self.skipped_cycles += k;
         self.skip_windows += 1;
         match self.cfg.engine {
-            EngineMode::Dense => unreachable!("try_skip is not called in dense mode"),
+            EngineMode::Dense | EngineMode::Sparse | EngineMode::SparseVerify => {
+                unreachable!("try_skip is only called by the skip engines")
+            }
             EngineMode::Skip => {
                 for c in &mut self.cores {
                     c.apply_idle_cycles(k);
@@ -855,6 +1590,100 @@ impl System {
         }
     }
 
+    /// Sparse-engine fast-forward: when the wheel schedules nothing for
+    /// this cycle, jump `now` to the earliest scheduled wake, capped by
+    /// the watchdog and the deadline exactly like [`System::try_skip`].
+    /// Unlike the skip engine there is no probe throttle (the wheel's
+    /// `earliest()` is a cheap first-hit scan, not a machine-wide
+    /// recompute) and no bulk idle charge here — each core's debt is
+    /// charged at its own next activation. The wheel's bound may be
+    /// early (lazily invalidated entries): an early landing executes
+    /// one inert sparse cycle and re-probes, it never diverges.
+    #[allow(clippy::too_many_arguments)]
+    fn try_jump_sparse(
+        &mut self,
+        progress: &[(u64, Cycle)],
+        drained_since: &mut Option<Cycle>,
+        stall_window: u64,
+        deadline: Cycle,
+        snaps: &mut VecDeque<(Cycle, u64)>,
+        snap_mask: u64,
+        snaps_kept: usize,
+    ) {
+        let wheel = self.sched.earliest();
+        if matches!(wheel, Some(c) if c <= self.now) {
+            return;
+        }
+        let sys = self.system_deadline();
+        if sys == Some(self.now) {
+            return;
+        }
+        // Watchdog cap — identical to `try_skip` (see the comment
+        // there for why `base + stall_window` is the last dense tick).
+        let cap_base = if self.cores.iter().all(Core::drained) {
+            *drained_since.get_or_insert(self.now + 1)
+        } else {
+            self.cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.drained())
+                .map(|(i, _)| progress[i].1)
+                .min()
+                .expect("a non-drained core exists")
+        };
+        let cap = cap_base.saturating_add(stall_window);
+        let wake = match (wheel, sys) {
+            (Some(a), Some(b)) => a.min(b),
+            (a, b) => a.or(b).unwrap_or(Cycle::MAX),
+        };
+        let target = wake.min(cap).min(deadline);
+        if target <= self.now {
+            return;
+        }
+        let start = self.now;
+        let k = target - start;
+        self.skipped_cycles += k;
+        self.skip_windows += 1;
+        self.now = target;
+        // Synthesize the watchdog snapshots dense ticking would have
+        // taken, exactly like `try_skip`: retry activity is constant
+        // while nothing executes, and `retry_activity` reads no
+        // idle-charged counter, so pending idle debt cannot skew it.
+        let step = snap_mask + 1;
+        let activity = self.retry_activity();
+        let mut b = (start / step + 1) * step;
+        while b <= target {
+            snaps.push_back((b, activity));
+            while snaps.len() > snaps_kept {
+                snaps.pop_front();
+            }
+            b += step;
+        }
+    }
+
+    /// Activate pair `i` for the current sparse cycle (idempotent):
+    /// bulk-charge its idle debt up to `t` and add it to the visit list.
+    fn activate_pair(&mut self, i: usize, t: Cycle, list: &mut Vec<u32>) {
+        if self.active_pair[i] {
+            return;
+        }
+        self.active_pair[i] = true;
+        list.push(i as u32);
+        let k = t.saturating_sub(self.charged_until[i]);
+        if k > 0 {
+            self.cores[i].apply_idle_cycles(k);
+        }
+        self.charged_until[i] = t;
+    }
+
+    /// Activate bank `b` for the current sparse cycle (idempotent).
+    fn activate_dir(&mut self, b: usize, list: &mut Vec<u32>) {
+        if !self.active_dir[b] {
+            self.active_dir[b] = true;
+            list.push(b as u32);
+        }
+    }
+
     /// Cores that have gone at least half the stall window without
     /// retiring, worst first: `(core, stalled-for cycles)`.
     fn stalled_cores(&self, progress: &[(u64, Cycle)], stall_window: u64) -> Vec<(u16, u64)> {
@@ -910,6 +1739,8 @@ impl System {
             EngineMode::Dense => "dense",
             EngineMode::Skip => "skip",
             EngineMode::SkipVerify => "skip-verify",
+            EngineMode::Sparse => "sparse",
+            EngineMode::SparseVerify => "sparse-verify",
         };
         let mut s = format!(
             "workload={} seed={:#x} cores={} protocol={:?} commit={:?} jitter={} engine={} dir_banks_per_node={}",
@@ -1426,6 +2257,12 @@ impl System {
         }
         self.audit_runs += 1;
         self.audit_violations += violations.len() as u64;
+        if self.sched.units() != 0 {
+            // The scrub may have queued repair traffic anywhere (and a
+            // final-run drain densely ticked the machine): wake every
+            // unit so no engine sleeps through audit-induced work.
+            self.sched.wake_all(self.now);
+        }
         AuditReport { at_cycle: now, final_run, checks, scrub_repairs, violations }
     }
 
@@ -1582,7 +2419,37 @@ impl System {
 
     /// Layout version of the `System` payload inside the WBSNAP frame.
     /// Bump whenever any component's wire layout changes.
-    const SNAP_LAYOUT: u16 = 2;
+    const SNAP_LAYOUT: u16 = 3;
+
+    /// The activity wheel a sparse engine *would* hold at this instant,
+    /// recomputed from component state alone. Stored in every snapshot:
+    /// being a pure function of component state it is byte-identical
+    /// across engine modes (a sleeping unit's cached wake equals a
+    /// fresh recompute — temporal stability), keeping whole snapshots
+    /// engine-independent while letting a sparse restore resume without
+    /// a wake-all thundering herd.
+    fn canonical_sched(&self) -> ActivitySched {
+        let now = self.now;
+        let n = self.cores.len();
+        let nb = self.dirs.len();
+        let mut table = ActivitySched::new(n + nb + 1 + n);
+        table.advance_to(now);
+        for i in 0..n {
+            table.set(i, self.pair_next_event(i, now));
+        }
+        for b in 0..nb {
+            table.set(n + b, self.dirs[b].next_event(now));
+        }
+        table.set(n + nb, self.mesh.next_internal_event(now));
+        for i in 0..n {
+            // Pending arrivals (including blocked ones) get a drain at
+            // `now`; a spurious drain visit releases nothing and is
+            // harmless.
+            let due = self.mesh.has_arrivals_at(NodeId(i as u16));
+            table.set(self.unit_drain(i), due.then_some(now));
+        }
+        table
+    }
 
     /// Configuration fingerprint stored in every snapshot and compared
     /// on restore: a snapshot only restores into a system built from
@@ -1648,6 +2515,10 @@ impl System {
                 }
                 None => w.bool(false),
             }
+            // Layout 3: the canonical activity-wheel table. Recomputed
+            // fresh from component state (never the live wheel), so the
+            // bytes are engine-independent and `snapshot` stays `&self`.
+            self.canonical_sched().snap(w);
         })
     }
 
@@ -1730,6 +2601,25 @@ impl System {
                 wb_kernel::SnapError::new("snapshot carries a soft engine, system has none")
             })?;
             eng.restore(&mut r)?;
+        }
+        let table = ActivitySched::unsnap(&mut r)?;
+        let n = self.cores.len();
+        let expected = n + self.dirs.len() + 1 + n;
+        if table.units() != expected {
+            return Err(wb_kernel::SnapError::new(format!(
+                "snapshot wake table has {} units, system has {expected}",
+                table.units()
+            )));
+        }
+        match self.cfg.engine {
+            // The canonical table is exactly what the sparse engines
+            // need: fresh per-unit recomputes as of the snapshot cycle.
+            EngineMode::Sparse | EngineMode::SparseVerify => self.sched = table,
+            // The skip probe semantics differ on the mesh unit (full
+            // hook, no drain schedule): start conservatively and let the
+            // first probe recompute everything.
+            EngineMode::Skip | EngineMode::SkipVerify => self.sched.wake_all(self.now),
+            EngineMode::Dense => {}
         }
         r.finish()
     }

@@ -439,6 +439,12 @@ impl Core {
     /// `core_cycles` always advances, and `commit` charges exactly one
     /// stall bucket per cycle unless the core is halted or sits on an
     /// empty pipeline with fetch stopped.
+    ///
+    /// The skip engine calls this for every core at once when the whole
+    /// machine jumps; the sparse engine calls it per core at that core's
+    /// own wake, charging exactly the cycles *this* core slept through
+    /// (the stall bucket chosen is stable across the slept window
+    /// because the core's state did not change while it slept).
     pub fn apply_idle_cycles(&mut self, k: u64) {
         if k == 0 || self.drained() {
             return;

@@ -327,14 +327,20 @@ impl Default for WatchdogConfig {
 
 /// Which simulation engine drives `System::run`.
 ///
-/// All three modes are cycle-exact with each other: `Skip` leaps `now`
-/// over provably-inert windows (no component has an event due before
-/// the target cycle) while applying the idle-cycle accounting dense
-/// ticking would have produced, so `RunOutcome`, final `Stats` and the
-/// merged trace are identical. `SkipVerify` takes every skip the skip
-/// engine would take but then *densely ticks through the window
-/// anyway*, asserting that nothing observable happened — the
-/// self-checking mode the equivalence suite leans on.
+/// All modes are cycle-exact with each other: `Skip` leaps `now` over
+/// provably-inert windows (no component has an event due before the
+/// target cycle) while applying the idle-cycle accounting dense ticking
+/// would have produced, so `RunOutcome`, final `Stats` and the merged
+/// trace are identical. `Sparse` goes further: each core+cache pair,
+/// directory bank and mesh router is tracked individually in a
+/// calendar-wheel scheduler ([`crate::sched::ActivitySched`]) keyed by
+/// its `next_event` hook and woken eagerly on message delivery, so a
+/// cycle visits only the components with work due — O(active) instead
+/// of O(cores) — and the whole-machine jump falls out as the degenerate
+/// case (empty wheel). `SkipVerify`/`SparseVerify` take every decision
+/// their engine would take but then *densely tick anyway*, asserting
+/// that nothing observable happened — the self-checking modes the
+/// equivalence suite leans on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineMode {
     /// Tick every component on every cycle (the reference engine).
@@ -345,6 +351,25 @@ pub enum EngineMode {
     Skip,
     /// Compute each skip, then cross-check it against dense ticking.
     SkipVerify,
+    /// Per-component activity tracking: tick only the components whose
+    /// calendar-wheel wake is due, sleep the rest individually.
+    Sparse,
+    /// Take every sparse scheduling decision, then tick *everything*
+    /// densely, asserting each slept component did nothing.
+    SparseVerify,
+}
+
+impl EngineMode {
+    /// True for the modes that drive a live [`crate::sched::ActivitySched`]
+    /// (everything but the dense reference engine).
+    pub fn uses_wheel(self) -> bool {
+        self != EngineMode::Dense
+    }
+
+    /// True for the per-component activity-tracked modes.
+    pub fn is_sparse(self) -> bool {
+        matches!(self, EngineMode::Sparse | EngineMode::SparseVerify)
+    }
 }
 
 /// Full system configuration.

@@ -24,6 +24,8 @@
 //!   tracks),
 //! - [`attr`], the bounded space-saving heavy-hitters sketch used for
 //!   cycle attribution (top-K contended lines / directory banks),
+//! - [`sched`], the calendar-wheel activity scheduler the sparse engine
+//!   uses to visit only the components with work due each cycle,
 //! - [`snap`], the versioned binary snapshot codec behind deterministic
 //!   checkpoint/restore (with a strict-JSON hex envelope validated
 //!   through [`json`]),
@@ -51,6 +53,7 @@ pub mod fault;
 pub mod hist;
 pub mod json;
 pub mod rng;
+pub mod sched;
 pub mod snap;
 pub mod soft;
 pub mod stats;
@@ -66,6 +69,7 @@ pub use fault::{FaultClause, FaultEffect, FaultEngine, FaultPlan, HopFate};
 pub use soft::{SoftClause, SoftEngine, SoftPlan, SoftTarget};
 pub use hist::Hist;
 pub use rng::SimRng;
+pub use sched::ActivitySched;
 pub use snap::{Snap, SnapError, SnapReader, SnapResult, SnapWriter};
 pub use stats::{CounterHandle, Stats};
 pub use timeline::{Timeline, TimelineWindow};

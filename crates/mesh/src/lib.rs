@@ -220,6 +220,14 @@ pub struct Mesh<T> {
     scratch_dups: Vec<Flight<T>>,
     scratch_flow_keys: Vec<FlowKey>,
     scratch_acks_due: Vec<(FlowKey, u64)>,
+    /// When enabled (sparse engine), every frame parked into an arrival
+    /// buffer also records its destination node here — the wake-on-message
+    /// feed the system drains after each `tick` to schedule delivery.
+    /// Not serialized: the engine drains it within the same cycle, like
+    /// the scratch buffers above (may hold duplicates; the consumer's
+    /// wake table dedups).
+    log_parks: bool,
+    park_log: Vec<u16>,
 }
 
 impl<T> Mesh<T> {
@@ -261,7 +269,38 @@ impl<T> Mesh<T> {
             scratch_dups: Vec::new(),
             scratch_flow_keys: Vec::new(),
             scratch_acks_due: Vec::new(),
+            log_parks: false,
+            park_log: Vec::new(),
         }
+    }
+
+    /// Enable/disable the arrival park log (see `park_log`). The sparse
+    /// engine turns this on; other engines leave it off so the mesh stays
+    /// byte-identical in behaviour and cost.
+    pub fn set_park_log(&mut self, enabled: bool) {
+        self.log_parks = enabled;
+        self.park_log.clear();
+    }
+
+    /// Destination nodes of frames parked since the last clear (may hold
+    /// duplicates).
+    pub fn parked_nodes(&self) -> &[u16] {
+        &self.park_log
+    }
+
+    /// Clear the park log (the engine calls this after scheduling the
+    /// wakes it implies).
+    pub fn clear_parked_nodes(&mut self) {
+        self.park_log.clear();
+    }
+
+    /// Park a frame in its destination's arrival buffer, feeding the
+    /// wake-on-message log when enabled.
+    fn park(&mut self, f: Flight<T>) {
+        if self.log_parks {
+            self.park_log.push(f.dst.0);
+        }
+        self.arrived[f.dst.index()].push_back(f);
     }
 
     /// Install (or clear) a chaos engine for adversarial timing.
@@ -543,6 +582,52 @@ impl<T> Mesh<T> {
             }
         }
         next
+    }
+
+    /// [`Mesh::next_event`] without the arrivals-awaiting-drain term:
+    /// the earliest cycle at which `tick` itself can change state.
+    ///
+    /// `tick` never reads the arrival buffers — draining them is the
+    /// *system's* job — so under the sparse engine, where dedicated
+    /// per-node drain units are woken by the park log, the mesh unit
+    /// sleeps on this hook. Using the full `next_event` there would pin
+    /// the mesh (and its whole-machine jump) awake for as long as a
+    /// flow-gap blocked arrival sits parked. The skip engine keeps the
+    /// full hook: its single global probe has no drain units.
+    pub fn next_internal_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(now);
+            next = Some(next.map_or(c, |n| n.min(c)));
+        };
+        for f in &self.in_flight {
+            consider(f.ready_at);
+        }
+        if let Some(rl) = &self.reliable {
+            for sf in rl.send_flows.values() {
+                if let Some(head) = sf.unacked.front() {
+                    consider(head.last_sent + head.rto);
+                }
+            }
+            for r in rl.recv_flows.values() {
+                if let Some(since) = r.owed_since {
+                    consider(since + rl.cfg.ack_idle);
+                }
+            }
+        }
+        next
+    }
+
+    /// True when any arrival buffer holds parked frames (the term
+    /// [`Mesh::next_internal_event`] omits; the sparse engine's restore
+    /// path uses it to schedule drain units).
+    pub fn has_arrivals(&self) -> bool {
+        self.arrived.iter().any(|q| !q.is_empty())
+    }
+
+    /// True when node `n`'s arrival buffer holds parked frames.
+    pub fn has_arrivals_at(&self, n: NodeId) -> bool {
+        !self.arrived[n.index()].is_empty()
     }
 
     /// Re-seed every random stream in this mesh (routing jitter, chaos,
@@ -839,7 +924,7 @@ impl<T: Clone + Hash> Mesh<T> {
             for &(i, _) in removals.iter().rev() {
                 let f = self.in_flight.swap_remove(i);
                 self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
-                self.arrived[f.dst.index()].push_back(f);
+                self.park(f);
             }
             self.in_flight.append(&mut dups);
         }
@@ -856,7 +941,7 @@ impl<T: Clone + Hash> Mesh<T> {
             // Unreachable in practice: the sublayer is enabled before any
             // traffic, so every frame carries a header. Deliver as-is.
             self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
-            self.arrived[f.dst.index()].push_back(f);
+            self.park(f);
             return;
         };
         match *link {
@@ -893,7 +978,7 @@ impl<T: Clone + Hash> Mesh<T> {
                     }
                     RecvVerdict::Fresh => {
                         self.stats.record("mesh_msg_cycles", now.saturating_sub(f.sent_at));
-                        self.arrived[f.dst.index()].push_back(f);
+                        self.park(f);
                     }
                 }
             }

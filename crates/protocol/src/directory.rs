@@ -476,6 +476,11 @@ impl Directory {
     /// when the event queue is empty. Parked evictions and queued
     /// requests only advance on *incoming* messages (tracked by the
     /// mesh's own `next_event`), so they carry no deadline here.
+    ///
+    /// This is also the sparse engine's sleep-eligibility hook: event
+    /// due-times are absolute cycles, so the prediction is temporally
+    /// stable — a sleeping bank's cached wake stays correct until a
+    /// message is delivered to it (which wakes it at the glue layer).
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut next: Option<Cycle> = None;
         if !self.outbox.is_empty() || !self.ingress.is_empty() {
@@ -486,6 +491,12 @@ impl Directory {
             next = Some(next.map_or(due, |n| n.min(due)));
         }
         next
+    }
+
+    /// True when no protocol messages await injection (`SparseVerify`
+    /// asserts this stays true across a slept bank's shadow tick).
+    pub fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
     }
 
     /// Counter access for reports.

@@ -394,6 +394,12 @@ impl PrivateCache {
     /// every cycle), `None` otherwise. MSHRs and parked evictions only
     /// advance on incoming messages, which the mesh's own `next_event`
     /// tracks.
+    ///
+    /// This is the sparse engine's sleep-eligibility hook: a cache
+    /// returning `None` may be skipped entirely until a message is
+    /// delivered to it (wake-on-message at the system glue), because
+    /// every state transition here is driven by `handle_msg`, the
+    /// paired core's calls, or one of the four queues tested below.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
         if !self.outbox.is_empty()
             || !self.completions.is_empty()
@@ -404,6 +410,12 @@ impl PrivateCache {
         } else {
             None
         }
+    }
+
+    /// True when no protocol messages await injection (`SparseVerify`
+    /// asserts this stays true across a slept cache's shadow tick).
+    pub fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
     }
 
     /// Counter access for reports.

@@ -45,6 +45,15 @@ if awk '/pub fn tick\(|pub fn drain_arrived_into/{hot=1} hot && /^    }$/{hot=0}
     echo "ERROR: allocation in the Mesh::tick/drain_arrived_into hot path (reuse a scratch buffer)" >&2
     exit 1
 fi
+# Same rule for the activity scheduler (DESIGN.md "Performance
+# engineering II"): the wake/advance hot path — wake_at, set, take_due,
+# earliest — runs on every message delivery and every sparse tick; the
+# wheel's storage is allocated once in `new` and only reused after.
+if awk '/pub fn wake_at\(|pub fn set\(|pub fn take_due\(|pub fn earliest\(/{hot=1} hot && /^    }$/{hot=0} hot' \
+    crates/kernel/src/sched.rs | grep -nE 'Vec::new\(\)|vec!\['; then
+    echo "ERROR: allocation in the ActivitySched wake/advance hot path (storage is pre-sized in new())" >&2
+    exit 1
+fi
 
 # Topology discipline: no component may hardcode the 4x4 machine —
 # PR 6 made every mesh/bank dimension flow from SystemConfig/HomeMap.
@@ -144,12 +153,16 @@ cargo run -q --release --offline -p wb-examples --bin fault_lab \
 cargo run -q --release --offline -p wb-examples --bin soft_lab \
     | grep -q 'soft lab: all scenarios OK'
 
-# Engine-equivalence smoke: the cycle-skipping engine must stay
-# cycle-exact against dense ticking — one litmus cell and one RTO-bound
-# fault cell (the quiescence-heavy shape skipping exists for), in
-# release mode, including the self-checking SkipVerify pass.
+# Engine-equivalence smoke: the cycle-skipping and sparse engines must
+# stay cycle-exact against dense ticking — one litmus cell and one
+# RTO-bound fault cell (the quiescence-heavy shape skipping exists
+# for), in release mode, including the self-checking SkipVerify and
+# SparseVerify passes (both ride inside assert_equivalent), plus the
+# sparse-economics sanity cell (the engine must demonstrably visit only
+# live components, not just match outcomes).
 cargo test -q --release --offline -p wb-integration --test engine_equivalence -- \
     litmus_runs_are_cycle_exact rto_bound_bench_cells_are_cycle_exact \
+    sparse_engine_visits_only_live_components \
     | grep -q 'test result: ok'
 
 # Scaling smoke: the 16x16 watchdog regression cells run at full size
@@ -190,8 +203,8 @@ test "$(wc -l < "$campdir/cut/manifest")" -eq 8
 cmp "$campdir/ref/merged.jsonl" "$campdir/cut/merged.jsonl"
 
 # Ledger smoke: the perf-regression gate run twice at the same revision
-# must produce two parseable JSONL entries per group per run (smoke +
-# campaign) and a clean second verdict —
+# must produce three parseable JSONL entries per run (smoke + campaign +
+# engine) and a clean second verdict —
 # every gated metric is deterministic, so any nonzero exit here means
 # either real nondeterminism or a broken comparison. The synthetic
 # must-fail direction (a 20% slowdown exits nonzero) is pinned by the
@@ -200,7 +213,7 @@ ledgerdir="$(mktemp -d)"
 trap 'rm -rf "$tracedir" "$scalingdir" "$campdir" "$ledgerdir"' EXIT
 WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
 WB_LEDGER_PATH="$ledgerdir/ledger.jsonl" cargo run -q --release --offline -p wb-bench --bin ledger
-test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 4
+test "$(wc -l < "$ledgerdir/ledger.jsonl")" -eq 6
 # And the real gate: current build vs the committed baseline (copied
 # aside so verification never mutates the tracked ledger). A nonzero
 # exit means a deterministic metric regressed — either fix it, or

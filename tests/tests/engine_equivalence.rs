@@ -1,13 +1,14 @@
-//! Dense vs cycle-skipping engine equivalence.
+//! Dense vs cycle-skipping vs sparse engine equivalence.
 //!
-//! The event-driven engine (`EngineMode::Skip`) must be *cycle-exact*:
-//! for any workload, seed, chaos plan and fault plan, it produces the
+//! The event-driven engines (`EngineMode::Skip` and the
+//! activity-tracked `EngineMode::Sparse`) must be *cycle-exact*: for
+//! any workload, seed, chaos plan and fault plan, they produce the
 //! same `RunOutcome` at the same final cycle, byte-identical stats JSON
 //! and an identical merged event trace. These tests pin that contract
 //! across litmus races, barrier-heavy kernels, chaos/fault torture
 //! cells, watchdog wedges and budget exhaustion — including the
-//! self-checking `SkipVerify` mode, which ticks every skipped window
-//! densely and asserts the inertness claim cycle by cycle.
+//! self-checking `SkipVerify` / `SparseVerify` modes, which execute
+//! densely and assert every inertness / sleep claim cycle by cycle.
 
 use wb_isa::{AluOp, Program, Reg, Workload};
 use wb_kernel::chaos::ChaosPlan;
@@ -33,9 +34,13 @@ struct Observed {
 /// runs must agree, so equivalence compares modulo that one token.
 fn neutralize_engine(mut o: Observed) -> Observed {
     if let RunOutcome::Wedge(r) | RunOutcome::Fault(r) = &mut o.outcome {
+        // Longer tokens first, so "engine=sparse" can't eat the prefix
+        // of "engine=sparse-verify".
         r.reproducer = r
             .reproducer
+            .replace("engine=sparse-verify", "engine=*")
             .replace("engine=skip-verify", "engine=*")
+            .replace("engine=sparse", "engine=*")
             .replace("engine=dense", "engine=*")
             .replace("engine=skip", "engine=*");
     }
@@ -63,14 +68,19 @@ fn run_with(engine: EngineMode, cfg: &SystemConfig, w: &Workload, budget: u64, t
     }
 }
 
-/// Assert Skip (and optionally SkipVerify) matches Dense byte for byte.
+/// Assert Skip and Sparse (and optionally the self-checking verify
+/// engines) match Dense byte for byte.
 fn assert_equivalent(label: &str, cfg: &SystemConfig, w: &Workload, budget: u64, verify: bool) {
     let dense = run_with(EngineMode::Dense, cfg, w, budget, false);
     let skip = run_with(EngineMode::Skip, cfg, w, budget, false);
     assert_eq!(dense, skip, "{label}: Skip diverged from Dense");
+    let sparse = run_with(EngineMode::Sparse, cfg, w, budget, false);
+    assert_eq!(dense, sparse, "{label}: Sparse diverged from Dense");
     if verify {
         let verified = run_with(EngineMode::SkipVerify, cfg, w, budget, false);
         assert_eq!(dense, verified, "{label}: SkipVerify diverged from Dense");
+        let sverified = run_with(EngineMode::SparseVerify, cfg, w, budget, false);
+        assert_eq!(dense, sverified, "{label}: SparseVerify diverged from Dense");
     }
 }
 
@@ -172,6 +182,57 @@ fn machine_at_64_cores_is_cycle_exact() {
     assert_equivalent("64-core torture", &cfg, &w, 8_000_000, true);
     cfg.memory.dir_banks_per_node = 2;
     assert_equivalent("64-core torture, 2 banks/node", &cfg, &w, 8_000_000, false);
+}
+
+/// The 256-core (16x16 mesh) machine the sparse engine exists for:
+/// most of the fleet sleeps at any instant, and a tick must only touch
+/// live components. All engines agree byte for byte, with the sharded
+/// directory (2 banks/node) riding along.
+#[test]
+fn machine_at_256_cores_is_cycle_exact() {
+    let w = torture_workload(256, 17, 4);
+    let mut cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(256)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(17)
+        .with_jitter(25)
+        .without_event_log();
+    assert_equivalent("256-core torture", &cfg, &w, 8_000_000, false);
+    cfg.memory.dir_banks_per_node = 2;
+    let dense = run_with(EngineMode::Dense, &cfg, &w, 8_000_000, false);
+    let sparse = run_with(EngineMode::Sparse, &cfg, &w, 8_000_000, false);
+    assert_eq!(dense, sparse, "256-core torture, 2 banks/node: Sparse diverged");
+}
+
+/// The sparse engine must actually be sparse: on a 64-core machine
+/// running a 2-core litmus race, visits per executed cycle must be a
+/// small fraction of the dense engine's (which touches every pair,
+/// bank and the mesh every cycle), and whole-machine quiescent gaps
+/// must still be jumped.
+#[test]
+fn sparse_engine_visits_only_live_components() {
+    let t = wb_tso::litmus::mp();
+    let cfg = SystemConfig::new(CoreClass::Slm)
+        .with_cores(64)
+        .with_commit(CommitMode::OutOfOrderWb)
+        .with_protocol(ProtocolKind::WritersBlock)
+        .with_seed(3)
+        .with_jitter(30)
+        .with_engine(EngineMode::Sparse);
+    let mut sys = System::new(cfg, &t.workload);
+    assert!(sys.run(2_000_000).is_done(), "mp must complete");
+    let executed = sys.now() - sys.skipped_cycles();
+    assert!(sys.skipped_cycles() > 0, "sparse engine never jumped");
+    // Dense visits: 64 pairs + 64 banks + mesh + 64 drains per cycle.
+    let dense_visits = executed * (64 + 64 + 1 + 64);
+    assert!(
+        sys.engine_visits() * 10 < dense_visits,
+        "sparse engine visited {} of {} dense visits over {} executed cycles — not sparse",
+        sys.engine_visits(),
+        dense_visits,
+        executed
+    );
 }
 
 /// Litmus smoke on the 8x8 machine: two active cores in the corner of a
@@ -305,13 +366,12 @@ fn wedge_fires_at_the_same_cycle() {
         other => panic!("cell must wedge densely, got {other}"),
     }
     let skip = run_with(EngineMode::Skip, &cfg, &w, 8_000_000, false);
+    let sparse = run_with(EngineMode::Sparse, &cfg, &w, 8_000_000, false);
     // Reproducer lines deliberately differ in the engine token; the
     // wedge itself (cycle, class, parties, stats) must be identical.
-    assert_eq!(
-        neutralize_engine(dense),
-        neutralize_engine(skip),
-        "wedge cell diverged"
-    );
+    let dense = neutralize_engine(dense);
+    assert_eq!(dense, neutralize_engine(skip), "wedge cell diverged under Skip");
+    assert_eq!(dense, neutralize_engine(sparse), "wedge cell diverged under Sparse");
     // And with scaling restored the same cell completes — identically.
     cfg.watchdog.fault_scale = 4;
     assert_equivalent("near-miss scaled", &cfg, &w, 8_000_000, false);
@@ -327,7 +387,9 @@ fn budget_exhaustion_is_cycle_exact() {
     let dense = run_with(EngineMode::Dense, &cfg, &w, 3_000, false);
     assert_eq!(dense.outcome, RunOutcome::Budget, "budget must run out in 3k cycles");
     let skip = run_with(EngineMode::Skip, &cfg, &w, 3_000, false);
-    assert_eq!(dense, skip, "budget cell diverged");
+    assert_eq!(dense, skip, "budget cell diverged under Skip");
+    let sparse = run_with(EngineMode::Sparse, &cfg, &w, 3_000, false);
+    assert_eq!(dense, sparse, "budget cell diverged under Sparse");
 }
 
 /// The skip engine must actually skip: on the barrier kernel the
@@ -344,6 +406,8 @@ fn skip_engine_reaches_the_same_done_cycle() {
     let skip = run_with(EngineMode::Skip, &cfg, &w, 10_000_000, false);
     assert_eq!(dense.outcome, RunOutcome::Done);
     assert_eq!(dense, skip);
+    let sparse = run_with(EngineMode::Sparse, &cfg, &w, 10_000_000, false);
+    assert_eq!(dense, sparse);
 }
 
 /// Timeline sampling is part of the equivalence contract: the periodic
@@ -380,10 +444,18 @@ fn timeline_sampling_is_cycle_exact() {
     assert_eq!(d_jsonl, s_jsonl, "timeline JSONL diverged between Dense and Skip");
     assert!(d_trace.contains("\"ph\":\"C\""), "chrome trace must carry counter tracks");
     assert_eq!(d_trace, s_trace, "chrome trace (with counter tracks) diverged");
-    // SkipVerify re-ticks every skipped window densely; the sampler's
-    // deadline must survive that self-check too.
-    let (v_out, v_cycle, v_jsonl, v_trace) = run(EngineMode::SkipVerify);
-    assert_eq!((d_out, d_cycle), (v_out, v_cycle), "SkipVerify timeline cell diverged");
-    assert_eq!(d_jsonl, v_jsonl, "SkipVerify timeline JSONL diverged");
-    assert_eq!(d_trace, v_trace, "SkipVerify chrome trace diverged");
+    // The sparse engine must land every sample on the dense cycle with
+    // fully charged idle counters, even for cores asleep at the sample.
+    let (p_out, p_cycle, p_jsonl, p_trace) = run(EngineMode::Sparse);
+    assert_eq!((&d_out, d_cycle), (&p_out, p_cycle), "Sparse timeline cell diverged");
+    assert_eq!(d_jsonl, p_jsonl, "Sparse timeline JSONL diverged");
+    assert_eq!(d_trace, p_trace, "Sparse chrome trace diverged");
+    // The verify engines execute densely while checking every sleep /
+    // inertness claim; the sampler's deadline must survive both.
+    for engine in [EngineMode::SkipVerify, EngineMode::SparseVerify] {
+        let (v_out, v_cycle, v_jsonl, v_trace) = run(engine);
+        assert_eq!((&d_out, d_cycle), (&v_out, v_cycle), "{engine:?} timeline cell diverged");
+        assert_eq!(d_jsonl, v_jsonl, "{engine:?} timeline JSONL diverged");
+        assert_eq!(d_trace, v_trace, "{engine:?} chrome trace diverged");
+    }
 }

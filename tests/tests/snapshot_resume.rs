@@ -4,8 +4,11 @@
 //! at an arbitrary mid-run cycle, `restore` it into a freshly built
 //! system, and the continuation is *byte-identical* to continuing the
 //! original — same outcome at the same cycle, same stats JSON, same
-//! timeline windows — in every engine mode (Dense, Skip, SkipVerify),
-//! on litmus, chaos, fault (ARQ-active) and wedge cells.
+//! timeline windows — in every engine mode (Dense, Skip, SkipVerify,
+//! Sparse, SparseVerify), on litmus, chaos, fault (ARQ-active) and
+//! wedge cells. The sparse engines additionally restore the activity
+//! scheduler itself: a snapshot cut while most components sleep must
+//! resume without spuriously waking (or losing) any of them.
 //!
 //! One subtlety: `run_watchdog` keeps its progress baseline in locals,
 //! so calling `run` twice restarts the stall window at the split point.
@@ -127,7 +130,7 @@ fn check_resume_exact(cfg: &SystemConfig, w: &Workload, cut: u64) {
 wb_proptest! {
     #![cases = 12]
 
-    /// Snapshot at a random mid-run cycle, across all three engines and
+    /// Snapshot at a random mid-run cycle, across all five engines and
     /// the full cell matrix (litmus / contention / chaos / ARQ-fault).
     #[test]
     fn mid_run_snapshots_resume_byte_identically(
@@ -136,7 +139,14 @@ wb_proptest! {
         kind in 0usize..5,
     ) {
         let (cfg, w) = cell(kind, seed);
-        for engine in [EngineMode::Dense, EngineMode::Skip, EngineMode::SkipVerify] {
+        let engines = [
+            EngineMode::Dense,
+            EngineMode::Skip,
+            EngineMode::SkipVerify,
+            EngineMode::Sparse,
+            EngineMode::SparseVerify,
+        ];
+        for engine in engines {
             check_resume_exact(&cfg.clone().with_engine(engine), &w, cut);
         }
     }
@@ -152,7 +162,9 @@ fn snapshots_restore_across_engines() {
     let _ = a.run(5_000);
     let bytes = a.snapshot();
     let rest_dense = observe(&mut a, BUDGET);
-    for engine in [EngineMode::Skip, EngineMode::SkipVerify] {
+    let engines =
+        [EngineMode::Skip, EngineMode::SkipVerify, EngineMode::Sparse, EngineMode::SparseVerify];
+    for engine in engines {
         let mut b = System::new(cfg.clone().with_engine(engine), &w);
         b.restore(&bytes).expect("engine mode is not part of the fingerprint");
         let rest = observe(&mut b, BUDGET);
@@ -160,6 +172,39 @@ fn snapshots_restore_across_engines() {
         assert_eq!(rest_dense.final_cycle, rest.final_cycle, "{engine:?} cycle diverged");
         assert_eq!(rest_dense.retired, rest.retired, "{engine:?} retired diverged");
         assert_eq!(rest_dense.stats_json, rest.stats_json, "{engine:?} stats diverged");
+    }
+}
+
+/// Mid-sleep scheduler snapshot: on a lossy-link cell the ARQ retry
+/// timers put most components to sleep for long stretches, so a cut in
+/// the middle of the run catches the sparse engine with a mostly-idle
+/// calendar wheel. The snapshot's canonical wake table must restore
+/// that state exactly — resuming in Sparse (same engine), and a
+/// Sparse-taken snapshot must restore into Skip and Dense (which drop
+/// the table) with the identical continuation.
+#[test]
+fn mid_sleep_scheduler_state_survives_restore() {
+    let (cfg, w) = cell(3, 77); // ARQ-active fault cell: long sleeps
+    let sparse_cfg = cfg.clone().with_engine(EngineMode::Sparse);
+    let mut a = System::new(sparse_cfg.clone(), &w);
+    let _ = a.run(4_000);
+    assert!(a.skipped_cycles() > 0, "cell must actually sleep before the cut");
+    let bytes = a.snapshot();
+    let rest_a = observe(&mut a, BUDGET);
+    // Same-engine resume: the wheel is adopted from the snapshot.
+    let mut b = System::new(sparse_cfg, &w);
+    b.restore(&bytes).expect("restores");
+    let rest_b = observe(&mut b, BUDGET);
+    assert_eq!(rest_a, rest_b, "sparse mid-sleep resume diverged");
+    // Cross-engine resume: engines that don't use the wheel ignore it.
+    for engine in [EngineMode::Dense, EngineMode::Skip, EngineMode::SparseVerify] {
+        let mut c = System::new(cfg.clone().with_engine(engine), &w);
+        c.restore(&bytes).expect("restores");
+        let rest = observe(&mut c, BUDGET);
+        assert_eq!(rest_a.outcome, rest.outcome, "{engine:?} outcome diverged");
+        assert_eq!(rest_a.final_cycle, rest.final_cycle, "{engine:?} cycle diverged");
+        assert_eq!(rest_a.retired, rest.retired, "{engine:?} retired diverged");
+        assert_eq!(rest_a.stats_json, rest.stats_json, "{engine:?} stats diverged");
     }
 }
 
